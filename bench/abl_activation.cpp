@@ -1,0 +1,77 @@
+// Ablation (§4.2/§4.4): LMT activation thresholds. Where does KNEM start
+// beating the eager/default path — for pingpong and inside a collective?
+// The paper measures 8 KiB (pingpong) and 4 KiB (collectives) against
+// Nemesis' hardwired 64 KiB.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/options.hpp"
+
+using namespace nemo;
+using namespace nemo::bench;
+
+int main(int argc, char** argv) {
+  Options opt(argc, argv);
+  opt.declare("iters", "real pingpong iterations per size (default 50)");
+  opt.declare("skip-real", "only print the simulator block");
+  opt.finalize();
+  int iters = static_cast<int>(opt.get_int("iters", 50));
+
+  std::vector<std::size_t> sizes{1 * KiB, 2 * KiB,  4 * KiB,  8 * KiB,
+                                 16 * KiB, 32 * KiB, 64 * KiB, 128 * KiB};
+
+  std::printf("# Ablation — LMT activation threshold (MiB/s)\n");
+  std::printf("\n[sim:e5345] pingpong cores 0,7: default vs knem\n");
+  print_header(sizes);
+  for (auto [name, strat] :
+       {std::pair{"default", sim::Strategy::kDefault},
+        std::pair{"knem", sim::Strategy::kKnem}}) {
+    std::vector<double> vals;
+    for (auto s : sizes) {
+      sim::LmtModels m(sim::e5345_machine());
+      vals.push_back(m.pingpong_mibs(strat, 0, 7, s));
+    }
+    print_row(name, vals);
+  }
+
+  std::printf("\n[sim:e5345] alltoall 8 ranks: default vs knem\n");
+  print_header(sizes);
+  std::vector<int> cores{0, 1, 2, 3, 4, 5, 6, 7};
+  for (auto [name, strat] :
+       {std::pair{"default", sim::Strategy::kDefault},
+        std::pair{"knem", sim::Strategy::kKnem}}) {
+    std::vector<double> vals;
+    for (auto s : sizes) {
+      sim::LmtModels m(sim::e5345_machine());
+      vals.push_back(m.alltoall_mibs(strat, cores, s, 2));
+    }
+    print_row(name, vals);
+  }
+
+  if (!opt.get_flag("skip-real")) {
+    std::printf("\n[real:this-host] eager path vs forced-KNEM rendezvous\n");
+    print_header(sizes);
+    // Eager: raise the activation so everything here stays on cells.
+    {
+      std::vector<double> vals;
+      for (auto s : sizes) {
+        core::Config cfg = cfg_for(lmt::LmtKind::kKnem);
+        cfg.eager_threshold = 256 * KiB;
+        vals.push_back(real_pingpong_mibs(cfg, s, iters));
+      }
+      print_row("eager-path", vals);
+    }
+    // Rendezvous for everything (threshold 0).
+    {
+      std::vector<double> vals;
+      for (auto s : sizes) {
+        core::Config cfg = cfg_for(lmt::LmtKind::kKnem);
+        cfg.eager_threshold = 0;
+        vals.push_back(real_pingpong_mibs(cfg, s, iters));
+      }
+      print_row("knem-rndv", vals);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation (§3.1 + design): chunking granularity.
+//  - vmsplice pipe window: the paper argues the kernel's 64 KiB limit is a
+//    good trade-off (syscall ~100 ns vs ~8 us to copy 64 KiB); sweep it.
+//  - default-LMT ring-buffer size: the double-buffer equivalent.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/options.hpp"
+
+using namespace nemo;
+using namespace nemo::bench;
+
+int main(int argc, char** argv) {
+  Options opt(argc, argv);
+  opt.declare("msg", "message size (default 4MiB)");
+  opt.declare("skip-real", "only print the simulator block");
+  opt.finalize();
+  std::size_t msg = opt.get_size("msg", 4 * MiB);
+
+  std::printf("# Ablation — transfer chunking (message %s, cores 0,7)\n",
+              format_size(msg).c_str());
+
+  std::printf("\n[sim:e5345] vmsplice pipe-window sweep (MiB/s)\n");
+  std::printf("%-12s %9s\n", "window", "vmsplice");
+  for (std::size_t window : {4 * KiB, 16 * KiB, 64 * KiB, 256 * KiB,
+                             1 * MiB}) {
+    sim::LmtModels::Options mo;
+    mo.pipe_window = window;
+    sim::LmtModels m(sim::e5345_machine(), mo);
+    std::printf("%-12s %9.0f\n", format_size(window).c_str(),
+                m.pingpong_mibs(sim::Strategy::kVmsplice, 0, 7, msg));
+  }
+
+  std::printf("\n[sim:e5345] default-LMT ring-buffer sweep (MiB/s)\n");
+  std::printf("%-12s %9s\n", "ring-buf", "default");
+  for (std::size_t buf : {8 * KiB, 16 * KiB, 32 * KiB, 64 * KiB, 128 * KiB}) {
+    sim::LmtModels::Options mo;
+    mo.ring_buf_bytes = buf;
+    sim::LmtModels m(sim::e5345_machine(), mo);
+    std::printf("%-12s %9.0f\n", format_size(buf).c_str(),
+                m.pingpong_mibs(sim::Strategy::kDefault, 0, 7, msg));
+  }
+
+  if (!opt.get_flag("skip-real")) {
+    std::printf("\n[real:this-host] ring geometry sweep (MiB/s)\n");
+    std::printf("%-8s %-12s %9s\n", "bufs", "buf-size", "default");
+    for (std::uint32_t bufs : {2u, 4u}) {
+      for (std::size_t buf : {8 * KiB, 32 * KiB, 128 * KiB}) {
+        core::Config cfg = cfg_for(lmt::LmtKind::kDefaultShm);
+        cfg.ring_bufs = bufs;
+        cfg.ring_buf_bytes = static_cast<std::uint32_t>(buf);
+        std::printf("%-8u %-12s %9.0f\n", bufs, format_size(buf).c_str(),
+                    real_pingpong_mibs(cfg, msg, 20));
+      }
+    }
+  }
+  return 0;
+}

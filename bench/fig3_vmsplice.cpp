@@ -1,0 +1,53 @@
+// Figure 3: IMB Pingpong with the vmsplice LMT using vmsplice (single copy)
+// or writev (two copies), vs the default LMT, under shared-cache and
+// different-die placements.
+//
+// Paper's shape: vmsplice ~2x writev; default wins when a cache is shared;
+// vmsplice worthwhile when none is.
+#include "bench_common.hpp"
+#include "common/options.hpp"
+
+using namespace nemo;
+using namespace nemo::bench;
+
+int main(int argc, char** argv) {
+  Options opt(argc, argv);
+  opt.declare("iters", "real-mode pingpong iterations (default 30)");
+  opt.declare("skip-real", "only print the simulator block");
+  opt.finalize();
+  int iters = static_cast<int>(opt.get_int("iters", 30));
+
+  std::vector<std::size_t> sizes = default_sizes();
+  std::vector<SimStrategyRow> rows{
+      {"default", sim::Strategy::kDefault},
+      {"vmsplice", sim::Strategy::kVmsplice},
+      {"vmsplice-writev", sim::Strategy::kVmspliceWritev},
+  };
+
+  std::printf("# Figure 3 — Pingpong throughput (MiB/s), vmsplice LMT\n");
+  std::printf("\n[sim:e5345] shared cache (cores 0,1)\n");
+  run_sim_pingpong_block(sim::e5345_machine(), rows, 0, 1, sizes);
+  std::printf("\n[sim:e5345] different dies (cores 0,7)\n");
+  run_sim_pingpong_block(sim::e5345_machine(), rows, 0, 7, sizes);
+
+  if (!opt.get_flag("skip-real")) {
+    warn_if_oversubscribed(2);
+    std::printf("\n[real:this-host] thread ranks, actual pipes/vmsplice\n");
+    print_header(sizes);
+    struct RealRow {
+      const char* name;
+      lmt::LmtKind kind;
+    } real_rows[] = {
+        {"default", lmt::LmtKind::kDefaultShm},
+        {"vmsplice", lmt::LmtKind::kVmsplice},
+        {"vmsplice-writev", lmt::LmtKind::kVmspliceWritev},
+    };
+    for (const auto& row : real_rows) {
+      std::vector<double> vals;
+      for (auto s : sizes)
+        vals.push_back(real_pingpong_mibs(cfg_for(row.kind), s, iters));
+      print_row(row.name, vals);
+    }
+  }
+  return 0;
+}

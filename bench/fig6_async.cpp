@@ -1,0 +1,57 @@
+// Figure 6: KNEM synchronous vs asynchronous models, with and without I/OAT.
+//
+// Paper's shape: offloading the copy to a kernel thread (async, no I/OAT)
+// costs significant throughput (CPU competition); the asynchronous I/OAT
+// model matches or beats the synchronous one.
+#include "bench_common.hpp"
+#include "common/options.hpp"
+
+using namespace nemo;
+using namespace nemo::bench;
+
+int main(int argc, char** argv) {
+  Options opt(argc, argv);
+  opt.declare("iters", "real-mode pingpong iterations (default 30)");
+  opt.declare("skip-real", "only print the simulator block");
+  opt.finalize();
+  int iters = static_cast<int>(opt.get_int("iters", 30));
+
+  std::vector<std::size_t> sizes = default_sizes();
+  std::vector<SimStrategyRow> rows{
+      {"knem-sync", sim::Strategy::kKnem},
+      {"knem-async", sim::Strategy::kKnemAsyncCopy},
+      {"knem-sync+ioat", sim::Strategy::kKnemDma},
+      {"knem-async+ioat", sim::Strategy::kKnemAsyncDma},
+  };
+
+  std::printf("# Figure 6 — KNEM synchronous vs asynchronous (MiB/s)\n");
+  std::printf("\n[sim:e5345] cores 0,7\n");
+  run_sim_pingpong_block(sim::e5345_machine(), rows, 0, 7, sizes);
+
+  if (!opt.get_flag("skip-real")) {
+    warn_if_oversubscribed(2);
+    std::printf("\n[real:this-host]\n");
+    print_header(sizes);
+    struct RealRow {
+      const char* name;
+      lmt::KnemMode mode;
+    } real_rows[] = {
+        {"knem-sync", lmt::KnemMode::kSyncCopy},
+        {"knem-async", lmt::KnemMode::kAsyncCopy},
+        {"knem-sync+ioat", lmt::KnemMode::kSyncDma},
+        {"knem-async+ioat", lmt::KnemMode::kAsyncDma},
+    };
+    for (const auto& row : real_rows) {
+      std::vector<double> vals;
+      for (auto s : sizes) {
+        core::Config cfg = cfg_for(lmt::LmtKind::kKnem, row.mode);
+        // The kernel-thread competition effect needs rank/worker core
+        // pinning; pin rank r to core r when the host allows it.
+        cfg.core_binding = {0, 1};
+        vals.push_back(real_pingpong_mibs(cfg, s, iters));
+      }
+      print_row(row.name, vals);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 7: IMB Alltoall aggregated throughput between 8 local processes:
+// default vs vmsplice vs KNEM vs KNEM+I/OAT.
+//
+// Paper's shape: KNEM up to ~5x default near 32 KiB; I/OAT ~2x at very large
+// sizes (and already attractive from ~200 KiB because 8 concurrent flows
+// saturate the bus earlier than DMAmin predicts, §4.4).
+#include "bench_common.hpp"
+#include "common/options.hpp"
+
+using namespace nemo;
+using namespace nemo::bench;
+
+int main(int argc, char** argv) {
+  Options opt(argc, argv);
+  opt.declare("ranks", "rank count for the real block (default 8)");
+  opt.declare("iters", "real-mode rounds per size (default 8)");
+  opt.declare("skip-real", "only print the simulator block");
+  opt.finalize();
+  int nranks = static_cast<int>(opt.get_int("ranks", 8));
+  int iters = static_cast<int>(opt.get_int("iters", 8));
+
+  std::vector<std::size_t> sizes = alltoall_sizes();
+  std::vector<int> cores{0, 1, 2, 3, 4, 5, 6, 7};
+
+  std::printf(
+      "# Figure 7 — Alltoall aggregated throughput (MiB/s), 8 ranks\n");
+  std::printf("\n[sim:e5345] all 8 cores\n");
+  print_header(sizes);
+  struct SimRow {
+    const char* name;
+    sim::Strategy s;
+  } sim_rows[] = {
+      {"default", sim::Strategy::kDefault},
+      {"vmsplice", sim::Strategy::kVmsplice},
+      {"knem", sim::Strategy::kKnem},
+      {"knem+ioat", sim::Strategy::kKnemDma},
+  };
+  for (const auto& row : sim_rows) {
+    std::vector<double> vals;
+    for (auto s : sizes) {
+      sim::LmtModels m(sim::e5345_machine());
+      vals.push_back(m.alltoall_mibs(row.s, cores, s, 2));
+    }
+    print_row(row.name, vals);
+  }
+
+  if (!opt.get_flag("skip-real")) {
+    warn_if_oversubscribed(nranks);
+    std::printf("\n[real:this-host] %d thread ranks\n", nranks);
+    print_header(sizes);
+    struct RealRow {
+      const char* name;
+      lmt::LmtKind kind;
+      lmt::KnemMode mode;
+    } real_rows[] = {
+        {"default", lmt::LmtKind::kDefaultShm, lmt::KnemMode::kSyncCopy},
+        {"vmsplice", lmt::LmtKind::kVmsplice, lmt::KnemMode::kSyncCopy},
+        {"knem", lmt::LmtKind::kKnem, lmt::KnemMode::kSyncCopy},
+        {"knem+ioat", lmt::LmtKind::kKnem, lmt::KnemMode::kAsyncDma},
+    };
+    for (const auto& row : real_rows) {
+      std::vector<double> vals;
+      for (auto s : sizes)
+        vals.push_back(real_alltoall_mibs(cfg_for(row.kind, row.mode),
+                                          nranks, s, iters));
+      print_row(row.name, vals);
+    }
+  }
+  return 0;
+}

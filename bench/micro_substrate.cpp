@@ -1,0 +1,118 @@
+// google-benchmark micro-benchmarks of the substrate primitives: Nemesis
+// queue enqueue/dequeue, copy-ring push/pop, NT vs cached copy, KNEM command
+// issue, CMA vs direct read.
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <vector>
+
+#include "knem/knem_device.hpp"
+#include "shm/arena.hpp"
+#include "shm/copy_ring.hpp"
+#include "shm/nemesis_queue.hpp"
+#include "shm/nt_copy.hpp"
+#include "shm/remote_mem.hpp"
+
+namespace {
+
+using namespace nemo;
+using namespace nemo::shm;
+
+void BM_QueueEnqueueDequeue(benchmark::State& state) {
+  Arena arena = Arena::create_anonymous(16 * MiB);
+  RankQueues rq = make_rank_queues(arena, 0, 64);
+  QueueView freeq(arena, rq.free_q), recvq(arena, rq.recv_q);
+  for (auto _ : state) {
+    std::uint64_t off = freeq.dequeue();
+    recvq.enqueue(off);
+    std::uint64_t got = recvq.dequeue();
+    freeq.enqueue(got);
+    benchmark::DoNotOptimize(got);
+  }
+}
+BENCHMARK(BM_QueueEnqueueDequeue);
+
+void BM_RingPushPop(benchmark::State& state) {
+  auto chunk = static_cast<std::size_t>(state.range(0));
+  Arena arena = Arena::create_anonymous(16 * MiB);
+  std::uint64_t off = CopyRing::create(
+      arena, 2, static_cast<std::uint32_t>(chunk));
+  CopyRing ring(arena, off);
+  std::vector<std::byte> src(chunk), dst(chunk);
+  std::uint64_t sc = 0, rc = 0;
+  for (auto _ : state) {
+    ring.try_push(sc, src.data(), chunk, false);
+    bool last;
+    ring.try_pop(rc, dst.data(), last);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chunk));
+}
+BENCHMARK(BM_RingPushPop)->Arg(8 << 10)->Arg(32 << 10)->Arg(128 << 10);
+
+void BM_CachedCopy(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> src(n), dst(n);
+  for (auto _ : state) {
+    cached_memcpy(dst.data(), src.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CachedCopy)->Arg(64 << 10)->Arg(1 << 20)->Arg(4 << 20);
+
+void BM_NtCopy(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> src(n), dst(n);
+  for (auto _ : state) {
+    nt_memcpy(dst.data(), src.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NtCopy)->Arg(64 << 10)->Arg(1 << 20)->Arg(4 << 20);
+
+void BM_KnemCommandRoundTrip(benchmark::State& state) {
+  Arena arena = Arena::create_anonymous(16 * MiB);
+  std::uint64_t dev_off = knem::Device::create(arena);
+  knem::Device dev(arena, dev_off, 0, ::getpid());
+  std::vector<std::byte> buf(4096);
+  for (auto _ : state) {
+    std::uint64_t cookie =
+        dev.submit_send(ConstSegmentList{{buf.data(), buf.size()}});
+    dev.release(cookie);
+    benchmark::DoNotOptimize(cookie);
+  }
+}
+BENCHMARK(BM_KnemCommandRoundTrip);
+
+void BM_DirectVsCmaRead(benchmark::State& state) {
+  bool cma = state.range(0) != 0;
+  if (cma && !cma_available()) {
+    state.SkipWithError("CMA unavailable");
+    return;
+  }
+  auto n = static_cast<std::size_t>(state.range(1));
+  std::vector<std::byte> src(n), dst(n);
+  RemoteMemPort port(cma ? RemoteMode::kCma : RemoteMode::kDirect,
+                     ::getpid());
+  RemoteSegmentList remote{{reinterpret_cast<std::uint64_t>(src.data()), n}};
+  SegmentList local{{dst.data(), n}};
+  for (auto _ : state) {
+    port.read(remote, local);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DirectVsCmaRead)
+    ->Args({0, 1 << 20})
+    ->Args({1, 1 << 20})
+    ->Args({0, 4 << 20})
+    ->Args({1, 4 << 20});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Domain-specific example: 2D stencil halo exchange — the communication
+// pattern of structured-grid solvers (the paper's bt/sp/lu/mg family).
+//
+// Each rank owns a slab of a global grid and exchanges one-row halos with
+// its neighbours every iteration, using nonblocking sends/recvs so both
+// directions overlap. Demonstrates noncontiguous column halos via the
+// vector datatype (single-copy capable backends move them without packing).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/options.hpp"
+#include "core/comm.hpp"
+
+using namespace nemo;
+
+int main(int argc, char** argv) {
+  Options opt(argc, argv);
+  opt.declare("ranks", "ranks (default 4)");
+  opt.declare("nx", "grid width (default 512)");
+  opt.declare("ny", "rows per rank (default 256)");
+  opt.declare("iters", "iterations (default 50)");
+  opt.finalize();
+
+  core::Config cfg;
+  cfg.nranks = static_cast<int>(opt.get_int("ranks", 4));
+  cfg.lmt = lmt::LmtKind::kAuto;
+
+  const std::size_t nx = static_cast<std::size_t>(opt.get_int("nx", 512));
+  const std::size_t ny = static_cast<std::size_t>(opt.get_int("ny", 256));
+  const int iters = static_cast<int>(opt.get_int("iters", 50));
+
+  core::run(cfg, [&](core::Comm& comm) {
+    int up = comm.rank() + 1 < comm.size() ? comm.rank() + 1 : -1;
+    int down = comm.rank() > 0 ? comm.rank() - 1 : -1;
+
+    // Grid with one ghost row above and below.
+    std::vector<double> u((ny + 2) * nx, 0.0);
+    for (std::size_t i = 0; i < nx; ++i)
+      u[(1 + (comm.rank() % 2)) * nx + i] = 1.0;  // Some initial heat.
+
+    const std::size_t row_bytes = nx * sizeof(double);
+    for (int it = 0; it < iters; ++it) {
+      std::vector<core::Request> reqs;
+      if (up >= 0) {
+        reqs.push_back(comm.isend(&u[ny * nx], row_bytes, up, 10));
+        reqs.push_back(comm.irecv(&u[(ny + 1) * nx], row_bytes, up, 11));
+      }
+      if (down >= 0) {
+        reqs.push_back(comm.isend(&u[1 * nx], row_bytes, down, 11));
+        reqs.push_back(comm.irecv(&u[0 * nx], row_bytes, down, 10));
+      }
+      comm.waitall(reqs);
+
+      // Jacobi sweep.
+      std::vector<double> next = u;
+      for (std::size_t y = 1; y <= ny; ++y)
+        for (std::size_t x = 1; x + 1 < nx; ++x)
+          next[y * nx + x] =
+              0.25 * (u[(y - 1) * nx + x] + u[(y + 1) * nx + x] +
+                      u[y * nx + x - 1] + u[y * nx + x + 1]);
+      u.swap(next);
+    }
+
+    // Residual-ish check: total heat is conserved-ish and finite.
+    double local = 0;
+    for (std::size_t y = 1; y <= ny; ++y)
+      for (std::size_t x = 0; x < nx; ++x) local += u[y * nx + x];
+    double total = 0;
+    comm.allreduce_f64(&local, &total, 1, core::Comm::ReduceOp::kSum);
+    if (comm.rank() == 0)
+      std::printf("halo_exchange: %d iters on %zux%zu/rank, total heat %.6f "
+                  "(finite: %s)\n",
+                  iters, nx, ny, total, std::isfinite(total) ? "yes" : "NO");
+
+    // Bonus: exchange a *column* (stride nx doubles) with the vector
+    // datatype — a noncontiguous single-copy transfer.
+    if (comm.size() >= 2 && comm.rank() < 2) {
+      core::Datatype col = core::Datatype::vector(ny, sizeof(double),
+                                                  nx * sizeof(double));
+      if (comm.rank() == 0)
+        comm.send_typed(reinterpret_cast<std::byte*>(&u[nx]), col, 1, 1, 20);
+      else
+        comm.recv_typed(reinterpret_cast<std::byte*>(&u[nx + 4]), col, 1, 0,
+                        20);
+      if (comm.rank() == 1)
+        std::printf("halo_exchange: strided column transferred without "
+                    "packing\n");
+    }
+  });
+  return 0;
+}

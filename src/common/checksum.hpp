@@ -1,0 +1,70 @@
+// Deterministic buffer fill / verify helpers so every transfer test can prove
+// byte-exact delivery, plus a small FNV-1a hash for cookies and sanity checks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace nemo {
+
+/// 64-bit FNV-1a over an arbitrary byte range.
+inline std::uint64_t fnv1a(std::span<const std::byte> data,
+                           std::uint64_t seed = 0xcbf29ce484222325ull) {
+  std::uint64_t h = seed;
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Deterministic per-position byte derived from (seed, index); cheap enough
+/// to fill multi-MiB buffers in tests and strong enough that shifted /
+/// truncated / cross-talk transfers are detected.
+constexpr std::uint8_t pattern_byte(std::uint64_t seed, std::size_t i) {
+  std::uint64_t x = seed + 0x9e3779b97f4a7c15ull * (i + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  return static_cast<std::uint8_t>(x);
+}
+
+inline void pattern_fill(std::span<std::byte> buf, std::uint64_t seed) {
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    buf[i] = static_cast<std::byte>(pattern_byte(seed, i));
+}
+
+/// Returns index of first mismatch, or npos when the whole buffer matches.
+inline constexpr std::size_t kPatternOk = static_cast<std::size_t>(-1);
+inline std::size_t pattern_check(std::span<const std::byte> buf,
+                                 std::uint64_t seed,
+                                 std::size_t offset = 0) {
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    if (buf[i] != static_cast<std::byte>(pattern_byte(seed, offset + i)))
+      return i;
+  return kPatternOk;
+}
+
+/// Splitmix64: the deterministic PRNG used by workload generators.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  /// Uniform double in [0,1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+  /// Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n) { return n ? next() % n : 0; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace nemo

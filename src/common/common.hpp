@@ -1,0 +1,124 @@
+// Core utilities shared by every nemolmt module: error handling, byte-unit
+// helpers, and small formatting aids.
+//
+// Error-handling convention (used library-wide):
+//  - Programming errors / broken invariants -> NEMO_ASSERT (aborts).
+//  - Environmental failures (syscalls, resource exhaustion) -> nemo::SysError
+//    exceptions carrying errno context.
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace nemo {
+
+/// Exception thrown when an OS interaction fails; carries errno text.
+class SysError : public std::runtime_error {
+ public:
+  SysError(const std::string& what, int err)
+      : std::runtime_error(what + ": " + std::strerror(err)), errno_(err) {}
+  explicit SysError(const std::string& what)
+      : std::runtime_error(what), errno_(0) {}
+  [[nodiscard]] int sys_errno() const noexcept { return errno_; }
+
+ private:
+  int errno_;
+};
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "nemo assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+#define NEMO_ASSERT(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) ::nemo::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define NEMO_ASSERT_MSG(expr, msg)                                  \
+  do {                                                              \
+    if (!(expr)) ::nemo::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+/// Throw SysError with errno if a syscall-style expression returns < 0.
+#define NEMO_SYSCHECK(expr, what)                      \
+  do {                                                 \
+    if ((expr) < 0) throw ::nemo::SysError(what, errno); \
+  } while (0)
+
+// ---------------------------------------------------------------------------
+// Byte units
+// ---------------------------------------------------------------------------
+
+inline constexpr std::size_t KiB = 1024;
+inline constexpr std::size_t MiB = 1024 * KiB;
+inline constexpr std::size_t GiB = 1024 * MiB;
+
+/// Width of a cache line on every machine we model (and on this host).
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Round `x` up to a multiple of `align` (align must be a power of two).
+constexpr std::size_t round_up(std::size_t x, std::size_t align) {
+  return (x + align - 1) & ~(align - 1);
+}
+
+constexpr std::size_t round_down(std::size_t x, std::size_t align) {
+  return x & ~(align - 1);
+}
+
+constexpr bool is_pow2(std::size_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr unsigned log2_exact(std::size_t x) {
+  unsigned n = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+/// Human-readable size, e.g. "64KiB", "4MiB", "1536B".
+inline std::string format_size(std::size_t bytes) {
+  char buf[32];
+  if (bytes >= GiB && bytes % GiB == 0)
+    std::snprintf(buf, sizeof buf, "%zuGiB", bytes / GiB);
+  else if (bytes >= MiB && bytes % MiB == 0)
+    std::snprintf(buf, sizeof buf, "%zuMiB", bytes / MiB);
+  else if (bytes >= KiB && bytes % KiB == 0)
+    std::snprintf(buf, sizeof buf, "%zuKiB", bytes / KiB);
+  else
+    std::snprintf(buf, sizeof buf, "%zuB", bytes);
+  return buf;
+}
+
+/// Parse "64KiB" / "4M" / "123" into bytes. Throws std::invalid_argument.
+inline std::size_t parse_size(const std::string& s) {
+  if (s.empty()) throw std::invalid_argument("empty size string");
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str()) throw std::invalid_argument("bad size: " + s);
+  std::string suffix(end);
+  std::size_t mult = 1;
+  if (suffix.empty() || suffix == "B" || suffix == "b")
+    mult = 1;
+  else if (suffix == "K" || suffix == "k" || suffix == "KiB" || suffix == "kiB")
+    mult = KiB;
+  else if (suffix == "M" || suffix == "m" || suffix == "MiB")
+    mult = MiB;
+  else if (suffix == "G" || suffix == "g" || suffix == "GiB")
+    mult = GiB;
+  else
+    throw std::invalid_argument("bad size suffix: " + s);
+  if (v < 0) throw std::invalid_argument("negative size: " + s);
+  return static_cast<std::size_t>(v * static_cast<double>(mult));
+}
+
+}  // namespace nemo

@@ -1,0 +1,34 @@
+#include "common/iovec.hpp"
+
+#include <cstring>
+
+namespace nemo {
+
+std::size_t gather_scatter_copy(std::span<const Segment> dst,
+                                std::span<const ConstSegment> src) {
+  std::size_t di = 0, doff = 0;
+  std::size_t si = 0, soff = 0;
+  std::size_t copied = 0;
+  while (di < dst.size() && si < src.size()) {
+    if (dst[di].len == doff) {
+      ++di;
+      doff = 0;
+      continue;
+    }
+    if (src[si].len == soff) {
+      ++si;
+      soff = 0;
+      continue;
+    }
+    std::size_t n = dst[di].len - doff;
+    std::size_t sn = src[si].len - soff;
+    if (sn < n) n = sn;
+    std::memcpy(dst[di].base + doff, src[si].base + soff, n);
+    doff += n;
+    soff += n;
+    copied += n;
+  }
+  return copied;
+}
+
+}  // namespace nemo

@@ -1,0 +1,97 @@
+// Scatter/gather segment lists. KNEM cookies describe send buffers as vectors
+// of virtual segments; datatypes (vector/strided) lower to the same form.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/common.hpp"
+
+namespace nemo {
+
+/// One contiguous virtual-memory segment.
+struct Segment {
+  std::byte* base = nullptr;
+  std::size_t len = 0;
+};
+
+struct ConstSegment {
+  const std::byte* base = nullptr;
+  std::size_t len = 0;
+};
+
+using SegmentList = std::vector<Segment>;
+using ConstSegmentList = std::vector<ConstSegment>;
+
+inline std::size_t total_bytes(const SegmentList& v) {
+  std::size_t n = 0;
+  for (const auto& s : v) n += s.len;
+  return n;
+}
+inline std::size_t total_bytes(const ConstSegmentList& v) {
+  std::size_t n = 0;
+  for (const auto& s : v) n += s.len;
+  return n;
+}
+
+inline ConstSegmentList as_const(const SegmentList& v) {
+  ConstSegmentList out;
+  out.reserve(v.size());
+  for (const auto& s : v) out.push_back({s.base, s.len});
+  return out;
+}
+
+/// Cursor over a segment list, for chunked copies that cross segment
+/// boundaries. Advancing never allocates.
+class SegmentCursor {
+ public:
+  explicit SegmentCursor(std::span<const Segment> segs) : segs_(segs) {}
+
+  [[nodiscard]] bool done() const { return idx_ >= segs_.size(); }
+
+  /// Remaining bytes across all segments.
+  [[nodiscard]] std::size_t remaining() const {
+    std::size_t n = 0;
+    for (std::size_t i = idx_; i < segs_.size(); ++i) n += segs_[i].len;
+    return n >= off_ ? n - off_ : 0;
+  }
+
+  /// The next contiguous piece, at most `max_len` bytes. Advances the cursor.
+  Segment take(std::size_t max_len) {
+    NEMO_ASSERT(!done());
+    const Segment& s = segs_[idx_];
+    std::size_t avail = s.len - off_;
+    std::size_t n = avail < max_len ? avail : max_len;
+    Segment out{s.base + off_, n};
+    off_ += n;
+    if (off_ == s.len) {
+      ++idx_;
+      off_ = 0;
+      // Skip empty segments so done() is accurate.
+      while (idx_ < segs_.size() && segs_[idx_].len == 0) ++idx_;
+    }
+    return out;
+  }
+
+ private:
+  std::span<const Segment> segs_;
+  std::size_t idx_ = 0;
+  std::size_t off_ = 0;
+};
+
+/// Copy between two segment lists (generalised memcpy). Returns bytes copied
+/// = min(total(src), total(dst)).
+std::size_t gather_scatter_copy(std::span<const Segment> dst,
+                                std::span<const ConstSegment> src);
+
+inline std::size_t gather_scatter_copy(std::span<const Segment> dst,
+                                       std::span<const Segment> src) {
+  ConstSegmentList c;
+  c.reserve(src.size());
+  for (const auto& s : src) c.push_back({s.base, s.len});
+  return gather_scatter_copy(dst, std::span<const ConstSegment>(c));
+}
+
+}  // namespace nemo

@@ -1,0 +1,82 @@
+#include "common/options.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace nemo {
+
+Options::Options(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0)
+      throw std::invalid_argument("expected --key[=value], got: " + arg);
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq == std::string::npos)
+      values_[arg] = "1";
+    else
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+  }
+}
+
+void Options::declare(const std::string& key, const std::string& help) {
+  declared_.emplace_back(key, help);
+}
+
+bool Options::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::string Options::get(const std::string& key, const std::string& def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+long Options::get_int(const std::string& key, long def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+double Options::get_double(const std::string& key, double def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::size_t Options::get_size(const std::string& key, std::size_t def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return parse_size(it->second);
+}
+
+bool Options::get_flag(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return false;
+  return it->second != "0" && it->second != "false";
+}
+
+void Options::finalize() const {
+  bool bad = false;
+  for (const auto& [k, v] : values_) {
+    (void)v;
+    bool known = false;
+    for (const auto& [dk, dh] : declared_) {
+      (void)dh;
+      if (dk == k) known = true;
+    }
+    if (!known) {
+      std::fprintf(stderr, "unknown option --%s\n", k.c_str());
+      bad = true;
+    }
+  }
+  if (bad) {
+    std::fprintf(stderr, "usage: %s [options]\n", program_.c_str());
+    for (const auto& [dk, dh] : declared_)
+      std::fprintf(stderr, "  --%-20s %s\n", dk.c_str(), dh.c_str());
+    throw std::invalid_argument("unknown options");
+  }
+}
+
+}  // namespace nemo

@@ -1,0 +1,45 @@
+// Tiny command-line/environment option parser used by benches and examples.
+// Syntax: --key=value or --flag. Unknown keys are rejected so typos surface.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/common.hpp"
+
+namespace nemo {
+
+class Options {
+ public:
+  /// Parse argv; throws std::invalid_argument on malformed input.
+  Options(int argc, char** argv);
+  Options() = default;
+
+  /// Declare a key so `finalize()` can reject unknown options.
+  void declare(const std::string& key, const std::string& help);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& def) const;
+  [[nodiscard]] long get_int(const std::string& key, long def) const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  /// Size values accept unit suffixes ("64KiB", "4M").
+  [[nodiscard]] std::size_t get_size(const std::string& key,
+                                     std::size_t def) const;
+  [[nodiscard]] bool get_flag(const std::string& key) const;
+
+  /// Verify all provided keys were declared; print help and throw otherwise.
+  void finalize() const;
+
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::pair<std::string, std::string>> declared_;
+};
+
+}  // namespace nemo

@@ -1,0 +1,80 @@
+// Wall-clock timing and simple statistics used by benchmarks and tests.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace nemo {
+
+/// Monotonic nanoseconds since an arbitrary epoch.
+inline std::uint64_t now_ns() {
+  using clock = std::chrono::steady_clock;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          clock::now().time_since_epoch())
+          .count());
+}
+
+/// RAII-less stopwatch: start() then elapsed_ns().
+class Timer {
+ public:
+  Timer() : start_(now_ns()) {}
+  void reset() { start_ = now_ns(); }
+  [[nodiscard]] std::uint64_t elapsed_ns() const { return now_ns() - start_; }
+  [[nodiscard]] double elapsed_s() const {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+/// Accumulates samples; reports min/median/mean/max. Used to stabilise
+/// throughput numbers across benchmark repetitions.
+class Stats {
+ public:
+  void add(double v) { samples_.push_back(v); }
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double min() const {
+    return samples_.empty() ? 0.0
+                            : *std::min_element(samples_.begin(), samples_.end());
+  }
+  [[nodiscard]] double max() const {
+    return samples_.empty() ? 0.0
+                            : *std::max_element(samples_.begin(), samples_.end());
+  }
+  [[nodiscard]] double mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0;
+    for (double v : samples_) s += v;
+    return s / static_cast<double>(samples_.size());
+  }
+  [[nodiscard]] double median() const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> c = samples_;
+    std::size_t mid = c.size() / 2;
+    std::nth_element(c.begin(), c.begin() + static_cast<long>(mid), c.end());
+    return c[mid];
+  }
+  [[nodiscard]] double stddev() const {
+    if (samples_.size() < 2) return 0.0;
+    double m = mean(), s = 0;
+    for (double v : samples_) s += (v - m) * (v - m);
+    return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Throughput in MiB/s given bytes moved in `ns` nanoseconds.
+inline double mib_per_s(std::size_t bytes, std::uint64_t ns) {
+  if (ns == 0) return 0.0;
+  return (static_cast<double>(bytes) / (1024.0 * 1024.0)) /
+         (static_cast<double>(ns) * 1e-9);
+}
+
+}  // namespace nemo

@@ -1,0 +1,269 @@
+// Collective operations layered on the pt2pt engine. Algorithms are the
+// classical shared-memory-friendly ones: dissemination barrier, binomial
+// bcast, linear reduce (small rank counts), ring allgather, and pairwise
+// alltoall(v) — the operation Figure 7 benchmarks.
+//
+// Internal tags live in a reserved negative space, namespaced by a per-Comm
+// collective sequence number so back-to-back collectives cannot cross-match
+// (all ranks invoke collectives in the same order, per MPI semantics).
+#include <cstring>
+#include <vector>
+
+#include "core/comm.hpp"
+
+namespace nemo::core {
+
+namespace {
+
+constexpr int kCollTagBase = -(1 << 20);
+
+/// Distinct tag for (collective instance, phase).
+int coll_tag(std::uint32_t coll_seq, int phase) {
+  return kCollTagBase - static_cast<int>((coll_seq % 4096) * 16) - phase;
+}
+
+std::uint32_t next_coll_seq(Engine& eng) { return eng.bump_coll_seq(); }
+
+}  // namespace
+
+void Comm::barrier() {
+  Engine& eng = engine_;
+  std::uint32_t cs = next_coll_seq(eng);
+  int n = size(), r = rank();
+  char token = 1;
+  for (int k = 1, phase = 0; k < n; k <<= 1, ++phase) {
+    int to = (r + k) % n;
+    int from = (r - k + n) % n;
+    Request s = isend(&token, 1, to, coll_tag(cs, phase), 1);
+    char in = 0;
+    Request rr = irecv(&in, 1, from, coll_tag(cs, phase), 1);
+    wait(s);
+    wait(rr);
+  }
+}
+
+void Comm::bcast(void* buf, std::size_t bytes, int root) {
+  Engine& eng = engine_;
+  std::uint32_t cs = next_coll_seq(eng);
+  int n = size(), r = rank();
+  if (n == 1) return;
+  // Binomial tree rooted at `root`; relative ranks make the tree uniform.
+  int vr = (r - root + n) % n;
+  int tag = coll_tag(cs, 0);
+  // Receive from parent.
+  if (vr != 0) {
+    int mask = 1;
+    while ((vr & mask) == 0) mask <<= 1;
+    int parent = ((vr & ~mask) + root) % n;
+    recv(buf, bytes, parent, tag, nullptr, 1);
+  }
+  // Forward to children.
+  int mask = 1;
+  while (mask < n && (vr & (mask - 1)) == 0) {
+    if ((vr & mask) == 0) {
+      int child_vr = vr | mask;
+      if (child_vr < n) send(buf, bytes, (child_vr + root) % n, tag, 1);
+    }
+    mask <<= 1;
+  }
+}
+
+void Comm::gather(const void* sendbuf, std::size_t per_rank, void* recvbuf,
+                  int root) {
+  std::uint32_t cs = next_coll_seq(engine_);
+  int n = size(), r = rank();
+  int tag = coll_tag(cs, 0);
+  if (r == root) {
+    auto* out = static_cast<std::byte*>(recvbuf);
+    std::memcpy(out + static_cast<std::size_t>(r) * per_rank, sendbuf,
+                per_rank);
+    std::vector<Request> reqs;
+    reqs.reserve(static_cast<std::size_t>(n - 1));
+    for (int src = 0; src < n; ++src) {
+      if (src == r) continue;
+      reqs.push_back(irecv(out + static_cast<std::size_t>(src) * per_rank,
+                           per_rank, src, tag, 1));
+    }
+    waitall(reqs);
+  } else {
+    send(sendbuf, per_rank, root, tag, 1);
+  }
+}
+
+void Comm::scatter(const void* sendbuf, std::size_t per_rank, void* recvbuf,
+                   int root) {
+  std::uint32_t cs = next_coll_seq(engine_);
+  int n = size(), r = rank();
+  int tag = coll_tag(cs, 0);
+  if (r == root) {
+    const auto* in = static_cast<const std::byte*>(sendbuf);
+    std::vector<Request> reqs;
+    for (int dst = 0; dst < n; ++dst) {
+      if (dst == r) continue;
+      reqs.push_back(isend(in + static_cast<std::size_t>(dst) * per_rank,
+                           per_rank, dst, tag, 1));
+    }
+    std::memcpy(recvbuf, in + static_cast<std::size_t>(r) * per_rank,
+                per_rank);
+    waitall(reqs);
+  } else {
+    recv(recvbuf, per_rank, root, tag, nullptr, 1);
+  }
+}
+
+void Comm::allgather(const void* sendbuf, std::size_t per_rank,
+                     void* recvbuf) {
+  std::uint32_t cs = next_coll_seq(engine_);
+  int n = size(), r = rank();
+  auto* out = static_cast<std::byte*>(recvbuf);
+  std::memcpy(out + static_cast<std::size_t>(r) * per_rank, sendbuf,
+              per_rank);
+  if (n == 1) return;
+  int right = (r + 1) % n, left = (r - 1 + n) % n;
+  int tag = coll_tag(cs, 0);
+  // Ring: at step s, pass along the block that originated at (r - s).
+  for (int s = 0; s < n - 1; ++s) {
+    int send_block = (r - s + n) % n;
+    int recv_block = (r - s - 1 + n) % n;
+    Request sq =
+        isend(out + static_cast<std::size_t>(send_block) * per_rank,
+              per_rank, right, tag, 1);
+    Request rq =
+        irecv(out + static_cast<std::size_t>(recv_block) * per_rank,
+              per_rank, left, tag, 1);
+    wait(sq);
+    wait(rq);
+  }
+}
+
+void Comm::alltoall(const void* sendbuf, std::size_t per_rank,
+                    void* recvbuf) {
+  std::uint32_t cs = next_coll_seq(engine_);
+  int n = size(), r = rank();
+  const auto* in = static_cast<const std::byte*>(sendbuf);
+  auto* out = static_cast<std::byte*>(recvbuf);
+  std::memcpy(out + static_cast<std::size_t>(r) * per_rank,
+              in + static_cast<std::size_t>(r) * per_rank, per_rank);
+  int tag = coll_tag(cs, 0);
+  // Pairwise exchange: at step s talk to (r^s) when n is a power of two,
+  // else to (r+s, r-s). Marked collective so the policy can use its lower
+  // activation threshold (§4.4).
+  bool pow2 = (n & (n - 1)) == 0;
+  for (int s = 1; s < n; ++s) {
+    int to = pow2 ? (r ^ s) : (r + s) % n;
+    int from = pow2 ? (r ^ s) : (r - s + n) % n;
+    ConstSegmentList ssegs{
+        {in + static_cast<std::size_t>(to) * per_rank, per_rank}};
+    SegmentList rsegs{
+        {out + static_cast<std::size_t>(from) * per_rank, per_rank}};
+    Request sq = engine_.start_send(std::move(ssegs), to, tag,
+                                    /*collective=*/true, /*context=*/1);
+    Request rq = engine_.start_recv(std::move(rsegs), from, tag, 1);
+    wait(sq);
+    wait(rq);
+  }
+}
+
+void Comm::alltoallv(const void* sendbuf, const std::size_t* scounts,
+                     const std::size_t* sdispls, void* recvbuf,
+                     const std::size_t* rcounts, const std::size_t* rdispls) {
+  std::uint32_t cs = next_coll_seq(engine_);
+  int n = size(), r = rank();
+  const auto* in = static_cast<const std::byte*>(sendbuf);
+  auto* out = static_cast<std::byte*>(recvbuf);
+  std::memcpy(out + rdispls[r], in + sdispls[r], scounts[r]);
+  int tag = coll_tag(cs, 0);
+  bool pow2 = (n & (n - 1)) == 0;
+  for (int s = 1; s < n; ++s) {
+    int to = pow2 ? (r ^ s) : (r + s) % n;
+    int from = pow2 ? (r ^ s) : (r - s + n) % n;
+    Request sq, rq;
+    if (scounts[to] > 0) {
+      ConstSegmentList ssegs{{in + sdispls[to], scounts[to]}};
+      sq = engine_.start_send(std::move(ssegs), to, tag, /*collective=*/true,
+                              /*context=*/1);
+    }
+    if (rcounts[from] > 0) {
+      SegmentList rsegs{{out + rdispls[from], rcounts[from]}};
+      rq = engine_.start_recv(std::move(rsegs), from, tag, 1);
+    }
+    if (sq) wait(sq);
+    if (rq) wait(rq);
+  }
+}
+
+// --- Reductions ---------------------------------------------------------------
+
+template <typename T, typename OpFn>
+void Comm::reduce_impl(const T* in, T* out, std::size_t n, OpFn op, int root,
+                       int tag) {
+  int p = size(), r = rank();
+  if (r == root) {
+    std::memcpy(out, in, n * sizeof(T));
+    std::vector<T> tmp(n);
+    for (int src = 0; src < p; ++src) {
+      if (src == root) continue;
+      recv(tmp.data(), n * sizeof(T), src, tag, nullptr, 1);
+      for (std::size_t i = 0; i < n; ++i) out[i] = op(out[i], tmp[i]);
+    }
+  } else {
+    send(in, n * sizeof(T), root, tag, 1);
+  }
+}
+
+template <typename T, typename OpFn>
+void Comm::allreduce_impl(const T* in, T* out, std::size_t n, OpFn op,
+                          int tag) {
+  reduce_impl<T>(in, out, n, op, 0, tag);
+  bcast(out, n * sizeof(T), 0);
+}
+
+namespace {
+
+template <typename T>
+T apply_op(Comm::ReduceOp op, T a, T b) {
+  switch (op) {
+    case Comm::ReduceOp::kSum: return a + b;
+    case Comm::ReduceOp::kMin: return a < b ? a : b;
+    case Comm::ReduceOp::kMax: return a > b ? a : b;
+  }
+  return a;
+}
+
+}  // namespace
+
+void Comm::reduce_f64(const double* in, double* out, std::size_t n,
+                      ReduceOp op, int root) {
+  std::uint32_t cs = next_coll_seq(engine_);
+  reduce_impl<double>(
+      in, out, n, [op](double a, double b) { return apply_op(op, a, b); },
+      root, coll_tag(cs, 1));
+}
+
+void Comm::allreduce_f64(const double* in, double* out, std::size_t n,
+                         ReduceOp op) {
+  std::uint32_t cs = next_coll_seq(engine_);
+  allreduce_impl<double>(
+      in, out, n, [op](double a, double b) { return apply_op(op, a, b); },
+      coll_tag(cs, 1));
+}
+
+void Comm::reduce_i64(const std::int64_t* in, std::int64_t* out,
+                      std::size_t n, ReduceOp op, int root) {
+  std::uint32_t cs = next_coll_seq(engine_);
+  reduce_impl<std::int64_t>(
+      in, out, n,
+      [op](std::int64_t a, std::int64_t b) { return apply_op(op, a, b); },
+      root, coll_tag(cs, 1));
+}
+
+void Comm::allreduce_i64(const std::int64_t* in, std::int64_t* out,
+                         std::size_t n, ReduceOp op) {
+  std::uint32_t cs = next_coll_seq(engine_);
+  allreduce_impl<std::int64_t>(
+      in, out, n,
+      [op](std::int64_t a, std::int64_t b) { return apply_op(op, a, b); },
+      coll_tag(cs, 1));
+}
+
+}  // namespace nemo::core

@@ -1,0 +1,749 @@
+#include "core/comm.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "lmt/backends.hpp"
+
+namespace nemo::core {
+
+using shm::aref;
+using shm::Cell;
+using shm::CellType;
+using shm::kNil;
+using shm::QueueView;
+
+// ---------------------------------------------------------------------------
+// World
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct BarrierBlock {
+  alignas(kCacheLine) std::uint64_t count;
+  alignas(kCacheLine) std::uint64_t generation;
+};
+
+std::size_t auto_arena_bytes(const Config& cfg) {
+  std::size_t n = static_cast<std::size_t>(cfg.nranks);
+  std::size_t per_rank = 2 * sizeof(shm::QueueState) +
+                         cfg.cells_per_rank * sizeof(Cell) + 4 * KiB;
+  std::size_t pairs = n * (n - 1);
+  std::size_t per_ring =
+      sizeof(shm::CopyRingState) +
+      cfg.ring_bufs * (sizeof(shm::CopyRingSlot) + cfg.ring_buf_bytes) +
+      4 * KiB;
+  std::size_t knem = sizeof(knem::DeviceState) +
+                     256 * sizeof(knem::CookieSlot) +
+                     256 * sizeof(knem::SegBlock) + 64 * KiB;
+  return 1 * MiB + n * per_rank + pairs * per_ring + knem +
+         cfg.shared_pool_bytes;
+}
+
+}  // namespace
+
+World::World(Config cfg)
+    : cfg_(std::move(cfg)),
+      topo_(cfg_.topo.num_cores > 0 ? cfg_.topo : detect_host()),
+      arena_(cfg_.shm_name.empty()
+                 ? shm::Arena::create_anonymous(
+                       cfg_.arena_bytes ? cfg_.arena_bytes
+                                        : auto_arena_bytes(cfg_))
+                 : shm::Arena::create_shm(
+                       cfg_.shm_name, cfg_.arena_bytes
+                                          ? cfg_.arena_bytes
+                                          : auto_arena_bytes(cfg_))),
+      pipes_(cfg_.nranks) {
+  NEMO_ASSERT(cfg_.nranks >= 1);
+  NEMO_ASSERT_MSG(cfg_.core_binding.empty() ||
+                      cfg_.core_binding.size() ==
+                          static_cast<std::size_t>(cfg_.nranks),
+                  "core_binding must name one core per rank");
+  topo_.validate();
+
+  rank_queues_.reserve(static_cast<std::size_t>(cfg_.nranks));
+  for (int r = 0; r < cfg_.nranks; ++r)
+    rank_queues_.push_back(shm::make_rank_queues(
+        arena_, static_cast<std::uint32_t>(r), cfg_.cells_per_rank));
+
+  ring_offs_.assign(static_cast<std::size_t>(cfg_.nranks) *
+                        static_cast<std::size_t>(cfg_.nranks),
+                    kNil);
+  for (int s = 0; s < cfg_.nranks; ++s)
+    for (int d = 0; d < cfg_.nranks; ++d)
+      if (s != d)
+        ring_offs_[static_cast<std::size_t>(s) *
+                       static_cast<std::size_t>(cfg_.nranks) +
+                   static_cast<std::size_t>(d)] =
+            shm::CopyRing::create(arena_, cfg_.ring_bufs,
+                                  cfg_.ring_buf_bytes);
+
+  knem_off_ = knem::Device::create(arena_);
+
+  pid_table_off_ = arena_.alloc(sizeof(std::uint64_t) *
+                                    static_cast<std::size_t>(cfg_.nranks),
+                                kCacheLine);
+  std::memset(arena_.at(pid_table_off_), 0,
+              sizeof(std::uint64_t) * static_cast<std::size_t>(cfg_.nranks));
+
+  barrier_off_ = arena_.alloc(sizeof(BarrierBlock), kCacheLine);
+  auto* bb = arena_.at_as<BarrierBlock>(barrier_off_);
+  bb->count = 0;
+  bb->generation = 0;
+
+  vmsplice_ok_ = shm::Pipe::vmsplice_available();
+  cma_ok_ = shm::cma_available();
+}
+
+void World::register_pid(int rank, pid_t pid) {
+  auto* table = arena_.at_as<std::uint64_t>(pid_table_off_);
+  aref(table[rank]).store(static_cast<std::uint64_t>(pid),
+                          std::memory_order_release);
+}
+
+pid_t World::pid_of(int rank) const {
+  auto* table = arena_.at_as<std::uint64_t>(pid_table_off_);
+  std::uint64_t v = aref(table[rank]).load(std::memory_order_acquire);
+  NEMO_ASSERT_MSG(v != 0, "peer pid not registered yet");
+  return static_cast<pid_t>(v);
+}
+
+void World::hard_barrier() {
+  auto* bb = arena_.at_as<BarrierBlock>(barrier_off_);
+  std::uint64_t gen = aref(bb->generation).load(std::memory_order_acquire);
+  std::uint64_t arrived =
+      aref(bb->count).fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (arrived == static_cast<std::uint64_t>(cfg_.nranks)) {
+    aref(bb->count).store(0, std::memory_order_relaxed);
+    aref(bb->generation).fetch_add(1, std::memory_order_acq_rel);
+  } else {
+    while (aref(bb->generation).load(std::memory_order_acquire) == gen)
+      std::this_thread::yield();
+  }
+}
+
+std::byte* World::shared_alloc(std::size_t bytes, std::size_t align) {
+  return arena_.at(arena_.alloc(bytes, align));
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+namespace {
+
+lmt::PolicyConfig effective_policy(const World& w, const Config& cfg) {
+  lmt::PolicyConfig pc = cfg.policy;
+  pc.vmsplice_available = pc.vmsplice_available && w.vmsplice_ok();
+  pc.dma_available = pc.dma_available && cfg.dma_available;
+  return pc;
+}
+
+}  // namespace
+
+Engine::Engine(World& world, int rank)
+    : world_(world),
+      rank_(rank),
+      policy_(world.topology(), effective_policy(world, world.config())),
+      knem_dev_(world.arena(), world.knem_off(), rank, ::getpid()),
+      recv_q_(world.arena(), world.recv_q_off(rank)),
+      free_q_(world.arena(), world.free_q_off(rank)),
+      next_seq_(static_cast<std::size_t>(world.nranks()), 1) {
+  world.register_pid(rank, ::getpid());
+  backends_.resize(4);
+}
+
+Engine::~Engine() {
+  if (dma_channel_) dma_channel_->drain();
+  if (kthread_channel_) kthread_channel_->drain();
+}
+
+shm::DmaEngine& Engine::dma_channel() {
+  if (!dma_channel_) {
+    shm::DmaEngine::Config c;
+    c.use_nt = true;
+    c.pin_core = -1;  // Dedicated hardware: off the application cores.
+    dma_channel_ = std::make_unique<shm::DmaEngine>(c);
+  }
+  return *dma_channel_;
+}
+
+shm::DmaEngine& Engine::kthread_channel() {
+  if (!kthread_channel_) {
+    shm::DmaEngine::Config c;
+    c.use_nt = false;  // A kernel thread does a regular, cache-filling copy.
+    c.pin_core = world_.core_of(rank_);  // ...on the receive process core.
+    kthread_channel_ = std::make_unique<shm::DmaEngine>(c);
+  }
+  return *kthread_channel_;
+}
+
+lmt::Backend& Engine::backend_for(lmt::LmtKind kind) {
+  auto idx = static_cast<std::size_t>(kind);
+  NEMO_ASSERT(idx < backends_.size());
+  if (!backends_[idx]) backends_[idx] = lmt::make_backend(kind, *this);
+  return *backends_[idx];
+}
+
+lmt::LmtKind Engine::resolve_kind(std::size_t bytes, int dst,
+                                  bool collective) {
+  (void)collective;
+  lmt::LmtKind k = world_.config().lmt;
+  if (k == lmt::LmtKind::kAuto)
+    k = policy_.choose_kind(bytes, world_.core_of(rank_),
+                            world_.core_of(dst));
+  if ((k == lmt::LmtKind::kVmsplice || k == lmt::LmtKind::kVmspliceWritev) &&
+      !world_.vmsplice_ok())
+    k = lmt::LmtKind::kDefaultShm;
+  return k;
+}
+
+// --- Cell plumbing ----------------------------------------------------------
+
+Cell* Engine::try_get_cell() {
+  std::uint64_t off = free_q_.dequeue();
+  if (off == kNil) return nullptr;
+  return world_.arena().at_as<Cell>(off);
+}
+
+Cell* Engine::get_cell_blocking() {
+  for (;;) {
+    Cell* c = try_get_cell();
+    if (c != nullptr) return c;
+    // Our cells come back when receivers drain them; drain our own traffic
+    // meanwhile so the system cannot deadlock on cell exhaustion.
+    progress();
+    std::this_thread::yield();
+  }
+}
+
+void Engine::send_cell(int dst, Cell* cell) {
+  QueueView q(world_.arena(), world_.recv_q_off(dst));
+  q.enqueue(world_.arena().offset_of(cell));
+  stats_.cells_sent++;
+}
+
+void Engine::return_cell(Cell* cell) {
+  QueueView q(world_.arena(),
+              world_.free_q_off(static_cast<int>(cell->owner)));
+  q.enqueue(world_.arena().offset_of(cell));
+}
+
+bool Engine::try_send_ctrl(const PendingCtrl& pc) {
+  Cell* c = try_get_cell();
+  if (c == nullptr) return false;
+  c->src = static_cast<std::uint32_t>(rank_);
+  c->type = static_cast<std::uint16_t>(pc.type);
+  c->flags = static_cast<std::uint16_t>(pc.context);
+  c->tag = pc.tag;
+  c->msg_seq = pc.seq;
+  c->total_size = 0;
+  c->chunk_off = 0;
+  c->payload_len = 0;
+  if (pc.has_wire) {
+    std::memcpy(c->data(), &pc.wire, sizeof(pc.wire));
+    c->payload_len = sizeof(pc.wire);
+    c->total_size = pc.wire.total;
+  }
+  send_cell(pc.dst, c);
+  return true;
+}
+
+void Engine::send_ctrl(int dst, CellType type, std::uint32_t seq,
+                       const lmt::RtsWire* wire, int tag, int context) {
+  PendingCtrl pc;
+  pc.dst = dst;
+  pc.type = type;
+  pc.seq = seq;
+  pc.tag = tag;
+  pc.context = context;
+  pc.has_wire = wire != nullptr;
+  if (wire != nullptr) pc.wire = *wire;
+  if (!pending_ctrl_.empty() || !try_send_ctrl(pc))
+    pending_ctrl_.push_back(pc);
+}
+
+// --- Send path ---------------------------------------------------------------
+
+Request Engine::start_send(ConstSegmentList segs, int dst, int tag,
+                           bool collective, int context) {
+  NEMO_ASSERT(dst >= 0 && dst < nranks());
+  auto req = std::make_shared<RequestState>();
+  req->is_send = true;
+  std::size_t total = total_bytes(segs);
+  std::uint32_t seq = next_seq_[static_cast<std::size_t>(dst)]++;
+
+  bool eager;
+  if (dst == rank_) {
+    eager = true;  // Self sends always go through the (local) eager path.
+  } else if (world_.config().lmt == lmt::LmtKind::kAuto) {
+    eager = !policy_.use_lmt(total, collective);
+  } else {
+    eager = total <= world_.config().eager_threshold;
+  }
+
+  if (eager) {
+    std::size_t off = 0;
+    std::size_t seg_idx = 0, seg_off = 0;
+    bool first = true;
+    while (off < total || first) {
+      Cell* c = get_cell_blocking();
+      c->src = static_cast<std::uint32_t>(rank_);
+      c->type = static_cast<std::uint16_t>(first ? CellType::kEagerFirst
+                                                 : CellType::kEagerBody);
+      c->flags = static_cast<std::uint16_t>(context);
+      c->tag = tag;
+      c->msg_seq = seq;
+      c->total_size = total;
+      c->chunk_off = off;
+      // Gather into the cell payload.
+      std::size_t filled = 0;
+      while (filled < Cell::kPayload && off < total) {
+        const ConstSegment& s = segs[seg_idx];
+        std::size_t avail = s.len - seg_off;
+        if (avail == 0) {
+          ++seg_idx;
+          seg_off = 0;
+          continue;
+        }
+        std::size_t n = Cell::kPayload - filled;
+        if (avail < n) n = avail;
+        std::memcpy(c->data() + filled, s.base + seg_off, n);
+        filled += n;
+        seg_off += n;
+        off += n;
+      }
+      c->payload_len = static_cast<std::uint32_t>(filled);
+      send_cell(dst, c);
+      first = false;
+    }
+    stats_.eager_msgs_sent++;
+    stats_.bytes_sent += total;
+    req->complete = true;  // Payload is buffered in cells.
+    return req;
+  }
+
+  // Rendezvous.
+  lmt::LmtKind kind = resolve_kind(total, dst, collective);
+  auto ctx = std::make_unique<lmt::SendCtx>();
+  ctx->peer = dst;
+  ctx->tag = tag;
+  ctx->seq = seq;
+  ctx->segs = std::move(segs);
+  ctx->total = total;
+  lmt::Backend& b = backend_for(kind);
+  b.send_init(*ctx);
+
+  send_ctrl(dst, CellType::kRts, seq, &ctx->rts, tag, context);
+  Key key{dst, seq};
+  serial_sends_[dst].push_back(key);
+  sends_[key] = SendEntry{std::move(ctx), req, &b};
+  stats_.rndv_sent++;
+  stats_.bytes_sent += total;
+  stats_.rndv_by_kind[static_cast<std::size_t>(kind)]++;
+  return req;
+}
+
+// --- Recv path ---------------------------------------------------------------
+
+namespace {
+
+/// Scatter `len` bytes from `src` into `segs` starting at message offset
+/// `msg_off` (segments are walked from the beginning; O(nsegs), fine for the
+/// small lists datatypes produce).
+void scatter_at(std::span<const Segment> segs, std::size_t msg_off,
+                const std::byte* src, std::size_t len) {
+  std::size_t skip = msg_off;
+  std::size_t i = 0;
+  while (i < segs.size() && skip >= segs[i].len) {
+    skip -= segs[i].len;
+    ++i;
+  }
+  while (len > 0) {
+    NEMO_ASSERT(i < segs.size());
+    std::size_t room = segs[i].len - skip;
+    std::size_t n = len < room ? len : room;
+    std::memcpy(segs[i].base + skip, src, n);
+    src += n;
+    len -= n;
+    skip = 0;
+    ++i;
+  }
+}
+
+}  // namespace
+
+Request Engine::start_recv(SegmentList segs, int src, int tag, int context) {
+  NEMO_ASSERT(src == kAnySource || (src >= 0 && src < nranks()));
+  auto req = std::make_shared<RequestState>();
+  PostedRecv pr;
+  pr.src = src;
+  pr.tag = tag;
+  pr.context = context;
+  pr.capacity = total_bytes(segs);
+  pr.segs = std::move(segs);
+  pr.req = req;
+
+  std::unique_ptr<UnexpectedMsg> um = matcher_.post_recv(pr);
+  if (um == nullptr) return req;  // Queued; progress() completes it.
+
+  if (um->is_rndv) {
+    start_lmt_recv(um->src, um->tag, um->seq, um->rts, pr);
+    return req;
+  }
+
+  // Unexpected eager message.
+  NEMO_ASSERT_MSG(um->total <= pr.capacity,
+                  "message truncation: recv buffer too small");
+  if (um->eager_complete()) {
+    scatter_at(pr.segs, 0, um->data.data(), um->total);
+    req->complete = true;
+    req->info = RecvInfo{um->src, um->tag, um->total};
+    stats_.eager_msgs_recv++;
+    stats_.bytes_recv += um->total;
+  } else {
+    // Still arriving: bind the user buffer; copy the prefix received so far.
+    scatter_at(pr.segs, 0, um->data.data(), um->bytes_arrived);
+    BoundEager be;
+    be.segs = pr.segs;
+    be.total = um->total;
+    be.arrived = um->bytes_arrived;
+    be.req = req;
+    be.tag = um->tag;
+    bound_eager_[{um->src, um->seq}] = std::move(be);
+  }
+  return req;
+}
+
+void Engine::start_lmt_recv(int src, int tag, std::uint32_t seq,
+                            const lmt::RtsWire& rts, PostedRecv& pr) {
+  NEMO_ASSERT_MSG(rts.total <= pr.capacity,
+                  "message truncation: recv buffer too small");
+  auto kind = static_cast<lmt::LmtKind>(rts.kind);
+  auto ctx = std::make_unique<lmt::RecvCtx>();
+  ctx->peer = src;
+  ctx->tag = tag;
+  ctx->seq = seq;
+  ctx->segs = std::move(pr.segs);
+  ctx->total = rts.total;
+  ctx->rts = rts;
+
+  lmt::Backend& b = backend_for(kind);
+  b.recv_init(*ctx);
+  if (b.needs_cts()) {
+    send_ctrl(src, CellType::kCts, seq, nullptr, tag);
+    ctx->cts_sent = true;
+  }
+
+  Key key{src, seq};
+  if (kind == lmt::LmtKind::kKnem) {
+    knem_recvs_.push_back(key);
+  } else {
+    // Ring/pipe data is a per-pair FIFO by sender seq; keep the receive
+    // order aligned with the sender's by inserting seq-sorted.
+    auto& dq = serial_recvs_[src];
+    auto it = dq.begin();
+    while (it != dq.end() && it->second < seq) ++it;
+    dq.insert(it, key);
+  }
+  recvs_[key] = RecvEntry{std::move(ctx), pr.req, &b};
+  stats_.rndv_recv++;
+}
+
+// --- Progress ----------------------------------------------------------------
+
+void Engine::handle_eager(Cell* cell) {
+  int src = static_cast<int>(cell->src);
+  auto type = static_cast<CellType>(cell->type);
+  if (type == CellType::kEagerFirst) {
+    std::size_t total = cell->total_size;
+    std::unique_ptr<PostedRecv> pr = matcher_.match_incoming(
+        src, cell->tag, static_cast<int>(cell->flags));
+    if (pr != nullptr) {
+      NEMO_ASSERT_MSG(total <= pr->capacity,
+                      "message truncation: recv buffer too small");
+      scatter_at(pr->segs, 0, cell->data(), cell->payload_len);
+      if (cell->payload_len == total) {
+        pr->req->complete = true;
+        pr->req->info = RecvInfo{src, cell->tag, total};
+        stats_.eager_msgs_recv++;
+        stats_.bytes_recv += total;
+      } else {
+        BoundEager be;
+        be.segs = pr->segs;
+        be.total = total;
+        be.arrived = cell->payload_len;
+        be.req = pr->req;
+        be.tag = cell->tag;
+        bound_eager_[{src, cell->msg_seq}] = std::move(be);
+      }
+      return;
+    }
+    // Unexpected: buffer it.
+    auto um = std::make_unique<UnexpectedMsg>();
+    um->src = src;
+    um->tag = cell->tag;
+    um->context = static_cast<int>(cell->flags);
+    um->seq = cell->msg_seq;
+    um->is_rndv = false;
+    um->total = total;
+    um->data.resize(total);
+    std::memcpy(um->data.data(), cell->data(), cell->payload_len);
+    um->bytes_arrived = cell->payload_len;
+    matcher_.add_unexpected(std::move(um));
+    return;
+  }
+
+  // Continuation chunk: either bound to a user buffer already or still in
+  // the unexpected queue.
+  auto it = bound_eager_.find({src, cell->msg_seq});
+  if (it != bound_eager_.end()) {
+    BoundEager& be = it->second;
+    scatter_at(be.segs, cell->chunk_off, cell->data(), cell->payload_len);
+    be.arrived += cell->payload_len;
+    if (be.arrived == be.total) {
+      be.req->complete = true;
+      be.req->info = RecvInfo{src, be.tag, be.total};
+      stats_.eager_msgs_recv++;
+      stats_.bytes_recv += be.total;
+      bound_eager_.erase(it);
+    }
+    return;
+  }
+  UnexpectedMsg* um = matcher_.find_partial(src, cell->msg_seq);
+  NEMO_ASSERT_MSG(um != nullptr, "eager continuation without a first chunk");
+  std::memcpy(um->data.data() + cell->chunk_off, cell->data(),
+              cell->payload_len);
+  um->bytes_arrived += cell->payload_len;
+}
+
+void Engine::handle_rts(Cell* cell) {
+  int src = static_cast<int>(cell->src);
+  lmt::RtsWire rts;
+  NEMO_ASSERT(cell->payload_len == sizeof(rts));
+  std::memcpy(&rts, cell->data(), sizeof(rts));
+
+  std::unique_ptr<PostedRecv> pr = matcher_.match_incoming(
+      src, cell->tag, static_cast<int>(cell->flags));
+  if (pr != nullptr) {
+    start_lmt_recv(src, cell->tag, cell->msg_seq, rts, *pr);
+    return;
+  }
+  auto um = std::make_unique<UnexpectedMsg>();
+  um->src = src;
+  um->tag = cell->tag;
+  um->context = static_cast<int>(cell->flags);
+  um->seq = cell->msg_seq;
+  um->is_rndv = true;
+  um->rts = rts;
+  um->total = rts.total;
+  matcher_.add_unexpected(std::move(um));
+}
+
+void Engine::handle_cts(Cell* cell) {
+  auto it = sends_.find({static_cast<int>(cell->src), cell->msg_seq});
+  NEMO_ASSERT_MSG(it != sends_.end(), "CTS for unknown rendezvous");
+  it->second.ctx->cts_seen = true;
+}
+
+void Engine::handle_fin(Cell* cell) {
+  auto it = sends_.find({static_cast<int>(cell->src), cell->msg_seq});
+  NEMO_ASSERT_MSG(it != sends_.end(), "FIN for unknown rendezvous");
+  it->second.ctx->fin_seen = true;
+}
+
+void Engine::handle_cell(Cell* cell) {
+  switch (static_cast<CellType>(cell->type)) {
+    case CellType::kEagerFirst:
+    case CellType::kEagerBody:
+      handle_eager(cell);
+      break;
+    case CellType::kRts:
+      handle_rts(cell);
+      break;
+    case CellType::kCts:
+      handle_cts(cell);
+      break;
+    case CellType::kFin:
+      handle_fin(cell);
+      break;
+    case CellType::kBarrier:
+      NEMO_ASSERT_MSG(false, "barrier cells are not routed through engines");
+      break;
+  }
+}
+
+void Engine::complete_send(const Key& key) {
+  auto it = sends_.find(key);
+  NEMO_ASSERT(it != sends_.end());
+  it->second.backend->send_fin(*it->second.ctx);
+  it->second.req->complete = true;
+  sends_.erase(it);
+}
+
+void Engine::complete_recv(const Key& key) {
+  auto it = recvs_.find(key);
+  NEMO_ASSERT(it != recvs_.end());
+  RecvEntry& e = it->second;
+  if (e.backend->needs_fin())
+    send_ctrl(e.ctx->peer, CellType::kFin, e.ctx->seq, nullptr, e.ctx->tag);
+  e.req->complete = true;
+  e.req->info = RecvInfo{e.ctx->peer, e.ctx->tag, e.ctx->total};
+  stats_.bytes_recv += e.ctx->total;
+  recvs_.erase(it);
+}
+
+void Engine::progress_sends() {
+  for (auto& [dst, dq] : serial_sends_) {
+    while (!dq.empty()) {
+      Key key = dq.front();
+      auto it = sends_.find(key);
+      NEMO_ASSERT(it != sends_.end());
+      SendEntry& e = it->second;
+      lmt::SendCtx& ctx = *e.ctx;
+      if (e.backend->needs_cts() && !ctx.cts_seen) break;
+      if (!ctx.data_done) ctx.data_done = e.backend->send_progress(ctx);
+      if (lmt::send_complete(*e.backend, ctx)) {
+        complete_send(key);
+        dq.pop_front();
+        continue;  // Next transfer on this pair may proceed.
+      }
+      break;
+    }
+  }
+}
+
+void Engine::progress_recvs() {
+  for (auto& [src, dq] : serial_recvs_) {
+    while (!dq.empty()) {
+      Key key = dq.front();
+      auto it = recvs_.find(key);
+      NEMO_ASSERT(it != recvs_.end());
+      RecvEntry& e = it->second;
+      if (!e.ctx->data_done) e.ctx->data_done = e.backend->recv_progress(*e.ctx);
+      if (e.ctx->data_done) {
+        complete_recv(key);
+        dq.pop_front();
+        continue;
+      }
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < knem_recvs_.size();) {
+    Key key = knem_recvs_[i];
+    auto it = recvs_.find(key);
+    NEMO_ASSERT(it != recvs_.end());
+    RecvEntry& e = it->second;
+    if (!e.ctx->data_done) e.ctx->data_done = e.backend->recv_progress(*e.ctx);
+    if (e.ctx->data_done) {
+      complete_recv(key);
+      knem_recvs_[i] = knem_recvs_.back();
+      knem_recvs_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Engine::progress() {
+  if (in_progress_) return;
+  in_progress_ = true;
+
+  while (!pending_ctrl_.empty()) {
+    if (!try_send_ctrl(pending_ctrl_.front())) break;
+    pending_ctrl_.pop_front();
+  }
+
+  int budget = 256;
+  while (budget-- > 0) {
+    std::uint64_t off = recv_q_.dequeue();
+    if (off == kNil) break;
+    Cell* cell = world_.arena().at_as<Cell>(off);
+    handle_cell(cell);
+    return_cell(cell);
+  }
+
+  progress_sends();
+  progress_recvs();
+  in_progress_ = false;
+}
+
+void Engine::wait(const Request& req) {
+  NEMO_ASSERT(req != nullptr);
+  while (!req->complete) {
+    progress();
+    // Oversubscribed hosts (ranks > cores): let the peer run instead of
+    // burning the rest of the timeslice polling an empty queue.
+    if (!req->complete) std::this_thread::yield();
+  }
+}
+
+bool Engine::test(const Request& req) {
+  NEMO_ASSERT(req != nullptr);
+  if (!req->complete) progress();
+  return req->complete;
+}
+
+// ---------------------------------------------------------------------------
+// Comm
+// ---------------------------------------------------------------------------
+
+Comm::Comm(World& world, int rank) : engine_(world, rank) {}
+
+void Comm::send(const void* buf, std::size_t bytes, int dst, int tag,
+                int context) {
+  ConstSegmentList segs{{static_cast<const std::byte*>(buf), bytes}};
+  engine_.wait(engine_.start_send(std::move(segs), dst, tag,
+                                  /*collective=*/context != 0, context));
+}
+
+void Comm::recv(void* buf, std::size_t bytes, int src, int tag,
+                RecvInfo* info, int context) {
+  SegmentList segs{{static_cast<std::byte*>(buf), bytes}};
+  Request r = engine_.start_recv(std::move(segs), src, tag, context);
+  engine_.wait(r);
+  if (info != nullptr) *info = r->info;
+}
+
+Request Comm::isend(const void* buf, std::size_t bytes, int dst, int tag,
+                    int context) {
+  ConstSegmentList segs{{static_cast<const std::byte*>(buf), bytes}};
+  return engine_.start_send(std::move(segs), dst, tag,
+                            /*collective=*/context != 0, context);
+}
+
+Request Comm::irecv(void* buf, std::size_t bytes, int src, int tag,
+                    int context) {
+  SegmentList segs{{static_cast<std::byte*>(buf), bytes}};
+  return engine_.start_recv(std::move(segs), src, tag, context);
+}
+
+Request Comm::isendv(ConstSegmentList segs, int dst, int tag) {
+  return engine_.start_send(std::move(segs), dst, tag);
+}
+
+Request Comm::irecvv(SegmentList segs, int src, int tag) {
+  return engine_.start_recv(std::move(segs), src, tag);
+}
+
+void Comm::send_typed(const void* base, const Datatype& dt, std::size_t count,
+                      int dst, int tag) {
+  ConstSegmentList segs =
+      dt.map(static_cast<const std::byte*>(base), count);
+  engine_.wait(engine_.start_send(std::move(segs), dst, tag));
+}
+
+void Comm::recv_typed(void* base, const Datatype& dt, std::size_t count,
+                      int src, int tag) {
+  SegmentList segs = dt.map(static_cast<std::byte*>(base), count);
+  engine_.wait(engine_.start_recv(std::move(segs), src, tag));
+}
+
+void Comm::waitall(std::span<Request> reqs) {
+  for (auto& r : reqs) engine_.wait(r);
+}
+
+}  // namespace nemo::core

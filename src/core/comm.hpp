@@ -1,0 +1,362 @@
+// The nemo message-passing runtime: World (shared state set up before ranks
+// spawn), Engine (per-rank progress engine: eager path, matching, rendezvous
+// orchestration across LMT backends) and Comm (the public MPI-like API).
+#pragma once
+
+#include <sys/types.h>
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/common.hpp"
+#include "common/iovec.hpp"
+#include "common/topology.hpp"
+#include "core/datatype.hpp"
+#include "core/match.hpp"
+#include "knem/knem_device.hpp"
+#include "lmt/lmt.hpp"
+#include "lmt/policy.hpp"
+#include "shm/arena.hpp"
+#include "shm/copy_ring.hpp"
+#include "shm/dma_engine.hpp"
+#include "shm/nemesis_queue.hpp"
+#include "shm/pipes.hpp"
+
+namespace nemo::core {
+
+enum class LaunchMode { kThreads, kProcesses };
+
+struct Config {
+  int nranks = 2;
+  LaunchMode mode = LaunchMode::kThreads;
+
+  lmt::LmtKind lmt = lmt::LmtKind::kAuto;
+  lmt::KnemMode knem_mode = lmt::KnemMode::kSyncCopy;
+  lmt::PolicyConfig policy{};
+
+  /// Messages strictly larger than this leave the eager path. (The policy's
+  /// activation thresholds apply when lmt == kAuto; this is the hardwired
+  /// Nemesis 64 KiB default otherwise.)
+  std::size_t eager_threshold = 64 * KiB;
+
+  std::uint32_t cells_per_rank = 64;
+  std::uint32_t ring_bufs = shm::CopyRing::kDefaultBufs;
+  std::uint32_t ring_buf_bytes = shm::CopyRing::kDefaultBufBytes;
+
+  std::size_t arena_bytes = 0;        ///< 0 = auto.
+  std::size_t shared_pool_bytes = 32 * MiB;  ///< For Comm::shared_alloc.
+
+  /// rank -> core pinning (empty = no pinning). Also feeds the policy's
+  /// placement decisions.
+  std::vector<int> core_binding;
+
+  /// Machine description for the selection policy. Empty name = detect.
+  Topology topo{};
+
+  /// Model I/OAT presence (the software DMA channel).
+  bool dma_available = true;
+
+  std::string shm_name;  ///< Nonempty: shm_open-backed arena (else anon).
+};
+
+struct RecvInfo {
+  int src = -1;
+  int tag = -1;
+  std::size_t bytes = 0;
+};
+
+struct RequestState {
+  bool complete = false;
+  bool is_send = false;
+  RecvInfo info{};
+};
+using Request = std::shared_ptr<RequestState>;
+
+class Engine;
+
+/// All cross-rank shared state. Construct in the launcher before ranks
+/// spawn; ranks then build a Comm against it.
+class World {
+ public:
+  explicit World(Config cfg);
+
+  [[nodiscard]] int nranks() const { return cfg_.nranks; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+  [[nodiscard]] shm::Arena& arena() { return arena_; }
+  [[nodiscard]] shm::PipeMatrix& pipes() { return pipes_; }
+
+  [[nodiscard]] std::uint64_t recv_q_off(int rank) const {
+    return rank_queues_[static_cast<std::size_t>(rank)].recv_q;
+  }
+  [[nodiscard]] std::uint64_t free_q_off(int rank) const {
+    return rank_queues_[static_cast<std::size_t>(rank)].free_q;
+  }
+  [[nodiscard]] std::uint64_t ring_off(int src, int dst) const {
+    NEMO_ASSERT(src != dst);
+    return ring_offs_[static_cast<std::size_t>(src) *
+                          static_cast<std::size_t>(cfg_.nranks) +
+                      static_cast<std::size_t>(dst)];
+  }
+  [[nodiscard]] std::uint64_t knem_off() const { return knem_off_; }
+
+  /// Effective availability after probing the host.
+  [[nodiscard]] bool vmsplice_ok() const { return vmsplice_ok_; }
+  [[nodiscard]] bool cma_ok() const { return cma_ok_; }
+
+  [[nodiscard]] int core_of(int rank) const {
+    if (rank < 0 ||
+        static_cast<std::size_t>(rank) >= cfg_.core_binding.size())
+      return -1;
+    return cfg_.core_binding[static_cast<std::size_t>(rank)];
+  }
+
+  void register_pid(int rank, pid_t pid);
+  [[nodiscard]] pid_t pid_of(int rank) const;
+
+  /// Centralised shared-memory barrier across all ranks (bench phase sync;
+  /// distinct from Comm::barrier() which exercises the pt2pt path).
+  void hard_barrier();
+
+  /// Arena-backed allocation visible to every rank (MPI_Alloc_mem-like).
+  std::byte* shared_alloc(std::size_t bytes, std::size_t align = kCacheLine);
+
+ private:
+  Config cfg_;
+  Topology topo_;
+  shm::Arena arena_;
+  shm::PipeMatrix pipes_;
+  std::vector<shm::RankQueues> rank_queues_;
+  std::vector<std::uint64_t> ring_offs_;
+  std::uint64_t knem_off_ = 0;
+  std::uint64_t pid_table_off_ = 0;
+  std::uint64_t barrier_off_ = 0;
+  bool vmsplice_ok_ = false;
+  bool cma_ok_ = false;
+};
+
+/// Statistics a rank's engine gathers (used by benches and tests).
+struct EngineStats {
+  std::uint64_t eager_msgs_sent = 0;
+  std::uint64_t eager_msgs_recv = 0;
+  std::uint64_t rndv_sent = 0;
+  std::uint64_t rndv_recv = 0;
+  std::uint64_t cells_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_recv = 0;
+  std::array<std::uint64_t, 4> rndv_by_kind{};  ///< Indexed by LmtKind 0..3.
+};
+
+/// Per-rank progress engine. Single-threaded: every call happens on the
+/// owning rank's thread.
+class Engine {
+ public:
+  Engine(World& world, int rank);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] World& world() { return world_; }
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int nranks() const { return world_.nranks(); }
+  [[nodiscard]] const lmt::Policy& policy() const { return policy_; }
+  [[nodiscard]] knem::Device& knem_device() { return knem_dev_; }
+
+  /// The I/OAT-like channel: non-temporal, background, unpinned.
+  shm::DmaEngine& dma_channel();
+  /// The kernel-thread offload: cached copy, pinned to this rank's core.
+  shm::DmaEngine& kthread_channel();
+
+  Request start_send(ConstSegmentList segs, int dst, int tag,
+                     bool collective = false, int context = 0);
+  Request start_recv(SegmentList segs, int src, int tag, int context = 0);
+
+  void progress();
+  void wait(const Request& req);
+  bool test(const Request& req);
+
+  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+
+  /// Monotonic collective-instance counter (tag namespacing).
+  std::uint32_t bump_coll_seq() { return coll_seq_++; }
+
+  /// Resolve the LMT kind for a message (exposed for tests/benches).
+  lmt::LmtKind resolve_kind(std::size_t bytes, int dst, bool collective);
+
+ private:
+  friend class Comm;
+
+  using Key = std::pair<int, std::uint32_t>;  ///< (peer, seq).
+
+  struct PendingCtrl {
+    int dst;
+    shm::CellType type;
+    std::uint32_t seq;
+    lmt::RtsWire wire;
+    int tag;
+    int context;
+    bool has_wire;
+  };
+
+  /// Reassembly target for an eager message already matched to a user
+  /// buffer (posted before fully arrived).
+  struct BoundEager {
+    SegmentList segs;
+    std::size_t total = 0;
+    std::size_t arrived = 0;
+    Request req;
+    int tag = -1;
+  };
+
+  shm::Cell* try_get_cell();
+  shm::Cell* get_cell_blocking();
+  void send_cell(int dst, shm::Cell* cell);
+  void return_cell(shm::Cell* cell);
+  bool try_send_ctrl(const PendingCtrl& pc);
+  void send_ctrl(int dst, shm::CellType type, std::uint32_t seq,
+                 const lmt::RtsWire* wire, int tag, int context = 0);
+
+  void handle_cell(shm::Cell* cell);
+  void handle_eager(shm::Cell* cell);
+  void handle_rts(shm::Cell* cell);
+  void handle_cts(shm::Cell* cell);
+  void handle_fin(shm::Cell* cell);
+
+  void start_lmt_recv(int src, int tag, std::uint32_t seq,
+                      const lmt::RtsWire& rts, PostedRecv& pr);
+  void progress_sends();
+  void progress_recvs();
+  void complete_recv(const Key& key);
+  void complete_send(const Key& key);
+
+  lmt::Backend& backend_for(lmt::LmtKind kind);
+
+  World& world_;
+  int rank_;
+  lmt::Policy policy_;
+  knem::Device knem_dev_;
+  shm::QueueView recv_q_;
+  shm::QueueView free_q_;
+
+  std::unique_ptr<shm::DmaEngine> dma_channel_;
+  std::unique_ptr<shm::DmaEngine> kthread_channel_;
+
+  std::vector<std::unique_ptr<lmt::Backend>> backends_;  // by kind index
+
+  MatchEngine matcher_;
+  std::vector<std::uint32_t> next_seq_;  ///< Per destination.
+  std::map<std::pair<int, std::uint32_t>, BoundEager> bound_eager_;
+
+  // Rendezvous registries.
+  struct SendEntry {
+    std::unique_ptr<lmt::SendCtx> ctx;
+    Request req;
+    lmt::Backend* backend = nullptr;
+  };
+  struct RecvEntry {
+    std::unique_ptr<lmt::RecvCtx> ctx;
+    Request req;
+    lmt::Backend* backend = nullptr;
+  };
+  std::map<Key, SendEntry> sends_;
+  std::map<Key, RecvEntry> recvs_;
+  std::map<int, std::deque<Key>> serial_sends_;  ///< Per dst, FIFO.
+  std::map<int, std::deque<Key>> serial_recvs_;  ///< Per src, seq-sorted.
+  std::vector<Key> knem_recvs_;
+
+  std::deque<PendingCtrl> pending_ctrl_;
+  EngineStats stats_;
+  bool in_progress_ = false;
+  std::uint32_t coll_seq_ = 0;
+};
+
+/// Public communicator handle for one rank.
+class Comm {
+ public:
+  Comm(World& world, int rank);
+
+  [[nodiscard]] int rank() const { return engine_.rank(); }
+  [[nodiscard]] int size() const { return engine_.nranks(); }
+  [[nodiscard]] World& world() { return engine_.world(); }
+  [[nodiscard]] Engine& engine() { return engine_; }
+
+  // --- Point-to-point -----------------------------------------------------
+  void send(const void* buf, std::size_t bytes, int dst, int tag,
+            int context = 0);
+  void recv(void* buf, std::size_t bytes, int src, int tag,
+            RecvInfo* info = nullptr, int context = 0);
+
+  Request isend(const void* buf, std::size_t bytes, int dst, int tag,
+                int context = 0);
+  Request irecv(void* buf, std::size_t bytes, int src, int tag,
+                int context = 0);
+
+  /// Scatter/gather variants (noncontiguous buffers).
+  Request isendv(ConstSegmentList segs, int dst, int tag);
+  Request irecvv(SegmentList segs, int src, int tag);
+
+  /// Typed variants lower the datatype to segments (single-copy capable
+  /// backends transfer them without packing).
+  void send_typed(const void* base, const Datatype& dt, std::size_t count,
+                  int dst, int tag);
+  void recv_typed(void* base, const Datatype& dt, std::size_t count, int src,
+                  int tag);
+
+  void wait(const Request& req) { engine_.wait(req); }
+  bool test(const Request& req) { return engine_.test(req); }
+  void waitall(std::span<Request> reqs);
+
+  // --- Collectives ----------------------------------------------------------
+  void barrier();
+  void bcast(void* buf, std::size_t bytes, int root);
+  void gather(const void* sendbuf, std::size_t per_rank, void* recvbuf,
+              int root);
+  void scatter(const void* sendbuf, std::size_t per_rank, void* recvbuf,
+               int root);
+  void allgather(const void* sendbuf, std::size_t per_rank, void* recvbuf);
+  void alltoall(const void* sendbuf, std::size_t per_rank, void* recvbuf);
+  void alltoallv(const void* sendbuf, const std::size_t* scounts,
+                 const std::size_t* sdispls, void* recvbuf,
+                 const std::size_t* rcounts, const std::size_t* rdispls);
+
+  enum class ReduceOp { kSum, kMin, kMax };
+  /// Element type selected by tag dispatch below.
+  void reduce_f64(const double* in, double* out, std::size_t n, ReduceOp op,
+                  int root);
+  void allreduce_f64(const double* in, double* out, std::size_t n,
+                     ReduceOp op);
+  void reduce_i64(const std::int64_t* in, std::int64_t* out, std::size_t n,
+                  ReduceOp op, int root);
+  void allreduce_i64(const std::int64_t* in, std::int64_t* out, std::size_t n,
+                     ReduceOp op);
+
+  // --- Utilities ------------------------------------------------------------
+  std::byte* shared_alloc(std::size_t bytes, std::size_t align = kCacheLine) {
+    return engine_.world().shared_alloc(bytes, align);
+  }
+  void hard_barrier() { engine_.world().hard_barrier(); }
+
+ private:
+  template <typename T, typename OpFn>
+  void reduce_impl(const T* in, T* out, std::size_t n, OpFn op, int root,
+                   int tag_base);
+  template <typename T, typename OpFn>
+  void allreduce_impl(const T* in, T* out, std::size_t n, OpFn op,
+                      int tag_base);
+
+  Engine engine_;
+};
+
+/// Launch `cfg.nranks` ranks (threads or forked processes per cfg.mode), run
+/// `fn(comm)` on each, and tear the world down. Throws on any rank failure
+/// in thread mode; returns false on child failure in process mode.
+bool run(const Config& cfg, const std::function<void(Comm&)>& fn);
+
+}  // namespace nemo::core

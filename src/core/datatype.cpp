@@ -1,0 +1,103 @@
+#include "core/datatype.hpp"
+
+#include <cstring>
+
+#include "common/common.hpp"
+
+namespace nemo::core {
+
+Datatype::Datatype(std::size_t blocks, std::size_t blocklen,
+                   std::size_t stride)
+    : blocks_(blocks), blocklen_(blocklen), stride_(stride) {
+  NEMO_ASSERT(blocks >= 1);
+  NEMO_ASSERT(stride >= blocklen);
+  size_ = blocks_ * blocklen_;
+  extent_ = (blocks_ - 1) * stride_ + blocklen_;
+}
+
+Datatype Datatype::contiguous(std::size_t bytes) {
+  NEMO_ASSERT(bytes > 0);
+  return Datatype(1, bytes, bytes);
+}
+
+Datatype Datatype::vector(std::size_t count, std::size_t blocklen,
+                          std::size_t stride) {
+  NEMO_ASSERT(count >= 1 && blocklen >= 1);
+  return Datatype(count, blocklen, stride);
+}
+
+namespace {
+
+template <typename Seg, typename Byte>
+std::vector<Seg> map_impl(Byte* base, std::size_t count, std::size_t blocks,
+                          std::size_t blocklen, std::size_t stride,
+                          std::size_t extent) {
+  std::vector<Seg> out;
+  bool contig = (blocks == 1 || blocklen == stride);
+  if (contig) {
+    // One run per element unless elements themselves abut.
+    std::size_t elem_bytes = blocks * blocklen;
+    if (elem_bytes == extent || count == 1) {
+      // Packed array of elements -> single segment... but only when
+      // consecutive elements touch (extent == element bytes).
+      if (elem_bytes == extent) {
+        out.push_back(Seg{base, elem_bytes * count});
+        return out;
+      }
+      out.push_back(Seg{base, elem_bytes});
+      return out;
+    }
+    for (std::size_t e = 0; e < count; ++e)
+      out.push_back(Seg{base + e * extent, elem_bytes});
+    return out;
+  }
+  out.reserve(count * blocks);
+  for (std::size_t e = 0; e < count; ++e) {
+    Byte* eb = base + e * extent;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      Byte* p = eb + b * stride;
+      // Merge with the previous segment when adjacent.
+      if (!out.empty() && out.back().base + out.back().len == p)
+        out.back().len += blocklen;
+      else
+        out.push_back(Seg{p, blocklen});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SegmentList Datatype::map(std::byte* base, std::size_t count) const {
+  return map_impl<Segment>(base, count, blocks_, blocklen_, stride_, extent_);
+}
+
+ConstSegmentList Datatype::map(const std::byte* base,
+                               std::size_t count) const {
+  return map_impl<ConstSegment>(base, count, blocks_, blocklen_, stride_,
+                                extent_);
+}
+
+void Datatype::pack(const std::byte* base, std::size_t count,
+                    std::byte* out) const {
+  for (std::size_t e = 0; e < count; ++e) {
+    const std::byte* eb = base + e * extent_;
+    for (std::size_t b = 0; b < blocks_; ++b) {
+      std::memcpy(out, eb + b * stride_, blocklen_);
+      out += blocklen_;
+    }
+  }
+}
+
+void Datatype::unpack(const std::byte* in, std::size_t count,
+                      std::byte* base) const {
+  for (std::size_t e = 0; e < count; ++e) {
+    std::byte* eb = base + e * extent_;
+    for (std::size_t b = 0; b < blocks_; ++b) {
+      std::memcpy(eb + b * stride_, in, blocklen_);
+      in += blocklen_;
+    }
+  }
+}
+
+}  // namespace nemo::core

@@ -1,0 +1,53 @@
+// Minimal MPI-style datatypes: contiguous blocks and strided vectors, plus
+// lowering to segment lists. KNEM cookies take the segment lists directly
+// ("vectorial buffers", one of KNEM's advantages over LiMIC2 per §5).
+#pragma once
+
+#include <cstddef>
+
+#include "common/iovec.hpp"
+
+namespace nemo::core {
+
+class Datatype {
+ public:
+  /// `bytes` contiguous bytes per element.
+  static Datatype contiguous(std::size_t bytes);
+
+  /// `count` blocks of `blocklen` bytes, placed `stride` bytes apart
+  /// (stride >= blocklen). Extent is (count-1)*stride + blocklen.
+  static Datatype vector(std::size_t count, std::size_t blocklen,
+                         std::size_t stride);
+
+  /// Packed payload bytes of one element.
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Memory footprint of one element (distance between consecutive
+  /// elements in an array of this type).
+  [[nodiscard]] std::size_t extent() const { return extent_; }
+
+  [[nodiscard]] bool is_contiguous() const {
+    return blocks_ == 1 || blocklen_ == stride_;
+  }
+
+  /// Lower `count` elements at `base` to a segment list. Adjacent segments
+  /// are merged.
+  [[nodiscard]] SegmentList map(std::byte* base, std::size_t count) const;
+  [[nodiscard]] ConstSegmentList map(const std::byte* base,
+                                     std::size_t count) const;
+
+  /// Pack `count` elements from `base` into `out` (out must hold
+  /// size()*count bytes); unpack is the inverse.
+  void pack(const std::byte* base, std::size_t count, std::byte* out) const;
+  void unpack(const std::byte* in, std::size_t count, std::byte* base) const;
+
+ private:
+  Datatype(std::size_t blocks, std::size_t blocklen, std::size_t stride);
+  std::size_t blocks_;
+  std::size_t blocklen_;
+  std::size_t stride_;
+  std::size_t size_;
+  std::size_t extent_;
+};
+
+}  // namespace nemo::core

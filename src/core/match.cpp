@@ -1,0 +1,43 @@
+#include "core/match.hpp"
+
+namespace nemo::core {
+
+std::unique_ptr<UnexpectedMsg> MatchEngine::post_recv(PostedRecv& pr) {
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (matches(pr.src, pr.tag, pr.context, (*it)->src, (*it)->tag,
+                (*it)->context)) {
+      std::unique_ptr<UnexpectedMsg> um = std::move(*it);
+      unexpected_.erase(it);
+      return um;
+    }
+  }
+  posted_.push_back(std::make_unique<PostedRecv>(std::move(pr)));
+  return nullptr;
+}
+
+std::unique_ptr<PostedRecv> MatchEngine::match_incoming(int src, int tag,
+                                                        int context) {
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (matches((*it)->src, (*it)->tag, (*it)->context, src, tag, context)) {
+      std::unique_ptr<PostedRecv> pr = std::move(*it);
+      posted_.erase(it);
+      return pr;
+    }
+  }
+  return nullptr;
+}
+
+void MatchEngine::add_unexpected(std::unique_ptr<UnexpectedMsg> um) {
+  unexpected_.push_back(std::move(um));
+}
+
+UnexpectedMsg* MatchEngine::find_partial(int src, std::uint32_t seq) {
+  for (auto& um : unexpected_) {
+    if (!um->is_rndv && um->src == src && um->seq == seq &&
+        !um->eager_complete())
+      return um.get();
+  }
+  return nullptr;
+}
+
+}  // namespace nemo::core

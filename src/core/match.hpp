@@ -1,0 +1,88 @@
+// MPI-style message matching: posted-receive queue and unexpected-message
+// queue with wildcard source/tag, FIFO within a matching class so the MPI
+// non-overtaking rule holds (cells from one sender arrive in order, and both
+// queues are scanned oldest-first).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/iovec.hpp"
+#include "lmt/lmt.hpp"
+
+namespace nemo::core {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct RequestState;
+
+/// A receive the application has posted but that has no matching message yet.
+struct PostedRecv {
+  int src = kAnySource;
+  int tag = kAnyTag;
+  int context = 0;  ///< 0 = user pt2pt, 1 = internal collective traffic.
+  SegmentList segs;          ///< Destination buffer.
+  std::size_t capacity = 0;  ///< total_bytes(segs).
+  std::shared_ptr<RequestState> req;
+};
+
+/// A message that arrived before its receive was posted. Either an eager
+/// payload (possibly still being reassembled) or a rendezvous RTS.
+struct UnexpectedMsg {
+  int src = -1;
+  int tag = -1;
+  int context = 0;
+  std::uint32_t seq = 0;
+  bool is_rndv = false;
+
+  // Eager: buffered payload.
+  std::vector<std::byte> data;
+  std::size_t bytes_arrived = 0;
+  std::size_t total = 0;
+  [[nodiscard]] bool eager_complete() const { return bytes_arrived == total; }
+
+  // Rendezvous: the RTS wire cookie.
+  lmt::RtsWire rts{};
+};
+
+[[nodiscard]] inline bool matches(int want_src, int want_tag,
+                                  int want_context, int src, int tag,
+                                  int context) {
+  // Context is never a wildcard: internal collective traffic must not be
+  // visible to user-level wildcard receives.
+  return want_context == context &&
+         (want_src == kAnySource || want_src == src) &&
+         (want_tag == kAnyTag || want_tag == tag);
+}
+
+class MatchEngine {
+ public:
+  /// Post a receive: first scan unexpected (oldest first); if found, the
+  /// unexpected entry is removed and returned and `pr` is left untouched.
+  /// Otherwise `pr` is consumed (queued).
+  std::unique_ptr<UnexpectedMsg> post_recv(PostedRecv& pr);
+
+  /// An incoming envelope (eager-first or RTS): match against posted recvs
+  /// (oldest first). Returns the posted recv if matched.
+  std::unique_ptr<PostedRecv> match_incoming(int src, int tag, int context);
+
+  /// Queue an unexpected message.
+  void add_unexpected(std::unique_ptr<UnexpectedMsg> um);
+
+  /// Find an unexpected eager message still being reassembled.
+  UnexpectedMsg* find_partial(int src, std::uint32_t seq);
+
+  [[nodiscard]] std::size_t posted_count() const { return posted_.size(); }
+  [[nodiscard]] std::size_t unexpected_count() const {
+    return unexpected_.size();
+  }
+
+ private:
+  std::deque<std::unique_ptr<PostedRecv>> posted_;
+  std::deque<std::unique_ptr<UnexpectedMsg>> unexpected_;
+};
+
+}  // namespace nemo::core

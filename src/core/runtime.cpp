@@ -1,0 +1,63 @@
+// Rank launchers: threads sharing the world's anonymous mapping, or forked
+// processes inheriting it — the same arena layout either way.
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/comm.hpp"
+#include "shm/process_runner.hpp"
+
+namespace nemo::core {
+
+namespace {
+
+void rank_body(World& world, int rank, const std::function<void(Comm&)>& fn) {
+  int core = world.core_of(rank);
+  if (core >= 0) shm::pin_self_to_core(core);
+  Comm comm(world, rank);
+  // All pids registered / engines live before any traffic flows.
+  world.hard_barrier();
+  fn(comm);
+  // Drain in-flight protocol traffic (returns peers' cells) before teardown.
+  comm.barrier();
+  world.hard_barrier();
+}
+
+}  // namespace
+
+bool run(const Config& cfg, const std::function<void(Comm&)>& fn) {
+  World world(cfg);
+
+  if (cfg.mode == LaunchMode::kProcesses) {
+    shm::ProcessResult res = shm::run_forked_ranks(cfg.nranks, [&](int rank) {
+      rank_body(world, rank, fn);
+      return 0;
+    });
+    return res.all_ok;
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(cfg.nranks));
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  for (int r = 0; r < cfg.nranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        rank_body(world, r, fn);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+        // A dead rank would hang its peers in barriers; abort loudly
+        // instead of deadlocking the test suite.
+        std::fprintf(stderr, "rank %d failed; aborting world\n", r);
+        std::abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return true;
+}
+
+}  // namespace nemo::core

@@ -1,0 +1,69 @@
+#include "counters/papi_lite.hpp"
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace nemo::counters {
+
+namespace {
+
+int open_counter(std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 0;
+  attr.exclude_hv = 1;
+  return static_cast<int>(
+      ::syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+std::uint64_t read_counter(int fd) {
+  if (fd < 0) return 0;
+  std::uint64_t v = 0;
+  if (::read(fd, &v, sizeof(v)) != static_cast<ssize_t>(sizeof(v))) return 0;
+  return v;
+}
+
+}  // namespace
+
+HwCounters::HwCounters() {
+  fd_misses_ = open_counter(PERF_COUNT_HW_CACHE_MISSES);
+  if (fd_misses_ >= 0) fd_refs_ = open_counter(PERF_COUNT_HW_CACHE_REFERENCES);
+}
+
+HwCounters::~HwCounters() {
+  if (fd_misses_ >= 0) ::close(fd_misses_);
+  if (fd_refs_ >= 0) ::close(fd_refs_);
+}
+
+void HwCounters::start() {
+  if (fd_misses_ < 0) return;
+  ::ioctl(fd_misses_, PERF_EVENT_IOC_RESET, 0);
+  ::ioctl(fd_misses_, PERF_EVENT_IOC_ENABLE, 0);
+  if (fd_refs_ >= 0) {
+    ::ioctl(fd_refs_, PERF_EVENT_IOC_RESET, 0);
+    ::ioctl(fd_refs_, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+void HwCounters::stop() {
+  if (fd_misses_ < 0) return;
+  ::ioctl(fd_misses_, PERF_EVENT_IOC_DISABLE, 0);
+  misses_ = read_counter(fd_misses_);
+  if (fd_refs_ >= 0) {
+    ::ioctl(fd_refs_, PERF_EVENT_IOC_DISABLE, 0);
+    refs_ = read_counter(fd_refs_);
+  }
+}
+
+std::uint64_t HwCounters::cache_misses() const { return misses_; }
+std::uint64_t HwCounters::cache_refs() const { return refs_; }
+
+}  // namespace nemo::counters

@@ -1,0 +1,40 @@
+// PAPI-lite: the small counter facade the paper uses PAPI for (Table 2).
+//
+// Two sources:
+//  - HwCounters: real hardware cache-miss counters via perf_event_open.
+//    Containers and locked-down kernels frequently forbid this; the class
+//    degrades to unavailable rather than failing.
+//  - Sim counters come straight from sim::CacheSystem (deterministic) and
+//    are what EXPERIMENTS.md reports for Table 2.
+#pragma once
+
+#include <cstdint>
+
+namespace nemo::counters {
+
+class HwCounters {
+ public:
+  HwCounters();
+  ~HwCounters();
+  HwCounters(const HwCounters&) = delete;
+  HwCounters& operator=(const HwCounters&) = delete;
+
+  /// False when perf_event_open is unavailable (EPERM/ENOSYS/...).
+  [[nodiscard]] bool available() const { return fd_misses_ >= 0; }
+
+  void start();
+  void stop();
+
+  /// LLC miss count between the last start()/stop() pair (0 if unavailable).
+  [[nodiscard]] std::uint64_t cache_misses() const;
+  /// LLC references, for context.
+  [[nodiscard]] std::uint64_t cache_refs() const;
+
+ private:
+  int fd_misses_ = -1;
+  int fd_refs_ = -1;
+  std::uint64_t misses_ = 0;
+  std::uint64_t refs_ = 0;
+};
+
+}  // namespace nemo::counters

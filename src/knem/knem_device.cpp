@@ -1,0 +1,305 @@
+#include "knem/knem_device.hpp"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <thread>
+
+namespace nemo::knem {
+
+using shm::aref;
+using shm::kNil;
+
+const char* to_string(KnemResult r) {
+  switch (r) {
+    case KnemResult::kOk: return "ok";
+    case KnemResult::kBadCookie: return "bad-cookie";
+    case KnemResult::kTruncated: return "truncated";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::size_t kPage = 4096;
+
+std::uint64_t pages_touched(std::uint64_t addr, std::uint64_t len) {
+  if (len == 0) return 0;
+  std::uint64_t first = addr / kPage;
+  std::uint64_t last = (addr + len - 1) / kPage;
+  return last - first + 1;
+}
+
+void stat_add(std::uint64_t& field, std::uint64_t v) {
+  aref(field).fetch_add(v, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::uint64_t Device::create(shm::Arena& arena, std::uint32_t nslots,
+                             std::uint32_t nblocks) {
+  NEMO_ASSERT(nslots >= 1);
+  std::uint64_t off = arena.alloc(sizeof(DeviceState), kCacheLine);
+  auto* st = arena.at_as<DeviceState>(off);
+  std::memset(st, 0, sizeof(*st));
+  st->nslots = nslots;
+  st->nblocks = nblocks;
+  st->gen = 1;
+  st->slots_off = arena.alloc(sizeof(CookieSlot) * nslots, kCacheLine);
+  std::memset(arena.at(st->slots_off), 0, sizeof(CookieSlot) * nslots);
+  st->block_free = kNil;
+  if (nblocks > 0) {
+    st->blocks_off = arena.alloc(sizeof(SegBlock) * nblocks, kCacheLine);
+    // Thread the freelist through the blocks.
+    for (std::uint32_t i = 0; i < nblocks; ++i) {
+      auto* b = arena.at_as<SegBlock>(st->blocks_off + i * sizeof(SegBlock));
+      b->nsegs = 0;
+      b->next = st->block_free;
+      st->block_free = st->blocks_off + i * sizeof(SegBlock);
+    }
+  }
+  return off;
+}
+
+Device::Device(shm::Arena& arena, std::uint64_t state_off, int my_rank,
+               pid_t my_pid)
+    : arena_(&arena),
+      st_(arena.at_as<DeviceState>(state_off)),
+      rank_(my_rank),
+      pid_(my_pid) {}
+
+CookieSlot* Device::slot_at(std::uint32_t i) const {
+  return arena_->at_as<CookieSlot>(st_->slots_off + i * sizeof(CookieSlot));
+}
+
+SegBlock* Device::block_at(std::uint64_t off) const {
+  return arena_->at_as<SegBlock>(off);
+}
+
+std::uint64_t Device::pop_block() {
+  // Short critical section protected by a shared spinlock; extension blocks
+  // are only needed for >kInlineSegs-segment buffers, so contention is rare.
+  auto lock = aref(st_->block_lock);
+  while (lock.exchange(1, std::memory_order_acquire) != 0) {
+  }
+  std::uint64_t head = st_->block_free;
+  if (head != kNil) st_->block_free = block_at(head)->next;
+  lock.store(0, std::memory_order_release);
+  return head;
+}
+
+void Device::push_block(std::uint64_t off) {
+  auto lock = aref(st_->block_lock);
+  while (lock.exchange(1, std::memory_order_acquire) != 0) {
+  }
+  block_at(off)->next = st_->block_free;
+  st_->block_free = off;
+  lock.store(0, std::memory_order_release);
+}
+
+std::uint64_t Device::submit_send(std::span<const ConstSegment> segs) {
+  // Claim a free slot.
+  CookieSlot* slot = nullptr;
+  std::uint32_t idx = 0;
+  for (std::uint32_t i = 0; i < st_->nslots; ++i) {
+    CookieSlot* s = slot_at(i);
+    std::uint64_t expected = 0;
+    if (aref(s->state).compare_exchange_strong(expected, 1,
+                                               std::memory_order_acq_rel)) {
+      slot = s;
+      idx = i;
+      break;
+    }
+  }
+  NEMO_ASSERT_MSG(slot != nullptr,
+                  "KNEM cookie table full: raise nslots or release cookies");
+
+  std::uint64_t gen = aref(st_->gen).fetch_add(1, std::memory_order_relaxed);
+  slot->id = (gen << 20) | (idx + 1);
+  slot->owner_pid = static_cast<std::int32_t>(pid_);
+  slot->owner_rank = static_cast<std::uint32_t>(rank_);
+  slot->flags = 0;
+  slot->more = kNil;
+
+  std::uint64_t total = 0, pinned = 0;
+  std::uint32_t n = 0;
+  SegBlock* cur_block = nullptr;
+  for (const auto& seg : segs) {
+    if (seg.len == 0) continue;
+    shm::RemoteSegment rs{reinterpret_cast<std::uint64_t>(seg.base), seg.len};
+    total += seg.len;
+    pinned += pages_touched(rs.addr, rs.len);
+    if (n < kInlineSegs) {
+      slot->inline_segs[n] = rs;
+    } else {
+      std::uint32_t in_block = (n - kInlineSegs) % kBlockSegs;
+      if (in_block == 0) {
+        std::uint64_t boff = pop_block();
+        NEMO_ASSERT_MSG(boff != kNil, "KNEM segment-block pool exhausted");
+        SegBlock* b = block_at(boff);
+        b->next = kNil;
+        b->nsegs = 0;
+        if (cur_block == nullptr)
+          slot->more = boff;
+        else
+          cur_block->next = boff;
+        cur_block = b;
+      }
+      cur_block->segs[in_block] = rs;
+      cur_block->nsegs = in_block + 1;
+    }
+    ++n;
+  }
+  slot->nsegs = n;
+  slot->total_bytes = total;
+  slot->pinned_pages = pinned;
+
+  stat_add(st_->stats.send_cmds, 1);
+  stat_add(st_->stats.pages_pinned, pinned);
+
+  // Publish: the id becomes visible to other ranks only after the segment
+  // data is written.
+  aref(slot->state).store(2, std::memory_order_release);
+  return slot->id;
+}
+
+const CookieSlot* Device::find(std::uint64_t cookie_id) const {
+  if (cookie_id == 0) return nullptr;
+  std::uint32_t idx = static_cast<std::uint32_t>(cookie_id & 0xfffff) - 1;
+  if (idx >= st_->nslots) return nullptr;
+  const CookieSlot* s = slot_at(idx);
+  if (aref(const_cast<std::uint64_t&>(s->state))
+          .load(std::memory_order_acquire) != 2)
+    return nullptr;
+  if (s->id != cookie_id) return nullptr;
+  return s;
+}
+
+void Device::free_chain(CookieSlot* s) {
+  std::uint64_t b = s->more;
+  while (b != kNil) {
+    std::uint64_t next = block_at(b)->next;
+    push_block(b);
+    b = next;
+  }
+  s->more = kNil;
+}
+
+void Device::release(std::uint64_t cookie_id) {
+  const CookieSlot* cs = find(cookie_id);
+  if (cs == nullptr) {
+    stat_add(st_->stats.cookie_leaks, 1);
+    return;
+  }
+  auto* s = const_cast<CookieSlot*>(cs);
+  free_chain(s);
+  s->id = 0;
+  aref(s->state).store(0, std::memory_order_release);
+}
+
+std::optional<Device::Resolved> Device::resolve(
+    std::uint64_t cookie_id) const {
+  const CookieSlot* s = find(cookie_id);
+  if (s == nullptr) return std::nullopt;
+  Resolved r;
+  r.pid = s->owner_pid;
+  r.owner_rank = s->owner_rank;
+  r.total = s->total_bytes;
+  r.segs.reserve(s->nsegs);
+  std::uint32_t n = s->nsegs < kInlineSegs ? s->nsegs : kInlineSegs;
+  for (std::uint32_t i = 0; i < n; ++i) r.segs.push_back(s->inline_segs[i]);
+  std::uint64_t b = s->more;
+  while (b != kNil) {
+    SegBlock* blk = block_at(b);
+    for (std::uint32_t i = 0; i < blk->nsegs; ++i)
+      r.segs.push_back(blk->segs[i]);
+    b = blk->next;
+  }
+
+  // Copy-mode decision: same process -> direct; every byte inside the shared
+  // arena (identical base across forked ranks) -> direct; otherwise CMA.
+  bool same_pid = (r.pid == pid_);
+  bool all_in_arena = true;
+  for (const auto& seg : r.segs)
+    if (!arena_->contains(reinterpret_cast<const void*>(seg.addr), seg.len))
+      all_in_arena = false;
+  r.mode = (same_pid || all_in_arena) ? shm::RemoteMode::kDirect
+                                      : shm::RemoteMode::kCma;
+  return r;
+}
+
+KnemResult Device::recv_sync(std::uint64_t cookie_id,
+                             std::span<const Segment> local,
+                             std::uint32_t flags, shm::DmaEngine* engine) {
+  auto r = resolve(cookie_id);
+  if (!r) return KnemResult::kBadCookie;
+  std::size_t cap = 0;
+  for (const auto& seg : local) cap += seg.len;
+  if (cap < r->total) return KnemResult::kTruncated;
+
+  stat_add(st_->stats.recv_cmds, 1);
+  if ((flags & kFlagDma) != 0 && engine != nullptr) {
+    stat_add(st_->stats.dma_recv_cmds, 1);
+    // Synchronous I/OAT mode: submit, then poll the status byte before
+    // returning to "user space".
+    volatile std::uint8_t status =
+        static_cast<std::uint8_t>(shm::DmaStatus::kPending);
+    SegmentList loc(local.begin(), local.end());
+    engine->submit_copy_with_status(shm::RemoteMemPort(r->mode, r->pid),
+                                    r->segs, std::move(loc), &status);
+    while (status == static_cast<std::uint8_t>(shm::DmaStatus::kPending))
+      std::this_thread::yield();
+    std::atomic_thread_fence(std::memory_order_acquire);
+  } else {
+    // CPU copy on the calling (receiver) core.
+    shm::RemoteMemPort port(r->mode, r->pid);
+    port.read(r->segs, local, /*non_temporal=*/false);
+  }
+  stat_add(st_->stats.bytes_copied, r->total);
+  return KnemResult::kOk;
+}
+
+KnemResult Device::recv_async(std::uint64_t cookie_id, SegmentList local,
+                              std::uint32_t flags, shm::DmaEngine& engine,
+                              volatile std::uint8_t* status) {
+  auto r = resolve(cookie_id);
+  if (!r) return KnemResult::kBadCookie;
+  std::size_t cap = 0;
+  for (const auto& seg : local) cap += seg.len;
+  if (cap < r->total) return KnemResult::kTruncated;
+
+  stat_add(st_->stats.recv_cmds, 1);
+  stat_add(st_->stats.async_recv_cmds, 1);
+  if ((flags & kFlagDma) != 0) stat_add(st_->stats.dma_recv_cmds, 1);
+  *status = static_cast<std::uint8_t>(shm::DmaStatus::kPending);
+  engine.submit_copy_with_status(shm::RemoteMemPort(r->mode, r->pid), r->segs,
+                                 std::move(local), status);
+  stat_add(st_->stats.bytes_copied, r->total);
+  return KnemResult::kOk;
+}
+
+DeviceStats Device::stats() const {
+  DeviceStats out;
+  out.send_cmds = aref(st_->stats.send_cmds).load(std::memory_order_relaxed);
+  out.recv_cmds = aref(st_->stats.recv_cmds).load(std::memory_order_relaxed);
+  out.dma_recv_cmds =
+      aref(st_->stats.dma_recv_cmds).load(std::memory_order_relaxed);
+  out.async_recv_cmds =
+      aref(st_->stats.async_recv_cmds).load(std::memory_order_relaxed);
+  out.bytes_copied =
+      aref(st_->stats.bytes_copied).load(std::memory_order_relaxed);
+  out.pages_pinned =
+      aref(st_->stats.pages_pinned).load(std::memory_order_relaxed);
+  out.cookie_leaks =
+      aref(st_->stats.cookie_leaks).load(std::memory_order_relaxed);
+  return out;
+}
+
+std::uint32_t Device::slots_in_use() const {
+  std::uint32_t n = 0;
+  for (std::uint32_t i = 0; i < st_->nslots; ++i)
+    if (aref(slot_at(i)->state).load(std::memory_order_acquire) != 0) ++n;
+  return n;
+}
+
+}  // namespace nemo::knem

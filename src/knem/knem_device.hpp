@@ -1,0 +1,153 @@
+// KNEM pseudo-device: a user-space reimplementation of the KNEM kernel
+// module's command interface (paper §3.2-3.4, Figure 1).
+//
+//   send command:    declare a (possibly vectorial) send buffer; the device
+//                    records its virtual segments, accounts the page pinning,
+//                    and returns a COOKIE id. The cookie travels to the
+//                    receiver through the normal rendezvous handshake.
+//   receive command: hand the device a cookie + a local buffer; the device
+//                    moves the data with a single copy. Flags select the
+//                    copy engine (CPU vs DMA) and completion model (inline
+//                    vs status-byte polled), exactly as in the paper:
+//                      kFlagDma   -> I/OAT-like engine (non-temporal, no
+//                                    cache fill, background channel)
+//                      kFlagAsync -> return immediately; completion = the
+//                                    engine's trailing 1-byte status write.
+//
+// The cookie table lives in the shared arena so every rank (thread or forked
+// process) sees the same registry — standing in for kernel memory. Where the
+// real module reads the sender's pages via its kernel mapping, we read them
+// directly when they are shared (same address space or arena pages) and via
+// cross-memory attach otherwise.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/iovec.hpp"
+#include "shm/arena.hpp"
+#include "shm/dma_engine.hpp"
+#include "shm/remote_mem.hpp"
+
+namespace nemo::knem {
+
+inline constexpr std::uint32_t kFlagDma = 1u << 0;
+inline constexpr std::uint32_t kFlagAsync = 1u << 1;
+
+inline constexpr std::uint32_t kInlineSegs = 16;
+inline constexpr std::uint32_t kBlockSegs = 30;
+
+/// Extension block for cookies with more than kInlineSegs segments.
+struct SegBlock {
+  std::uint64_t next;  ///< Offset of next block or kNil.
+  std::uint32_t nsegs;
+  std::uint32_t pad;
+  shm::RemoteSegment segs[kBlockSegs];
+};
+
+struct CookieSlot {
+  std::uint64_t state;    ///< 0 free, 1 claimed (atomic).
+  std::uint64_t id;       ///< Generation-stamped id (0 = invalid).
+  std::int32_t owner_pid;
+  std::uint32_t owner_rank;
+  std::uint32_t nsegs;    ///< Total segments.
+  std::uint32_t flags;
+  std::uint64_t total_bytes;
+  std::uint64_t pinned_pages;
+  shm::RemoteSegment inline_segs[kInlineSegs];
+  std::uint64_t more;     ///< First SegBlock offset or kNil.
+};
+
+struct DeviceStats {
+  std::uint64_t send_cmds;
+  std::uint64_t recv_cmds;
+  std::uint64_t dma_recv_cmds;
+  std::uint64_t async_recv_cmds;
+  std::uint64_t bytes_copied;
+  std::uint64_t pages_pinned;   ///< Cumulative.
+  std::uint64_t cookie_leaks;   ///< Releases of stale ids (diagnostic).
+};
+
+struct DeviceState {
+  std::uint32_t nslots;
+  std::uint32_t nblocks;
+  std::uint64_t gen;        ///< Atomic generation counter.
+  std::uint64_t slots_off;
+  std::uint64_t blocks_off;
+  std::uint64_t block_free; ///< Spinlock-protected freelist head (offset).
+  std::uint32_t block_lock; ///< Spinlock word.
+  std::uint32_t pad;
+  DeviceStats stats;        ///< Updated with atomics.
+};
+
+/// Error results from recv-side command validation.
+enum class KnemResult {
+  kOk,
+  kBadCookie,       ///< Unknown/stale cookie id.
+  kTruncated,       ///< Receive buffer smaller than declared send buffer.
+};
+
+const char* to_string(KnemResult r);
+
+class Device {
+ public:
+  /// Allocate + initialise device state in the arena. `nslots` bounds the
+  /// number of in-flight send declarations; `nblocks` bounds total extension
+  /// blocks for highly-fragmented (vectorial) buffers.
+  static std::uint64_t create(shm::Arena& arena, std::uint32_t nslots = 256,
+                              std::uint32_t nblocks = 256);
+
+  Device(shm::Arena& arena, std::uint64_t state_off, int my_rank,
+         pid_t my_pid);
+
+  /// SEND COMMAND — declare the buffer, get a cookie id (nonzero).
+  /// Accounts pinning of every page the segments touch.
+  std::uint64_t submit_send(std::span<const ConstSegment> segs);
+
+  /// Release a cookie (after the receiver's FIN). Safe on stale ids
+  /// (counted in stats as leaks).
+  void release(std::uint64_t cookie_id);
+
+  struct Resolved {
+    pid_t pid = 0;
+    std::uint32_t owner_rank = 0;
+    std::uint64_t total = 0;
+    shm::RemoteSegmentList segs;
+    shm::RemoteMode mode = shm::RemoteMode::kDirect;
+  };
+
+  /// Look up a cookie and decide the copy mode (direct for same-address-
+  /// space or arena-resident buffers; CMA otherwise).
+  [[nodiscard]] std::optional<Resolved> resolve(std::uint64_t cookie_id) const;
+
+  /// RECEIVE COMMAND, synchronous: returns when the data is in `local`.
+  /// With kFlagDma the copy runs on `engine` (completion is polled — the
+  /// paper's synchronous I/OAT mode); otherwise the calling thread copies.
+  KnemResult recv_sync(std::uint64_t cookie_id,
+                       std::span<const Segment> local, std::uint32_t flags,
+                       shm::DmaEngine* engine);
+
+  /// RECEIVE COMMAND, asynchronous: queues the copy and the trailing status
+  /// write on `engine`; poll `*status` for DmaStatus::kSuccess.
+  KnemResult recv_async(std::uint64_t cookie_id, SegmentList local,
+                        std::uint32_t flags, shm::DmaEngine& engine,
+                        volatile std::uint8_t* status);
+
+  [[nodiscard]] DeviceStats stats() const;
+  [[nodiscard]] std::uint32_t slots_in_use() const;
+
+ private:
+  CookieSlot* slot_at(std::uint32_t i) const;
+  SegBlock* block_at(std::uint64_t off) const;
+  std::uint64_t pop_block();
+  void push_block(std::uint64_t off);
+  void free_chain(CookieSlot* s);
+  [[nodiscard]] const CookieSlot* find(std::uint64_t cookie_id) const;
+
+  shm::Arena* arena_;
+  DeviceState* st_;
+  int rank_;
+  pid_t pid_;
+};
+
+}  // namespace nemo::knem

@@ -1,0 +1,84 @@
+#include <cstring>
+
+#include "core/comm.hpp"
+#include "lmt/backends.hpp"
+
+namespace nemo::lmt {
+
+using shm::CopyRing;
+
+ShmCopyBackend::ShmCopyBackend(core::Engine& eng)
+    : eng_(eng),
+      send_cursor_(static_cast<std::size_t>(eng.nranks()), 0),
+      recv_cursor_(static_cast<std::size_t>(eng.nranks()), 0) {}
+
+void ShmCopyBackend::send_init(SendCtx& ctx) {
+  ctx.rts.kind = static_cast<std::uint32_t>(LmtKind::kDefaultShm);
+  ctx.rts.total = ctx.total;
+  ctx.rts.nsegs = static_cast<std::uint32_t>(ctx.segs.size());
+}
+
+bool ShmCopyBackend::send_progress(SendCtx& ctx) {
+  if (ctx.total == 0) return true;
+  CopyRing ring(eng_.world().arena(),
+                eng_.world().ring_off(eng_.rank(), ctx.peer));
+  std::uint64_t& cursor = send_cursor_[static_cast<std::size_t>(ctx.peer)];
+  while (ctx.bytes_moved < ctx.total) {
+    // The next contiguous piece of the (possibly segmented) source,
+    // clipped to one ring buffer.
+    const ConstSegment& s = ctx.segs[ctx.seg_idx];
+    std::size_t avail = s.len - ctx.seg_off;
+    if (avail == 0) {
+      ++ctx.seg_idx;
+      ctx.seg_off = 0;
+      continue;
+    }
+    std::size_t piece = avail < ring.buf_bytes() ? avail : ring.buf_bytes();
+    bool last = (ctx.bytes_moved + piece == ctx.total);
+    std::size_t n = ring.try_push(cursor, s.base + ctx.seg_off, piece, last);
+    if (n == 0) return false;  // Ring full: receiver hasn't drained yet.
+    ctx.seg_off += n;
+    ctx.bytes_moved += n;
+  }
+  // All pushed. The send completes only when the receiver has drained the
+  // ring so the buffers are reusable by the next transfer on this pair.
+  return ring.drained(cursor);
+}
+
+void ShmCopyBackend::send_fin(SendCtx&) {}
+
+void ShmCopyBackend::recv_init(RecvCtx&) {}
+
+bool ShmCopyBackend::recv_progress(RecvCtx& ctx) {
+  if (ctx.total == 0) return true;
+  CopyRing ring(eng_.world().arena(),
+                eng_.world().ring_off(ctx.peer, eng_.rank()));
+  std::uint64_t& cursor = recv_cursor_[static_cast<std::size_t>(ctx.peer)];
+  while (ctx.bytes_moved < ctx.total) {
+    auto view = ring.peek(cursor);
+    if (!view) return false;
+    // Scatter the chunk across the destination segments (copy #2).
+    const std::byte* src = view->data;
+    std::size_t left = view->bytes;
+    while (left > 0) {
+      NEMO_ASSERT(ctx.seg_idx < ctx.segs.size());
+      Segment& d = ctx.segs[ctx.seg_idx];
+      std::size_t room = d.len - ctx.seg_off;
+      if (room == 0) {
+        ++ctx.seg_idx;
+        ctx.seg_off = 0;
+        continue;
+      }
+      std::size_t n = left < room ? left : room;
+      std::memcpy(d.base + ctx.seg_off, src, n);
+      src += n;
+      ctx.seg_off += n;
+      left -= n;
+      ctx.bytes_moved += n;
+    }
+    ring.release(cursor);
+  }
+  return true;
+}
+
+}  // namespace nemo::lmt

@@ -1,0 +1,66 @@
+#include "core/comm.hpp"
+#include "lmt/backends.hpp"
+
+namespace nemo::lmt {
+
+using shm::kPipeWindow;
+using shm::Pipe;
+
+void VmspliceBackend::send_init(SendCtx& ctx) {
+  ctx.rts.kind = static_cast<std::uint32_t>(kind());
+  ctx.rts.total = ctx.total;
+  ctx.rts.nsegs = static_cast<std::uint32_t>(ctx.segs.size());
+}
+
+bool VmspliceBackend::send_progress(SendCtx& ctx) {
+  if (ctx.total == 0) return true;
+  const Pipe& pipe = eng_.world().pipes().get(eng_.rank(), ctx.peer);
+  while (ctx.bytes_moved < ctx.total) {
+    const ConstSegment& s = ctx.segs[ctx.seg_idx];
+    std::size_t avail = s.len - ctx.seg_off;
+    if (avail == 0) {
+      ++ctx.seg_idx;
+      ctx.seg_off = 0;
+      continue;
+    }
+    // One pipe window per syscall, as the kernel's PIPE_BUFFERS limit
+    // enforces in the paper (§3.1) — this chunking is what lets the engine
+    // poll for other traffic between chunks of a multi-MiB message.
+    std::size_t piece = avail < kPipeWindow ? avail : kPipeWindow;
+    ConstSegment chunk{s.base + ctx.seg_off, piece};
+    std::size_t n =
+        writev_ ? pipe.writev_some(chunk) : pipe.vmsplice_some(chunk);
+    if (n == 0) return false;  // Pipe full: receiver hasn't drained.
+    ctx.seg_off += n;
+    ctx.bytes_moved += n;
+  }
+  return true;
+}
+
+void VmspliceBackend::send_fin(SendCtx&) {}
+
+void VmspliceBackend::recv_init(RecvCtx&) {}
+
+bool VmspliceBackend::recv_progress(RecvCtx& ctx) {
+  if (ctx.total == 0) return true;
+  const Pipe& pipe = eng_.world().pipes().get(ctx.peer, eng_.rank());
+  while (ctx.bytes_moved < ctx.total) {
+    NEMO_ASSERT(ctx.seg_idx < ctx.segs.size());
+    Segment& d = ctx.segs[ctx.seg_idx];
+    std::size_t room = d.len - ctx.seg_off;
+    if (room == 0) {
+      ++ctx.seg_idx;
+      ctx.seg_off = 0;
+      continue;
+    }
+    std::size_t want = ctx.total - ctx.bytes_moved;
+    if (room < want) want = room;
+    std::size_t n = pipe.readv_some({d.base + ctx.seg_off, want});
+    if (n == 0) return false;  // Pipe empty.
+    ctx.seg_off += n;
+    ctx.bytes_moved += n;
+  }
+  return true;
+}
+
+}  // namespace nemo::lmt

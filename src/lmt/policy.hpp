@@ -1,0 +1,91 @@
+// Dynamic LMT selection policy (paper §3.5).
+//
+// Two families of thresholds:
+//  1. DMAmin — when the KNEM backend should offload to the DMA engine:
+//         DMAmin = CacheSize / (2 * CoresSharingTheCache)
+//     derived from "the cache must be at least two times larger than
+//     messages being received" so a CPU copy does not flush the local cache.
+//     With a 4 MiB L2 shared by 2 cores this gives 1 MiB; unshared, 2 MiB;
+//     a 6 MiB L2 raises both by 50% — the measurements §3.5 reports.
+//  2. Activation — when to leave the eager path for an LMT at all (Nemesis
+//     hardwired 64 KiB; measurements show KNEM pays off from 8 KiB for
+//     pingpong and 4 KiB inside collectives).
+//
+// The policy also picks *which* backend: KNEM when present; vmsplice when the
+// communicating cores share no cache (where it beats the two-copy scheme);
+// otherwise the default double-buffering (which wins under a shared cache).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/topology.hpp"
+#include "lmt/lmt.hpp"
+
+namespace nemo::lmt {
+
+struct PolicyConfig {
+  std::size_t lmt_activation = 64 * 1024;   ///< Eager→LMT switch (Nemesis).
+  std::size_t knem_activation = 8 * 1024;   ///< KNEM pays off from here...
+  std::size_t knem_collective_activation = 4 * 1024;  ///< ...or here in colls.
+  std::size_t dma_min_override = 0;         ///< Nonzero: skip the formula.
+
+  bool knem_available = true;
+  bool vmsplice_available = true;
+  bool dma_available = true;
+};
+
+class Policy {
+ public:
+  Policy(Topology topo, PolicyConfig cfg)
+      : topo_(std::move(topo)), cfg_(cfg) {}
+
+  /// The paper's formula, computed from architecture characteristics only
+  /// (one MPI process per core assumed, §3.5 second formula).
+  static std::size_t dma_min(const Topology& topo, int core) {
+    const CacheDomain& llc = topo.largest_cache(core);
+    std::size_t sharers = llc.cores.empty() ? 1 : llc.cores.size();
+    return llc.size_bytes / (2 * sharers);
+  }
+
+  [[nodiscard]] std::size_t dma_min_for(int recv_core) const {
+    if (cfg_.dma_min_override != 0) return cfg_.dma_min_override;
+    return dma_min(topo_, recv_core);
+  }
+
+  /// Should this message leave the eager path? `collective` selects the
+  /// lower activation threshold discussed in §4.4.
+  [[nodiscard]] bool use_lmt(std::size_t bytes, bool collective = false) const {
+    if (cfg_.knem_available) {
+      std::size_t act = collective ? cfg_.knem_collective_activation
+                                   : cfg_.knem_activation;
+      return bytes > act;
+    }
+    return bytes > cfg_.lmt_activation;
+  }
+
+  /// Resolve kAuto into a concrete backend for a (sender, receiver) pair.
+  [[nodiscard]] LmtKind choose_kind(std::size_t bytes, int sender_core,
+                                    int recv_core) const {
+    (void)bytes;
+    if (cfg_.knem_available) return LmtKind::kKnem;
+    bool shared = sender_core >= 0 && recv_core >= 0 &&
+                  topo_.shared_cache(sender_core, recv_core).has_value();
+    if (cfg_.vmsplice_available && !shared) return LmtKind::kVmsplice;
+    return LmtKind::kDefaultShm;
+  }
+
+  /// Resolve KNEM flags for a transfer. kAuto: DMA iff the message passes
+  /// DMAmin for the receiving core; asynchronous iff DMA (KNEM's default).
+  [[nodiscard]] std::uint32_t knem_flags(std::size_t bytes, int recv_core,
+                                         KnemMode mode) const;
+
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+  [[nodiscard]] const PolicyConfig& config() const { return cfg_; }
+
+ private:
+  Topology topo_;
+  PolicyConfig cfg_;
+};
+
+}  // namespace nemo::lmt

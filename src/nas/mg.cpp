@@ -1,0 +1,203 @@
+// Mini NAS MG: V-cycle multigrid for Poisson on an n^3 grid with slab (z)
+// decomposition. Smoothing steps exchange one-plane halos (nx*ny doubles),
+// restriction/prolongation stay local to slabs — the moderate-message mix
+// of MG in Table 1.
+#include <cmath>
+#include <vector>
+
+#include "common/timing.hpp"
+#include "nas/nas_common.hpp"
+
+namespace nemo::nas {
+
+namespace {
+
+/// One slab level of the multigrid hierarchy: u, rhs, residual, with one
+/// ghost plane on each z side.
+struct Level {
+  std::size_t n = 0;        ///< Global edge (nx = ny = n, nz = n).
+  std::size_t lz = 0;       ///< Local interior planes.
+  std::vector<double> u, f, r;
+
+  [[nodiscard]] std::size_t plane() const { return n * n; }
+  [[nodiscard]] double* at(std::vector<double>& a, std::size_t z) {
+    return a.data() + z * plane();  // z includes ghost offset (z=0 ghost).
+  }
+};
+
+}  // namespace
+
+NasResult run_mg(core::Comm& comm, const MgParams& p) {
+  const int nranks = comm.size();
+  const int rank = comm.rank();
+  const int up = rank + 1 < nranks ? rank + 1 : -1;
+  const int down = rank > 0 ? rank - 1 : -1;
+
+  // Build hierarchy; coarsest level must still give each rank >= 1 plane.
+  std::vector<Level> levels;
+  std::size_t n = p.n;
+  for (int l = 0; l < p.levels && n >= 8 &&
+                  n / static_cast<std::size_t>(nranks) >= 2;
+       ++l, n /= 2) {
+    Level lv;
+    lv.n = n;
+    lv.lz = n / static_cast<std::size_t>(nranks);
+    std::size_t total = (lv.lz + 2) * lv.plane();
+    lv.u.assign(total, 0.0);
+    lv.f.assign(total, 0.0);
+    lv.r.assign(total, 0.0);
+    levels.push_back(std::move(lv));
+  }
+  NEMO_ASSERT(!levels.empty());
+
+  // Deterministic RHS: a few point charges (like MG's +1/-1 points).
+  {
+    Level& L0 = levels[0];
+    double seed = kNasSeed;
+    for (int c = 0; c < 16; ++c) {
+      std::size_t gx = static_cast<std::size_t>(randlc(&seed, kNasA) *
+                                                static_cast<double>(L0.n));
+      std::size_t gy = static_cast<std::size_t>(randlc(&seed, kNasA) *
+                                                static_cast<double>(L0.n));
+      std::size_t gz = static_cast<std::size_t>(randlc(&seed, kNasA) *
+                                                static_cast<double>(L0.n));
+      gx %= L0.n;
+      gy %= L0.n;
+      gz %= L0.n;
+      std::size_t z0 = L0.lz * static_cast<std::size_t>(rank);
+      if (gz >= z0 && gz < z0 + L0.lz)
+        L0.f[(gz - z0 + 1) * L0.plane() + gy * L0.n + gx] =
+            (c % 2 == 0) ? 1.0 : -1.0;
+    }
+  }
+
+  int halo_tag = 900;
+  auto exchange_halos = [&](Level& L, std::vector<double>& a) {
+    std::size_t bytes = L.plane() * sizeof(double);
+    // Send top interior plane up, receive into bottom ghost, and vice versa.
+    core::Request reqs[4];
+    int nreq = 0;
+    if (up >= 0) {
+      reqs[nreq++] = comm.isend(L.at(a, L.lz), bytes, up, halo_tag);
+      reqs[nreq++] = comm.irecv(L.at(a, L.lz + 1), bytes, up, halo_tag + 1);
+    }
+    if (down >= 0) {
+      reqs[nreq++] = comm.isend(L.at(a, 1), bytes, down, halo_tag + 1);
+      reqs[nreq++] = comm.irecv(L.at(a, 0), bytes, down, halo_tag);
+    }
+    for (int i = 0; i < nreq; ++i) comm.wait(reqs[i]);
+    // Periodic wrap at the global boundary via self-copy when single rank.
+    if (nranks == 1) {
+      std::copy_n(L.at(a, L.lz), L.plane(), L.at(a, 0));
+      std::copy_n(L.at(a, 1), L.plane(), L.at(a, L.lz + 1));
+    }
+  };
+
+  auto smooth = [&](Level& L, int sweeps) {
+    const double w = 0.8, h2 = 1.0;
+    for (int s = 0; s < sweeps; ++s) {
+      exchange_halos(L, L.u);
+      for (std::size_t z = 1; z <= L.lz; ++z)
+        for (std::size_t y = 0; y < L.n; ++y)
+          for (std::size_t x = 0; x < L.n; ++x) {
+            std::size_t yp = (y + 1) % L.n, ym = (y + L.n - 1) % L.n;
+            std::size_t xp = (x + 1) % L.n, xm = (x + L.n - 1) % L.n;
+            std::size_t i = z * L.plane() + y * L.n + x;
+            double nb = L.u[(z - 1) * L.plane() + y * L.n + x] +
+                        L.u[(z + 1) * L.plane() + y * L.n + x] +
+                        L.u[z * L.plane() + yp * L.n + x] +
+                        L.u[z * L.plane() + ym * L.n + x] +
+                        L.u[z * L.plane() + y * L.n + xp] +
+                        L.u[z * L.plane() + y * L.n + xm];
+            L.u[i] = (1 - w) * L.u[i] + w * (nb + h2 * L.f[i]) / 6.0;
+          }
+    }
+  };
+
+  auto residual = [&](Level& L) {
+    exchange_halos(L, L.u);
+    for (std::size_t z = 1; z <= L.lz; ++z)
+      for (std::size_t y = 0; y < L.n; ++y)
+        for (std::size_t x = 0; x < L.n; ++x) {
+          std::size_t yp = (y + 1) % L.n, ym = (y + L.n - 1) % L.n;
+          std::size_t xp = (x + 1) % L.n, xm = (x + L.n - 1) % L.n;
+          std::size_t i = z * L.plane() + y * L.n + x;
+          double nb = L.u[(z - 1) * L.plane() + y * L.n + x] +
+                      L.u[(z + 1) * L.plane() + y * L.n + x] +
+                      L.u[z * L.plane() + yp * L.n + x] +
+                      L.u[z * L.plane() + ym * L.n + x] +
+                      L.u[z * L.plane() + y * L.n + xp] +
+                      L.u[z * L.plane() + y * L.n + xm];
+          L.r[i] = L.f[i] - (6.0 * L.u[i] - nb);
+        }
+  };
+
+  auto norm2 = [&](Level& L) {
+    double local = 0;
+    for (std::size_t z = 1; z <= L.lz; ++z)
+      for (std::size_t i = 0; i < L.plane(); ++i) {
+        double v = L.r[z * L.plane() + i];
+        local += v * v;
+      }
+    double g = 0;
+    comm.allreduce_f64(&local, &g, 1, core::Comm::ReduceOp::kSum);
+    return std::sqrt(g);
+  };
+
+  comm.barrier();
+  Timer timer;
+
+  residual(levels[0]);
+  double r0 = norm2(levels[0]);
+
+  for (int vc = 0; vc < p.vcycles; ++vc) {
+    // Down: smooth, restrict residual (injection averaging, slab-local in z
+    // because lz halves with n).
+    for (std::size_t l = 0; l + 1 < levels.size(); ++l) {
+      smooth(levels[l], 2);
+      residual(levels[l]);
+      Level& F = levels[l];
+      Level& C = levels[l + 1];
+      std::fill(C.u.begin(), C.u.end(), 0.0);
+      for (std::size_t z = 1; z <= C.lz; ++z)
+        for (std::size_t y = 0; y < C.n; ++y)
+          for (std::size_t x = 0; x < C.n; ++x)
+            C.f[z * C.plane() + y * C.n + x] =
+                F.r[(2 * z - 1) * F.plane() + (2 * y) * F.n + 2 * x];
+    }
+    smooth(levels.back(), 8);
+    // Up: prolongate (injection) and smooth.
+    for (std::size_t l = levels.size() - 1; l > 0; --l) {
+      Level& C = levels[l];
+      Level& F = levels[l - 1];
+      for (std::size_t z = 1; z <= C.lz; ++z)
+        for (std::size_t y = 0; y < C.n; ++y)
+          for (std::size_t x = 0; x < C.n; ++x) {
+            double v = C.u[z * C.plane() + y * C.n + x];
+            for (std::size_t dz = 0; dz < 2; ++dz)
+              for (std::size_t dy = 0; dy < 2; ++dy)
+                for (std::size_t dx = 0; dx < 2; ++dx)
+                  F.u[(2 * z - 1 + dz) * F.plane() +
+                      ((2 * y + dy) % F.n) * F.n + ((2 * x + dx) % F.n)] +=
+                      v;
+          }
+      smooth(F, 2);
+    }
+  }
+
+  residual(levels[0]);
+  double r1 = norm2(levels[0]);
+
+  double seconds = timer.elapsed_s();
+  double max_sec = 0;
+  comm.allreduce_f64(&seconds, &max_sec, 1, core::Comm::ReduceOp::kMax);
+
+  NasResult res;
+  res.name = "mg.mini." + std::to_string(nranks);
+  res.seconds = max_sec;
+  res.verified = std::isfinite(r1) && r1 < r0;
+  res.checksum = r1;
+  return res;
+}
+
+}  // namespace nemo::nas

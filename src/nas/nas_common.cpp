@@ -1,0 +1,128 @@
+#include "nas/nas_common.hpp"
+
+#include <cmath>
+
+namespace nemo::nas {
+
+// The NAS randlc uses 46-bit modular arithmetic expressed in doubles split
+// into 23-bit halves (exactly as in the reference implementation).
+double randlc(double* x, double a) {
+  constexpr double r23 = 0x1p-23, r46 = 0x1p-46;
+  constexpr double t23 = 0x1p23, t46 = 0x1p46;
+
+  double t1 = r23 * a;
+  double a1 = static_cast<double>(static_cast<long long>(t1));
+  double a2 = a - t23 * a1;
+
+  t1 = r23 * (*x);
+  double x1 = static_cast<double>(static_cast<long long>(t1));
+  double x2 = *x - t23 * x1;
+
+  t1 = a1 * x2 + a2 * x1;
+  double t2 = static_cast<double>(static_cast<long long>(r23 * t1));
+  double z = t1 - t23 * t2;
+  double t3 = t23 * z + a2 * x2;
+  double t4 = static_cast<double>(static_cast<long long>(r46 * t3));
+  *x = t3 - t46 * t4;
+  return r46 * (*x);
+}
+
+double ipow46(double a, std::uint64_t exponent) {
+  // Square-and-multiply in the randlc group: randlc(&x, q) sets
+  // x = x*q mod 2^46, so `r` accumulates a^exponent.
+  double r = 1.0;
+  if (exponent == 0) return r;
+  double q = a;
+  std::uint64_t n = exponent;
+  while (n > 1) {
+    if (n & 1) (void)randlc(&r, q);
+    (void)randlc(&q, q);
+    n >>= 1;
+  }
+  (void)randlc(&r, q);
+  return r;
+}
+
+IsParams is_params(NasClass c) {
+  IsParams p;
+  if (c == NasClass::kMini) {
+    p.total_keys = 1 << 18;
+    p.max_key = 1 << 16;
+    p.iterations = 3;
+  } else {
+    p.total_keys = 1 << 22;  // 4M keys: ~2 MiB per rank at 8 ranks.
+    p.max_key = 1 << 19;
+    p.iterations = 10;
+  }
+  return p;
+}
+
+EpParams ep_params(NasClass c) {
+  EpParams p;
+  p.pairs = (c == NasClass::kMini) ? (1u << 18) : (1u << 22);
+  return p;
+}
+
+CgParams cg_params(NasClass c) {
+  CgParams p;
+  if (c == NasClass::kMini) {
+    p.n = 4096;
+    p.iterations = 8;
+  } else {
+    p.n = 16384;
+    p.iterations = 15;
+  }
+  return p;
+}
+
+FtParams ft_params(NasClass c) {
+  FtParams p;
+  if (c == NasClass::kMini) {
+    p.nx = p.ny = p.nz = 32;
+    p.iterations = 3;
+  } else {
+    p.nx = p.ny = p.nz = 64;
+    p.iterations = 6;
+  }
+  return p;
+}
+
+MgParams mg_params(NasClass c) {
+  MgParams p;
+  if (c == NasClass::kMini) {
+    p.n = 32;
+    p.vcycles = 3;
+    p.levels = 3;
+  } else {
+    p.n = 64;
+    p.vcycles = 6;
+    p.levels = 4;
+  }
+  return p;
+}
+
+PencilParams bt_params(NasClass c) {
+  PencilParams p;
+  p.compute_per_cell = 24;  // bt is strongly compute-bound.
+  p.halo_bytes = 24 * 1024;
+  p.sweeps = (c == NasClass::kMini) ? 8 : 30;
+  return p;
+}
+
+PencilParams sp_params(NasClass c) {
+  PencilParams p;
+  p.compute_per_cell = 16;
+  p.halo_bytes = 16 * 1024;
+  p.sweeps = (c == NasClass::kMini) ? 8 : 30;
+  return p;
+}
+
+PencilParams lu_params(NasClass c) {
+  PencilParams p;
+  p.compute_per_cell = 12;
+  p.halo_bytes = 4 * 1024;  // lu exchanges thin pencil faces.
+  p.sweeps = (c == NasClass::kMini) ? 10 : 40;
+  return p;
+}
+
+}  // namespace nemo::nas

@@ -1,0 +1,87 @@
+// Shared infrastructure for the mini-NAS kernels: the NAS linear-congruential
+// random-number generator (randlc), result/verification records, and the
+// problem-class presets scaled so the full Table 1 sweep runs in seconds on a
+// laptop while keeping each benchmark's communication *mix* (message sizes
+// and collective shapes) faithful to its full-size counterpart.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/comm.hpp"
+
+namespace nemo::nas {
+
+/// NAS randlc: x_{k+1} = a*x_k mod 2^46, returning x/2^46 in [0,1).
+/// Deterministic across platforms (pure integer-ish double arithmetic).
+double randlc(double* x, double a);
+
+/// Skip the generator ahead: a^n mod 2^46 seeding (used by EP).
+double ipow46(double a, std::uint64_t exponent);
+
+inline constexpr double kNasA = 1220703125.0;  // 5^13.
+inline constexpr double kNasSeed = 314159265.0;
+
+struct NasResult {
+  std::string name;      ///< e.g. "is.mini.8".
+  double seconds = 0;    ///< Wall time of the timed section (max over ranks).
+  bool verified = false;
+  double checksum = 0;   ///< Kernel-specific scalar for cross-run equality.
+};
+
+/// Problem sizes. kMini is the default for tests; kSmall for Table 1 runs.
+enum class NasClass { kMini, kSmall };
+
+struct IsParams {
+  std::size_t total_keys = 1 << 20;
+  std::uint32_t max_key = 1 << 19;
+  int iterations = 5;
+};
+IsParams is_params(NasClass c);
+
+struct EpParams {
+  std::uint64_t pairs = 1 << 20;
+  int batches = 16;
+};
+EpParams ep_params(NasClass c);
+
+struct CgParams {
+  std::size_t n = 8192;        ///< Matrix order.
+  std::size_t nz_per_row = 16;
+  int iterations = 12;
+};
+CgParams cg_params(NasClass c);
+
+struct FtParams {
+  std::size_t nx = 64, ny = 64, nz = 64;
+  int iterations = 4;
+};
+FtParams ft_params(NasClass c);
+
+struct MgParams {
+  std::size_t n = 64;    ///< Grid edge (n^3 points), must be a power of two.
+  int vcycles = 4;
+  int levels = 4;
+};
+MgParams mg_params(NasClass c);
+
+struct PencilParams {
+  std::size_t nx = 256, ny = 256;
+  int sweeps = 20;
+  int compute_per_cell = 8;   ///< Flops knob: high = compute-bound (bt/sp).
+  std::size_t halo_bytes = 16 * 1024;
+};
+/// Presets reproducing the comm/compute mixes of bt, sp and lu.
+PencilParams bt_params(NasClass c);
+PencilParams sp_params(NasClass c);
+PencilParams lu_params(NasClass c);
+
+NasResult run_is(core::Comm& comm, const IsParams& p);
+NasResult run_ep(core::Comm& comm, const EpParams& p);
+NasResult run_cg(core::Comm& comm, const CgParams& p);
+NasResult run_ft(core::Comm& comm, const FtParams& p);
+NasResult run_mg(core::Comm& comm, const MgParams& p);
+NasResult run_pencil(core::Comm& comm, const PencilParams& p,
+                     const std::string& name);
+
+}  // namespace nemo::nas

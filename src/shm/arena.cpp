@@ -1,0 +1,115 @@
+#include "shm/arena.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace nemo::shm {
+
+Arena Arena::create_anonymous(std::size_t bytes) {
+  bytes = round_up(bytes, 4096);
+  void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) throw SysError("mmap(anonymous arena)", errno);
+  Arena a;
+  a.base_ = static_cast<std::byte*>(p);
+  a.size_ = bytes;
+  a.owner_ = true;
+  a.init_header();
+  return a;
+}
+
+Arena Arena::create_shm(const std::string& name, std::size_t bytes) {
+  NEMO_ASSERT(!name.empty() && name.front() == '/');
+  bytes = round_up(bytes, 4096);
+  int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) throw SysError("shm_open(" + name + ")", errno);
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) < 0) {
+    int e = errno;
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    throw SysError("ftruncate(" + name + ")", e);
+  }
+  void* p =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  int e = errno;
+  ::close(fd);
+  if (p == MAP_FAILED) {
+    ::shm_unlink(name.c_str());
+    throw SysError("mmap(" + name + ")", e);
+  }
+  Arena a;
+  a.base_ = static_cast<std::byte*>(p);
+  a.size_ = bytes;
+  a.shm_name_ = name;
+  a.owner_ = true;
+  a.init_header();
+  return a;
+}
+
+Arena Arena::open_shm(const std::string& name) {
+  int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+  if (fd < 0) throw SysError("shm_open(" + name + ")", errno);
+  struct stat st{};
+  if (::fstat(fd, &st) < 0) {
+    int e = errno;
+    ::close(fd);
+    throw SysError("fstat(" + name + ")", e);
+  }
+  auto bytes = static_cast<std::size_t>(st.st_size);
+  void* p =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  int e = errno;
+  ::close(fd);
+  if (p == MAP_FAILED) throw SysError("mmap(" + name + ")", e);
+  Arena a;
+  a.base_ = static_cast<std::byte*>(p);
+  a.size_ = bytes;
+  a.shm_name_ = name;
+  a.owner_ = false;
+  NEMO_ASSERT_MSG(a.header()->magic == kMagic, "not a nemolmt arena");
+  return a;
+}
+
+void Arena::init_header() {
+  auto* h = header();
+  h->magic = kMagic;
+  h->size = size_;
+  // Offset 0 is the header; allocations start after it so offset 0 can act
+  // as the null sentinel kNil.
+  aref(h->alloc_next)
+      .store(round_up(sizeof(Header), kCacheLine), std::memory_order_release);
+}
+
+std::uint64_t Arena::alloc(std::size_t bytes, std::size_t align) {
+  NEMO_ASSERT(is_pow2(align) && align >= 8);
+  NEMO_ASSERT(bytes > 0);
+  auto* h = header();
+  auto next = aref(h->alloc_next);
+  std::uint64_t cur = next.load(std::memory_order_relaxed);
+  for (;;) {
+    std::uint64_t start = round_up(cur, align);
+    std::uint64_t end = start + bytes;
+    NEMO_ASSERT_MSG(end <= size_, "arena exhausted: raise Config::arena_bytes");
+    if (next.compare_exchange_weak(cur, end, std::memory_order_acq_rel))
+      return start;
+  }
+}
+
+std::size_t Arena::remaining() const {
+  auto* h = header();
+  std::uint64_t cur = aref(h->alloc_next).load(std::memory_order_acquire);
+  return cur >= size_ ? 0 : size_ - cur;
+}
+
+void Arena::destroy() {
+  if (base_ != nullptr) {
+    ::munmap(base_, size_);
+    if (owner_ && !shm_name_.empty()) ::shm_unlink(shm_name_.c_str());
+  }
+  base_ = nullptr;
+  size_ = 0;
+}
+
+}  // namespace nemo::shm

@@ -1,0 +1,128 @@
+// A shared-memory arena: one fixed-size mapping holding every cross-rank data
+// structure (queues, cells, copy rings, KNEM cookie table, bootstrap state).
+//
+// All structures inside the arena are addressed by BYTE OFFSET, never by
+// pointer, and contain only trivially-copyable words accessed through
+// std::atomic_ref. That makes the identical layout usable from:
+//  - threads of one process  (anonymous MAP_SHARED mapping), and
+//  - forked processes        (the mapping is inherited, or shm_open'ed).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+#include "common/common.hpp"
+
+namespace nemo::shm {
+
+/// Offset value meaning "null".
+inline constexpr std::uint64_t kNil = 0;
+
+/// Obtain an atomic view of a word stored in shared memory.
+template <typename T>
+std::atomic_ref<T> aref(T& word) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return std::atomic_ref<T>(word);
+}
+
+class Arena {
+ public:
+  /// Anonymous MAP_SHARED arena: shared with threads and with children
+  /// forked *after* creation.
+  static Arena create_anonymous(std::size_t bytes);
+
+  /// POSIX shm_open-backed arena (O_CREAT | O_EXCL), for unrelated processes
+  /// and for demonstrating the real deployment path. `name` must start '/'.
+  static Arena create_shm(const std::string& name, std::size_t bytes);
+
+  /// Attach to an existing shm arena created by create_shm.
+  static Arena open_shm(const std::string& name);
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&& o) noexcept { move_from(o); }
+  Arena& operator=(Arena&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      move_from(o);
+    }
+    return *this;
+  }
+  ~Arena() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return base_ != nullptr; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::byte* base() const { return base_; }
+
+  /// Translate an offset to a pointer in this mapping.
+  [[nodiscard]] std::byte* at(std::uint64_t off) const {
+    NEMO_ASSERT(off != kNil && off < size_);
+    return base_ + off;
+  }
+
+  template <typename T>
+  [[nodiscard]] T* at_as(std::uint64_t off) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    NEMO_ASSERT(off + sizeof(T) <= size_);
+    return reinterpret_cast<T*>(at(off));
+  }
+
+  /// Offset of a pointer inside the mapping (must point into it).
+  [[nodiscard]] std::uint64_t offset_of(const void* p) const {
+    auto* b = static_cast<const std::byte*>(p);
+    NEMO_ASSERT(b >= base_ && b < base_ + size_);
+    return static_cast<std::uint64_t>(b - base_);
+  }
+
+  [[nodiscard]] bool contains(const void* p, std::size_t len = 0) const {
+    auto* b = static_cast<const std::byte*>(p);
+    return b >= base_ && b + len <= base_ + size_;
+  }
+
+  /// Bump-allocate `bytes` aligned to `align` (power of two, >= 8).
+  /// Thread-safe across ranks; memory is never freed individually.
+  std::uint64_t alloc(std::size_t bytes, std::size_t align = kCacheLine);
+
+  /// Allocate and return a typed pointer (arena-lifetime object).
+  template <typename T>
+  T* alloc_as(std::size_t count = 1, std::size_t align = alignof(T)) {
+    std::uint64_t off =
+        alloc(sizeof(T) * count, align < 8 ? 8 : align);
+    return at_as<T>(off);
+  }
+
+  /// Bytes still available for alloc().
+  [[nodiscard]] std::size_t remaining() const;
+
+ private:
+  struct Header {
+    std::uint64_t magic;
+    std::uint64_t size;
+    std::uint64_t alloc_next;  // atomic bump pointer
+  };
+  static constexpr std::uint64_t kMagic = 0x4e454d4f4c4d5431ull;  // NEMOLMT1
+
+  Header* header() const { return reinterpret_cast<Header*>(base_); }
+  void init_header();
+  void destroy();
+  void move_from(Arena& o) {
+    base_ = o.base_;
+    size_ = o.size_;
+    shm_name_ = std::move(o.shm_name_);
+    owner_ = o.owner_;
+    o.base_ = nullptr;
+    o.size_ = 0;
+    o.owner_ = false;
+  }
+
+  std::byte* base_ = nullptr;
+  std::size_t size_ = 0;
+  std::string shm_name_;  // non-empty when shm_open-backed
+  bool owner_ = false;    // unlink on destroy
+};
+
+}  // namespace nemo::shm

@@ -1,0 +1,154 @@
+// The double-buffered copy ring implementing Nemesis' *default* LMT: the
+// two-copy shared-memory scheme the paper improves upon.
+//
+// One ring exists per ordered rank pair. The sender copies message chunks
+// into ring buffers (copy #1); the receiver copies them out into the user
+// buffer (copy #2). With >= 2 buffers the two copies pipeline, which is
+// exactly the "double-buffering strategy" whose cache pollution and CPU cost
+// the paper measures.
+//
+// SPSC by construction (fixed sender, fixed receiver), so plain
+// acquire/release on a per-slot sequence word suffices.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+
+#include "common/common.hpp"
+#include "shm/arena.hpp"
+
+namespace nemo::shm {
+
+struct CopyRingSlot {
+  alignas(kCacheLine) std::uint64_t seq;  ///< Even = empty, odd = full.
+  std::uint32_t bytes;                    ///< Valid bytes in buf.
+  std::uint32_t last;                     ///< Nonzero on final chunk.
+};
+
+struct CopyRingState {
+  std::uint32_t nbufs;
+  std::uint32_t buf_bytes;
+  std::uint64_t slots_off;  ///< nbufs CopyRingSlot.
+  std::uint64_t data_off;   ///< nbufs * buf_bytes payload area.
+};
+
+/// View over one ordered-pair ring. Sender and receiver each track their own
+/// cursor (local, not shared) in SenderCursor/ReceiverCursor.
+class CopyRing {
+ public:
+  static constexpr std::uint32_t kDefaultBufBytes = 32 * KiB;
+  static constexpr std::uint32_t kDefaultBufs = 2;
+
+  /// Allocate + initialise a ring in the arena; returns CopyRingState offset.
+  static std::uint64_t create(Arena& arena,
+                              std::uint32_t nbufs = kDefaultBufs,
+                              std::uint32_t buf_bytes = kDefaultBufBytes) {
+    NEMO_ASSERT(nbufs >= 1 && buf_bytes >= kCacheLine);
+    std::uint64_t st_off = arena.alloc(sizeof(CopyRingState), kCacheLine);
+    auto* st = arena.at_as<CopyRingState>(st_off);
+    st->nbufs = nbufs;
+    st->buf_bytes = buf_bytes;
+    st->slots_off = arena.alloc(sizeof(CopyRingSlot) * nbufs, kCacheLine);
+    st->data_off =
+        arena.alloc(static_cast<std::size_t>(nbufs) * buf_bytes, kCacheLine);
+    for (std::uint32_t i = 0; i < nbufs; ++i) {
+      auto* slot = arena.at_as<CopyRingSlot>(st->slots_off +
+                                             i * sizeof(CopyRingSlot));
+      aref(slot->seq).store(0, std::memory_order_release);
+      slot->bytes = 0;
+      slot->last = 0;
+    }
+    return st_off;
+  }
+
+  CopyRing(Arena& arena, std::uint64_t state_off)
+      : arena_(&arena), st_(arena.at_as<CopyRingState>(state_off)) {}
+
+  [[nodiscard]] std::uint32_t nbufs() const { return st_->nbufs; }
+  [[nodiscard]] std::uint32_t buf_bytes() const { return st_->buf_bytes; }
+
+  CopyRingSlot* slot(std::uint32_t i) const {
+    return arena_->at_as<CopyRingSlot>(st_->slots_off +
+                                       (i % st_->nbufs) * sizeof(CopyRingSlot));
+  }
+  std::byte* buf(std::uint32_t i) const {
+    return arena_->at(st_->data_off) +
+           static_cast<std::size_t>(i % st_->nbufs) * st_->buf_bytes;
+  }
+
+  /// Sender side: try to publish up to buf_bytes from `src`. `cursor` is the
+  /// sender's monotonically increasing chunk index. Returns bytes accepted
+  /// (0 if the slot is still full — caller should progress and retry).
+  std::size_t try_push(std::uint64_t& cursor, const std::byte* src,
+                       std::size_t len, bool last) {
+    CopyRingSlot* s = slot(static_cast<std::uint32_t>(cursor % st_->nbufs));
+    std::uint64_t expected_empty = 2 * (cursor / st_->nbufs);
+    if (aref(s->seq).load(std::memory_order_acquire) != expected_empty)
+      return 0;
+    std::size_t n = len < st_->buf_bytes ? len : st_->buf_bytes;
+    std::memcpy(buf(static_cast<std::uint32_t>(cursor % st_->nbufs)), src, n);
+    s->bytes = static_cast<std::uint32_t>(n);
+    s->last = (last && n == len) ? 1u : 0u;
+    aref(s->seq).store(expected_empty + 1, std::memory_order_release);
+    ++cursor;
+    return n;
+  }
+
+  /// Receiver side: try to consume the next chunk into `dst` (capacity must
+  /// be >= buf_bytes). Returns bytes consumed, sets `last`. 0 = not ready.
+  std::size_t try_pop(std::uint64_t& cursor, std::byte* dst, bool& last) {
+    CopyRingSlot* s = slot(static_cast<std::uint32_t>(cursor % st_->nbufs));
+    std::uint64_t expected_full = 2 * (cursor / st_->nbufs) + 1;
+    if (aref(s->seq).load(std::memory_order_acquire) != expected_full)
+      return 0;
+    std::size_t n = s->bytes;
+    std::memcpy(dst, buf(static_cast<std::uint32_t>(cursor % st_->nbufs)), n);
+    last = s->last != 0;
+    aref(s->seq).store(expected_full + 1, std::memory_order_release);
+    ++cursor;
+    return n;
+  }
+
+  /// Receiver side, scatter-aware variant: expose the filled buffer without
+  /// copying. Returns nullptr when the slot is not ready. After consuming the
+  /// bytes, call release() to return the slot to the sender.
+  struct View {
+    const std::byte* data;
+    std::size_t bytes;
+    bool last;
+  };
+  [[nodiscard]] std::optional<View> peek(std::uint64_t cursor) const {
+    CopyRingSlot* s = slot(static_cast<std::uint32_t>(cursor % st_->nbufs));
+    std::uint64_t expected_full = 2 * (cursor / st_->nbufs) + 1;
+    if (aref(s->seq).load(std::memory_order_acquire) != expected_full)
+      return std::nullopt;
+    return View{buf(static_cast<std::uint32_t>(cursor % st_->nbufs)), s->bytes,
+                s->last != 0};
+  }
+  void release(std::uint64_t& cursor) {
+    CopyRingSlot* s = slot(static_cast<std::uint32_t>(cursor % st_->nbufs));
+    std::uint64_t expected_full = 2 * (cursor / st_->nbufs) + 1;
+    NEMO_ASSERT(aref(s->seq).load(std::memory_order_relaxed) == expected_full);
+    aref(s->seq).store(expected_full + 1, std::memory_order_release);
+    ++cursor;
+  }
+
+  /// Sender side: true when every chunk the sender published before `cursor`
+  /// has been drained by the receiver (the slot preceding `cursor` is empty
+  /// for the *next* lap). Used to complete the send locally without a FIN.
+  [[nodiscard]] bool drained(std::uint64_t cursor) const {
+    if (cursor == 0) return true;
+    std::uint64_t last_idx = cursor - 1;
+    CopyRingSlot* s = slot(static_cast<std::uint32_t>(last_idx % st_->nbufs));
+    std::uint64_t emptied = 2 * (last_idx / st_->nbufs) + 2;
+    return aref(s->seq).load(std::memory_order_acquire) >= emptied;
+  }
+
+ private:
+  Arena* arena_;
+  CopyRingState* st_;
+};
+
+}  // namespace nemo::shm

@@ -1,0 +1,67 @@
+#include "shm/nt_copy.hpp"
+
+#include <cstdint>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <emmintrin.h>
+#define NEMO_HAVE_SSE2 1
+#else
+#define NEMO_HAVE_SSE2 0
+#endif
+
+namespace nemo::shm {
+
+bool nt_copy_available() { return NEMO_HAVE_SSE2 != 0; }
+
+void cached_memcpy(void* dst, const void* src, std::size_t n) {
+  std::memcpy(dst, src, n);
+}
+
+#if NEMO_HAVE_SSE2
+
+void nt_memcpy(void* dst, const void* src, std::size_t n) {
+  auto* d = static_cast<unsigned char*>(dst);
+  auto* s = static_cast<const unsigned char*>(src);
+
+  // Head: align the destination to 16 bytes with a scalar copy.
+  std::size_t head =
+      (16 - (reinterpret_cast<std::uintptr_t>(d) & 15)) & 15;
+  if (head > n) head = n;
+  if (head) {
+    std::memcpy(d, s, head);
+    d += head;
+    s += head;
+    n -= head;
+  }
+
+  // Bulk: 64 bytes per iteration with movntdq (unaligned loads are fine).
+  std::size_t blocks = n / 64;
+  for (std::size_t i = 0; i < blocks; ++i) {
+    __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + 0));
+    __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + 16));
+    __m128i c = _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + 32));
+    __m128i e = _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + 48));
+    _mm_stream_si128(reinterpret_cast<__m128i*>(d + 0), a);
+    _mm_stream_si128(reinterpret_cast<__m128i*>(d + 16), b);
+    _mm_stream_si128(reinterpret_cast<__m128i*>(d + 32), c);
+    _mm_stream_si128(reinterpret_cast<__m128i*>(d + 48), e);
+    d += 64;
+    s += 64;
+  }
+  n -= blocks * 64;
+
+  // Tail.
+  if (n) std::memcpy(d, s, n);
+  _mm_sfence();
+}
+
+#else
+
+void nt_memcpy(void* dst, const void* src, std::size_t n) {
+  std::memcpy(dst, src, n);
+}
+
+#endif
+
+}  // namespace nemo::shm

@@ -1,0 +1,21 @@
+// Non-temporal (streaming-store) memory copy: the software stand-in for the
+// I/OAT DMA engine's defining property — filling the destination without
+// displacing the CPU cache's working set.
+#pragma once
+
+#include <cstddef>
+
+namespace nemo::shm {
+
+/// True when this build/CPU can issue streaming stores (x86-64 SSE2).
+bool nt_copy_available();
+
+/// memcpy that uses non-temporal stores for the bulk when available and the
+/// pointers permit 16-byte alignment handling; falls back to memcpy.
+/// An sfence is issued before returning so the data is globally visible.
+void nt_memcpy(void* dst, const void* src, std::size_t n);
+
+/// Plain cached copy (for symmetric call sites / benchmarking).
+void cached_memcpy(void* dst, const void* src, std::size_t n);
+
+}  // namespace nemo::shm

@@ -1,0 +1,110 @@
+#include "shm/pipes.hpp"
+
+// g++ defines _GNU_SOURCE for C++ targets, giving us vmsplice/pipe2.
+#include <fcntl.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace nemo::shm {
+
+Pipe Pipe::create() {
+  int fds[2];
+  NEMO_SYSCHECK(::pipe2(fds, O_NONBLOCK), "pipe2");
+  Pipe p;
+  p.rfd_ = fds[0];
+  p.wfd_ = fds[1];
+#ifdef F_SETPIPE_SZ
+  // Best effort: match the paper's 64 KiB kernel window. Failure (e.g.
+  // pipe-user-pages-soft pressure) leaves the kernel default, which is fine.
+  (void)::fcntl(p.wfd_, F_SETPIPE_SZ, static_cast<int>(kPipeWindow));
+#endif
+  return p;
+}
+
+Pipe& Pipe::operator=(Pipe&& o) noexcept {
+  if (this != &o) {
+    this->~Pipe();
+    move_from(o);
+  }
+  return *this;
+}
+
+Pipe::~Pipe() {
+  if (rfd_ >= 0) ::close(rfd_);
+  if (wfd_ >= 0) ::close(wfd_);
+  rfd_ = wfd_ = -1;
+}
+
+std::size_t Pipe::vmsplice_some(ConstSegment seg) const {
+  if (seg.len == 0) return 0;
+  struct iovec iov {
+    const_cast<std::byte*>(seg.base), seg.len
+  };
+  ssize_t n = ::vmsplice(wfd_, &iov, 1, SPLICE_F_NONBLOCK);
+  if (n < 0) {
+    if (errno == EAGAIN) return 0;
+    throw SysError("vmsplice", errno);
+  }
+  return static_cast<std::size_t>(n);
+}
+
+std::size_t Pipe::writev_some(ConstSegment seg) const {
+  if (seg.len == 0) return 0;
+  struct iovec iov {
+    const_cast<std::byte*>(seg.base), seg.len
+  };
+  ssize_t n = ::writev(wfd_, &iov, 1);
+  if (n < 0) {
+    if (errno == EAGAIN) return 0;
+    throw SysError("writev(pipe)", errno);
+  }
+  return static_cast<std::size_t>(n);
+}
+
+std::size_t Pipe::readv_some(Segment seg) const {
+  if (seg.len == 0) return 0;
+  struct iovec iov {
+    seg.base, seg.len
+  };
+  ssize_t n = ::readv(rfd_, &iov, 1);
+  if (n < 0) {
+    if (errno == EAGAIN) return 0;
+    throw SysError("readv(pipe)", errno);
+  }
+  return static_cast<std::size_t>(n);
+}
+
+bool Pipe::vmsplice_available() {
+  static const bool ok = [] {
+    try {
+      Pipe p = Pipe::create();
+      char c = 7;
+      struct iovec iov {
+        &c, 1
+      };
+      ssize_t n = ::vmsplice(p.write_fd(), &iov, 1, SPLICE_F_NONBLOCK);
+      if (n != 1) return false;
+      char out = 0;
+      return p.readv_some({reinterpret_cast<std::byte*>(&out), 1}) == 1 &&
+             out == 7;
+    } catch (...) {
+      return false;
+    }
+  }();
+  return ok;
+}
+
+PipeMatrix::PipeMatrix(int nranks) : nranks_(nranks) {
+  NEMO_ASSERT(nranks >= 1);
+  pipes_.resize(static_cast<std::size_t>(nranks) *
+                static_cast<std::size_t>(nranks));
+  for (int s = 0; s < nranks; ++s)
+    for (int d = 0; d < nranks; ++d)
+      if (s != d)
+        pipes_[static_cast<std::size_t>(s) * static_cast<std::size_t>(nranks) +
+               static_cast<std::size_t>(d)] = Pipe::create();
+}
+
+}  // namespace nemo::shm

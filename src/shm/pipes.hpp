@@ -1,0 +1,82 @@
+// RAII Unix pipes plus the vmsplice/readv/writev primitives used by the
+// vmsplice LMT backend (paper §3.1).
+//
+// The paper relies on the kernel's pipe buffer being 16 pages (64 KiB): the
+// sender splice-attaches at most one window, then must wait for the receiver
+// to drain it, which conveniently re-enters the Nemesis progress loop. We set
+// the pipe size to 64 KiB explicitly to reproduce that flow control.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/common.hpp"
+#include "common/iovec.hpp"
+
+namespace nemo::shm {
+
+/// Kernel pipe window the paper describes (PIPE_BUFFERS * 4 KiB).
+inline constexpr std::size_t kPipeWindow = 64 * KiB;
+
+class Pipe {
+ public:
+  /// Creates a nonblocking pipe; best-effort resize to kPipeWindow.
+  static Pipe create();
+
+  Pipe() = default;
+  Pipe(const Pipe&) = delete;
+  Pipe& operator=(const Pipe&) = delete;
+  Pipe(Pipe&& o) noexcept { move_from(o); }
+  Pipe& operator=(Pipe&& o) noexcept;
+  ~Pipe();
+
+  [[nodiscard]] bool valid() const { return rfd_ >= 0; }
+  [[nodiscard]] int read_fd() const { return rfd_; }
+  [[nodiscard]] int write_fd() const { return wfd_; }
+
+  /// vmsplice as much of `seg` as the pipe accepts (zero-copy page attach).
+  /// Returns bytes accepted; 0 when the pipe is full (EAGAIN).
+  std::size_t vmsplice_some(ConstSegment seg) const;
+
+  /// writev fallback — the "two copies" variant of Fig. 3.
+  std::size_t writev_some(ConstSegment seg) const;
+
+  /// readv as much as available into `seg`; 0 when the pipe is empty.
+  std::size_t readv_some(Segment seg) const;
+
+  /// True if this kernel supports vmsplice (probed once, cached).
+  static bool vmsplice_available();
+
+ private:
+  void move_from(Pipe& o) {
+    rfd_ = o.rfd_;
+    wfd_ = o.wfd_;
+    o.rfd_ = o.wfd_ = -1;
+  }
+  int rfd_ = -1;
+  int wfd_ = -1;
+};
+
+/// One pipe per ordered rank pair (src -> dst), created before ranks spawn so
+/// forked children inherit the descriptors — mirroring how an MPI launcher
+/// would set up the channel.
+class PipeMatrix {
+ public:
+  explicit PipeMatrix(int nranks);
+
+  [[nodiscard]] int nranks() const { return nranks_; }
+  /// The pipe carrying src -> dst traffic.
+  [[nodiscard]] const Pipe& get(int src, int dst) const {
+    NEMO_ASSERT(src != dst && src >= 0 && dst >= 0 && src < nranks_ &&
+                dst < nranks_);
+    return pipes_[static_cast<std::size_t>(src) *
+                      static_cast<std::size_t>(nranks_) +
+                  static_cast<std::size_t>(dst)];
+  }
+
+ private:
+  int nranks_;
+  std::vector<Pipe> pipes_;
+};
+
+}  // namespace nemo::shm

@@ -1,0 +1,75 @@
+#include "shm/process_runner.hpp"
+
+#include <sched.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/common.hpp"
+
+namespace nemo::shm {
+
+ProcessResult run_forked_ranks(int nranks,
+                               const std::function<int(int)>& fn) {
+  NEMO_ASSERT(nranks >= 1);
+  std::vector<pid_t> pids(static_cast<std::size_t>(nranks), -1);
+  for (int r = 0; r < nranks; ++r) {
+    pid_t pid = ::fork();
+    NEMO_SYSCHECK(pid, "fork");
+    if (pid == 0) {
+      int code = 120;
+      try {
+        code = fn(r);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "rank %d: uncaught exception: %s\n", r, e.what());
+        code = 121;
+      } catch (...) {
+        std::fprintf(stderr, "rank %d: uncaught exception\n", r);
+        code = 121;
+      }
+      std::fflush(nullptr);
+      ::_exit(code);
+    }
+    pids[static_cast<std::size_t>(r)] = pid;
+  }
+
+  ProcessResult res;
+  res.exit_codes.assign(static_cast<std::size_t>(nranks), -1);
+  res.all_ok = true;
+  for (int r = 0; r < nranks; ++r) {
+    int status = 0;
+    pid_t got = ::waitpid(pids[static_cast<std::size_t>(r)], &status, 0);
+    int code;
+    if (got < 0)
+      code = 122;
+    else if (WIFEXITED(status))
+      code = WEXITSTATUS(status);
+    else if (WIFSIGNALED(status))
+      code = 256 + WTERMSIG(status);
+    else
+      code = 123;
+    res.exit_codes[static_cast<std::size_t>(r)] = code;
+    if (code != 0) res.all_ok = false;
+  }
+  return res;
+}
+
+bool pin_self_to_core(int core) {
+  if (core < 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core, &set);
+  return ::sched_setaffinity(0, sizeof(set), &set) == 0;
+}
+
+int available_cores() {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (::sched_getaffinity(0, sizeof(set), &set) != 0) return 1;
+  int n = CPU_COUNT(&set);
+  return n > 0 ? n : 1;
+}
+
+}  // namespace nemo::shm

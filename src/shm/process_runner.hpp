@@ -1,0 +1,29 @@
+// Fork-based rank launcher: the process-mode analogue of an MPI launcher.
+// Children are forked from the caller (inheriting the shared arena mapping
+// and the pipe matrix), run the rank function, and _exit with its result.
+#pragma once
+
+#include <functional>
+#include <sys/types.h>
+#include <vector>
+
+namespace nemo::shm {
+
+struct ProcessResult {
+  bool all_ok = false;
+  std::vector<int> exit_codes;  ///< Per rank; 256+sig for signal deaths.
+};
+
+/// Fork `nranks` children, each running fn(rank). The parent only waits.
+/// Exceptions escaping fn turn into exit code 121.
+ProcessResult run_forked_ranks(int nranks, const std::function<int(int)>& fn);
+
+/// Pin the calling thread to `core` (best effort; returns false on failure —
+/// e.g. restricted containers — in which case placement-sensitive numbers
+/// lose fidelity but nothing breaks).
+bool pin_self_to_core(int core);
+
+/// Number of cores this process may run on.
+int available_cores();
+
+}  // namespace nemo::shm

@@ -1,0 +1,99 @@
+// Simulated-machine description: a Topology plus timing parameters for the
+// cache/memory/syscall costs the LMT replay models charge.
+//
+// Defaults are calibrated to the paper's main host (Xeon E5345, 2.33 GHz,
+// ~8 GiB/s memory bandwidth): a 64 KiB copy from memory costs ~8 us (§3.1)
+// and a syscall ~100 ns.
+#pragma once
+
+#include <cstddef>
+
+#include "common/common.hpp"
+#include "common/topology.hpp"
+
+namespace nemo::sim {
+
+struct TimingParams {
+  // Per-64B-line access costs by the level that served it.
+  double l1_hit_ns = 1.2;
+  double l2_hit_ns = 5.0;  ///< Clovertown L2 streaming.
+  double c2c_ns = 6.5;     ///< Cache-to-cache transfer over the FSB.
+  double mem_ns = 9.0;     ///< ~8 GiB/s FSB streaming reads.
+  /// A cached write that misses costs a read-for-ownership plus the eventual
+  /// writeback: twice the line transfers of a read. Streaming (NT) stores
+  /// and DMA writes pay 1x.
+  double write_rfo_factor = 1.5;
+
+  // Protocol / kernel-entry costs.
+  double syscall_ns = 100.0;     ///< Paper's figure for a raw syscall.
+  double pipe_op_ns = 800.0;     ///< vmsplice/readv: VFS descriptor work.
+  double vmsplice_page_ns = 40.0;  ///< Page attach (get_user_pages) per page.
+  double vfs_setup_ns = 3000.0;  ///< Per-transfer pipe/VFS initialisation.
+  double knem_cmd_ns = 1200.0;   ///< One KNEM ioctl (send or recv command).
+  double pin_page_ns = 25.0;     ///< Buffer pinning per page (KNEM/I/OAT).
+  double handshake_ns = 2500.0;  ///< RTS/CTS/FIN: cell enqueue + the other
+                                 ///< side noticing it in its progress loop.
+
+  // Producer/consumer synchronisation costs, which depend on whether the
+  // flag lines bounce inside a shared cache or across the coherence fabric
+  // ("much more synchronization ... when no cache is shared", §4.2).
+  double ring_sync_shared_ns = 400.0;     ///< Per double-buffer chunk.
+  double ring_sync_cross_ns = 8000.0;
+  double pipe_sync_shared_ns = 1500.0;    ///< Per 64 KiB pipe window.
+  double pipe_sync_cross_ns = 5000.0;
+
+  // DMA engine (I/OAT) model.
+  double dma_submit_ns = 1000.0;  ///< Physical-device doorbell, one per
+                                  ///< ~8 descriptor pages (§4.2 startup).
+  double dma_pages_per_doorbell = 8.0;
+  double dma_line_ns = 15.0;      ///< Engine copy throughput per line.
+  double dma_status_poll_ns = 300.0;
+
+  /// Slowdown of a kernel-thread copy competing with the polling user
+  /// process on the same core (§3.4/Fig. 6).
+  double kthread_competition = 1.9;
+};
+
+struct SimMachine {
+  Topology topo;
+  TimingParams timing;
+};
+
+/// The paper's evaluation host: dual-socket quad-core E5345.
+inline SimMachine e5345_machine() { return {xeon_e5345(), TimingParams{}}; }
+
+/// The 6 MiB-L2 host (X5460) the paper cross-checks thresholds on.
+inline SimMachine x5460_machine() {
+  TimingParams t;
+  // 3.16 GHz: slightly cheaper cache hits, same memory.
+  t.l1_hit_ns = 0.9;
+  t.l2_hit_ns = 4.2;
+  return {xeon_x5460(), t};
+}
+
+/// Nehalem-like future part (§6): all cores behind one L3.
+inline SimMachine nehalem_machine() {
+  TimingParams t;
+  t.mem_ns = 4.0;  // Integrated memory controller: ~2x the bandwidth.
+  return {nehalem(), t};
+}
+
+/// Synthetic byte-address allocator for simulated buffers. Hands out
+/// page-aligned, non-overlapping ranges of a fake physical address space.
+class AddressAllocator {
+ public:
+  /// Start away from 0 so address 0 is never a valid buffer.
+  AddressAllocator() : next_(1 << 20) {}
+
+  std::uint64_t alloc(std::size_t bytes, std::size_t align = 4096) {
+    next_ = round_up(next_, align);
+    std::uint64_t a = next_;
+    next_ += round_up(bytes, 64);
+    return a;
+  }
+
+ private:
+  std::uint64_t next_;
+};
+
+}  // namespace nemo::sim

@@ -1,0 +1,89 @@
+#include "sim/memsys.hpp"
+
+namespace nemo::sim {
+
+Cost MemSystem::charge(HitLevel lvl, bool write, bool nt) {
+  Cost c;
+  switch (lvl) {
+    case HitLevel::kL1:
+      c.cache_ns = machine_.timing.l1_hit_ns;
+      break;
+    case HitLevel::kL2:
+      c.cache_ns = machine_.timing.l2_hit_ns;
+      break;
+    case HitLevel::kRemoteCache:
+      // Served by another cache over the fabric: cheaper than DRAM but it
+      // still occupies the bus (counted as mem for contention scaling).
+      c.mem_ns = machine_.timing.c2c_ns *
+                 (write && !nt ? machine_.timing.write_rfo_factor : 1.0);
+      break;
+    case HitLevel::kMem:
+      // A cached write miss performs read-for-ownership + writeback; NT
+      // stores and reads move one line.
+      c.mem_ns = machine_.timing.mem_ns *
+                 (write && !nt ? machine_.timing.write_rfo_factor : 1.0);
+      break;
+  }
+  return c;
+}
+
+Cost MemSystem::read(int core, std::uint64_t addr, std::size_t n) {
+  Cost total;
+  std::uint64_t first = round_down(addr, kCacheLine);
+  std::uint64_t last = round_down(addr + (n ? n - 1 : 0), kCacheLine);
+  for (std::uint64_t a = first; a <= last; a += kCacheLine)
+    total += charge(caches_.access(core, a, /*write=*/false), false, false);
+  return total;
+}
+
+Cost MemSystem::write(int core, std::uint64_t addr, std::size_t n, bool nt) {
+  Cost total;
+  std::uint64_t first = round_down(addr, kCacheLine);
+  std::uint64_t last = round_down(addr + (n ? n - 1 : 0), kCacheLine);
+  for (std::uint64_t a = first; a <= last; a += kCacheLine)
+    total += charge(caches_.access(core, a, /*write=*/true, nt), true, nt);
+  return total;
+}
+
+Cost MemSystem::copy(int core, std::uint64_t dst, std::uint64_t src,
+                     std::size_t n, bool nt_dst) {
+  Cost total;
+  std::size_t off = 0;
+  while (off < n) {
+    std::size_t chunk = n - off < kCacheLine ? n - off : kCacheLine;
+    total += charge(caches_.access(core, src + off, /*write=*/false), false,
+                    false);
+    total += charge(caches_.access(core, dst + off, /*write=*/true, nt_dst),
+                    true, nt_dst);
+    off += chunk;
+  }
+  return total;
+}
+
+Cost MemSystem::touch(int core, std::uint64_t addr, std::size_t n) {
+  Cost total;
+  std::uint64_t first = round_down(addr, kCacheLine);
+  std::uint64_t last = round_down(addr + (n ? n - 1 : 0), kCacheLine);
+  for (std::uint64_t a = first; a <= last; a += kCacheLine) {
+    total += charge(caches_.access(core, a, /*write=*/false), false, false);
+    // The write after the read hits what the read just filled; charge L1.
+    caches_.access(core, a, /*write=*/true);
+    total.cache_ns += machine_.timing.l1_hit_ns;
+  }
+  return total;
+}
+
+Cost MemSystem::dma_copy(std::uint64_t dst, std::uint64_t src,
+                         std::size_t n) {
+  Cost total;
+  std::uint64_t first_d = round_down(dst, kCacheLine);
+  std::uint64_t last_d = round_down(dst + (n ? n - 1 : 0), kCacheLine);
+  for (std::uint64_t a = first_d; a <= last_d; a += kCacheLine)
+    caches_.dma_write(a);
+  (void)src;  // DMA reads leave cache state untouched.
+  std::size_t lines = static_cast<std::size_t>((last_d - first_d) / kCacheLine) + 1;
+  total.mem_ns = machine_.timing.dma_line_ns * static_cast<double>(lines);
+  return total;
+}
+
+}  // namespace nemo::sim

@@ -1,0 +1,62 @@
+// Memory-system timing on top of the cache simulator: charge per-line costs
+// for buffer-granularity operations (read/write/copy/touch), separately
+// accumulating the memory-level portion so callers can apply bus-contention
+// scaling when several cores stream concurrently.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cache_sim.hpp"
+#include "sim/machine.hpp"
+
+namespace nemo::sim {
+
+/// Cost of one operation, split by where time was spent.
+struct Cost {
+  double cache_ns = 0;  ///< Served from L1/L2.
+  double mem_ns = 0;    ///< Served from (or streamed to) memory.
+  [[nodiscard]] double total() const { return cache_ns + mem_ns; }
+
+  Cost& operator+=(const Cost& o) {
+    cache_ns += o.cache_ns;
+    mem_ns += o.mem_ns;
+    return *this;
+  }
+};
+
+class MemSystem {
+ public:
+  explicit MemSystem(SimMachine machine)
+      : machine_(std::move(machine)), caches_(machine_.topo) {}
+
+  [[nodiscard]] CacheSystem& caches() { return caches_; }
+  [[nodiscard]] const SimMachine& machine() const { return machine_; }
+  [[nodiscard]] const TimingParams& timing() const {
+    return machine_.timing;
+  }
+
+  /// CPU `core` reads `n` bytes starting at `addr`.
+  Cost read(int core, std::uint64_t addr, std::size_t n);
+
+  /// CPU `core` writes `n` bytes; nt = streaming stores (no allocation).
+  Cost write(int core, std::uint64_t addr, std::size_t n, bool nt = false);
+
+  /// CPU copy src -> dst on `core` (read + write interleaved per line).
+  Cost copy(int core, std::uint64_t dst, std::uint64_t src, std::size_t n,
+            bool nt_dst = false);
+
+  /// Application working-set touch (read-modify-write per line).
+  Cost touch(int core, std::uint64_t addr, std::size_t n);
+
+  /// DMA-engine copy: no CPU cache allocation anywhere; destination lines
+  /// are invalidated in all caches (coherent DMA). Returns engine time.
+  Cost dma_copy(std::uint64_t dst, std::uint64_t src, std::size_t n);
+
+ private:
+  Cost charge(HitLevel lvl, bool write, bool nt);
+
+  SimMachine machine_;
+  CacheSystem caches_;
+};
+
+}  // namespace nemo::sim

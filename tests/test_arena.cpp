@@ -1,0 +1,103 @@
+// Shared-memory arena: allocation, offsets, shm_open-backed variant, and
+// cross-process visibility through fork.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <thread>
+#include <vector>
+
+#include "shm/arena.hpp"
+
+namespace nemo::shm {
+namespace {
+
+TEST(Arena, AllocAlignmentAndBounds) {
+  Arena a = Arena::create_anonymous(1 * MiB);
+  EXPECT_TRUE(a.valid());
+  std::uint64_t o1 = a.alloc(100, 64);
+  std::uint64_t o2 = a.alloc(1, 8);
+  std::uint64_t o3 = a.alloc(100, 4096);
+  EXPECT_NE(o1, kNil);
+  EXPECT_EQ(o1 % 64, 0u);
+  EXPECT_EQ(o3 % 4096, 0u);
+  EXPECT_GT(o2, o1);
+  EXPECT_GT(o3, o2);
+  EXPECT_LT(a.remaining(), 1 * MiB);
+}
+
+TEST(Arena, OffsetPointerRoundTrip) {
+  Arena a = Arena::create_anonymous(64 * KiB);
+  std::uint64_t off = a.alloc(128);
+  std::byte* p = a.at(off);
+  EXPECT_EQ(a.offset_of(p), off);
+  EXPECT_TRUE(a.contains(p, 128));
+  EXPECT_FALSE(a.contains(&off, sizeof(off)));
+}
+
+TEST(Arena, ConcurrentAllocationsDoNotOverlap) {
+  Arena a = Arena::create_anonymous(16 * MiB);
+  constexpr int kThreads = 8, kAllocs = 200;
+  std::vector<std::vector<std::uint64_t>> offs(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < kAllocs; ++i)
+        offs[static_cast<std::size_t>(t)].push_back(
+            a.alloc(64 + static_cast<std::size_t>(i % 7) * 8, 64));
+    });
+  for (auto& th : ts) th.join();
+  std::vector<std::uint64_t> all;
+  for (auto& v : offs) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 1; i < all.size(); ++i) EXPECT_NE(all[i - 1], all[i]);
+}
+
+TEST(Arena, MoveTransfersOwnership) {
+  Arena a = Arena::create_anonymous(64 * KiB);
+  std::byte* base = a.base();
+  Arena b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.base(), base);
+}
+
+TEST(Arena, ShmBackedCreateOpenUnlink) {
+  std::string name = "/nemo-test-" + std::to_string(::getpid());
+  {
+    Arena owner = Arena::create_shm(name, 256 * KiB);
+    std::uint64_t off = owner.alloc(64);
+    *owner.at_as<std::uint64_t>(off) = 0xabcdef;
+    Arena attached = Arena::open_shm(name);
+    // Independent mapping of the same pages.
+    EXPECT_EQ(*attached.at_as<std::uint64_t>(off), 0xabcdefu);
+  }
+  // Owner destruction unlinked the segment.
+  EXPECT_THROW(Arena::open_shm(name), SysError);
+}
+
+TEST(Arena, CreateShmRejectsDuplicates) {
+  std::string name = "/nemo-test-dup-" + std::to_string(::getpid());
+  Arena a = Arena::create_shm(name, 64 * KiB);
+  EXPECT_THROW(Arena::create_shm(name, 64 * KiB), SysError);
+}
+
+TEST(Arena, AnonymousSharedAcrossFork) {
+  Arena a = Arena::create_anonymous(64 * KiB);
+  std::uint64_t off = a.alloc(8);
+  auto* word = a.at_as<std::uint64_t>(off);
+  *word = 0;
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    aref(*word).store(777, std::memory_order_release);
+    ::_exit(0);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  EXPECT_EQ(aref(*word).load(std::memory_order_acquire), 777u);
+}
+
+}  // namespace
+}  // namespace nemo::shm

@@ -1,0 +1,153 @@
+// Cache simulator: hit/miss mechanics, LRU, associativity conflicts,
+// invalidation coherence, sharing maps, and NT/DMA bypass semantics.
+#include <gtest/gtest.h>
+
+#include "sim/cache_sim.hpp"
+
+namespace nemo::sim {
+namespace {
+
+TEST(CacheLevel, HitAfterFill) {
+  CacheLevel c(32 * KiB, 64, 8);
+  EXPECT_FALSE(c.access(0x1000, true));
+  EXPECT_TRUE(c.access(0x1000, true));
+  EXPECT_TRUE(c.access(0x1020, true));  // Same line.
+  EXPECT_FALSE(c.access(0x1040, true));  // Next line.
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(CacheLevel, LruEvictionWithinSet) {
+  // 8 sets of 2 ways: size = 8*2*64 = 1 KiB.
+  CacheLevel c(1 * KiB, 64, 2);
+  // Three lines mapping to the same set (stride = sets*line = 512).
+  EXPECT_FALSE(c.access(0x0000, true));
+  EXPECT_FALSE(c.access(0x0200, true));
+  EXPECT_TRUE(c.access(0x0000, true));  // Refresh LRU: 0x200 becomes LRU.
+  EXPECT_FALSE(c.access(0x0400, true)); // Evicts 0x200.
+  EXPECT_TRUE(c.access(0x0000, true));
+  EXPECT_FALSE(c.access(0x0200, true)); // Gone.
+}
+
+TEST(CacheLevel, InvalidateRemovesLine) {
+  CacheLevel c(32 * KiB, 64, 8);
+  c.access(0x4000, true);
+  EXPECT_TRUE(c.contains(0x4000));
+  c.invalidate(0x4000);
+  EXPECT_FALSE(c.contains(0x4000));
+  EXPECT_FALSE(c.access(0x4000, true));
+}
+
+TEST(CacheLevel, CapacityStreamEvictsEverything) {
+  CacheLevel c(32 * KiB, 64, 8);
+  c.access(0x0, true);
+  // Stream 64 KiB: twice the capacity.
+  for (std::uint64_t a = 0x100000; a < 0x110000; a += 64) c.access(a, true);
+  EXPECT_FALSE(c.contains(0x0));
+}
+
+struct CacheSystemE5345 : ::testing::Test {
+  CacheSystemE5345() : cs(xeon_e5345()) {}
+  CacheSystem cs;
+};
+
+TEST_F(CacheSystemE5345, L1ThenL2ThenMem) {
+  EXPECT_EQ(cs.access(0, 0x1000, false), HitLevel::kMem);
+  EXPECT_EQ(cs.access(0, 0x1000, false), HitLevel::kL1);
+  // Stream through L1 (32 KiB) so 0x1000 falls to L2 only.
+  for (std::uint64_t a = 0x200000; a < 0x200000 + 64 * KiB; a += 64)
+    cs.access(0, a, false);
+  EXPECT_EQ(cs.access(0, 0x1000, false), HitLevel::kL2);
+}
+
+TEST_F(CacheSystemE5345, SharedL2VisibleToSibling) {
+  cs.access(0, 0x5000, false);          // Core 0 fills L1+shared L2.
+  EXPECT_EQ(cs.access(1, 0x5000, false), HitLevel::kL2);  // Sibling: L2 hit.
+  // A core on another die is served cache-to-cache (the line lives in
+  // die 0's L2), not by memory.
+  CacheSystem cs2(xeon_e5345());
+  cs2.access(0, 0x5000, false);
+  EXPECT_EQ(cs2.access(7, 0x5000, false), HitLevel::kRemoteCache);
+}
+
+TEST_F(CacheSystemE5345, WriteInvalidatesOtherHierarchies) {
+  cs.access(7, 0x6000, false);  // Core 7 caches the line.
+  cs.access(0, 0x6000, true);   // Core 0 writes it (7's copy invalidated).
+  // 7 re-reads: served cache-to-cache from core 0's hierarchy.
+  EXPECT_EQ(cs.access(7, 0x6000, false), HitLevel::kRemoteCache);
+  // After 7's migratory read took the line, 0 writes again and 7 was
+  // invalidated... flush everything and verify a cold read is kMem.
+  cs.flush_all();
+  EXPECT_EQ(cs.access(7, 0x6000, false), HitLevel::kMem);
+}
+
+TEST_F(CacheSystemE5345, MigratoryReadTakesOwnership) {
+  cs.access(0, 0x7000, true);   // Core 0 owns the line.
+  cs.access(7, 0x7000, false);  // Core 7 reads it (cross-die miss).
+  // Core 0's next *write* pays again: its copy was migrated away.
+  cs.reset_stats();
+  cs.access(0, 0x7000, true);
+  EXPECT_GE(cs.l2_misses(), 1u);
+}
+
+TEST_F(CacheSystemE5345, SharedL2NotPunishedByMigration) {
+  cs.access(0, 0x8000, true);
+  cs.access(1, 0x8000, false);  // Sibling read: shared L2 keeps the line.
+  cs.reset_stats();
+  EXPECT_NE(cs.access(0, 0x8000, true), HitLevel::kMem);
+  EXPECT_EQ(cs.l2_misses(), 0u);
+}
+
+TEST_F(CacheSystemE5345, NtWriteBypassesAndInvalidates) {
+  cs.access(0, 0x9000, false);
+  EXPECT_EQ(cs.access(0, 0x9000, true, /*nt=*/true), HitLevel::kMem);
+  // The writer's own cached copy is gone too.
+  EXPECT_EQ(cs.access(0, 0x9000, false), HitLevel::kMem);
+}
+
+TEST_F(CacheSystemE5345, DmaWriteInvalidatesEverywhereWithoutFilling) {
+  cs.access(0, 0xa000, false);
+  cs.access(7, 0xa000, false);
+  cs.dma_write(0xa000);
+  cs.reset_stats();
+  EXPECT_EQ(cs.access(0, 0xa000, false), HitLevel::kMem);
+  // DMA itself counted no miss.
+  EXPECT_EQ(cs.l2_misses(), 1u);
+}
+
+TEST_F(CacheSystemE5345, FlushAllColdRestart) {
+  cs.access(0, 0xb000, false);
+  cs.flush_all();
+  EXPECT_EQ(cs.access(0, 0xb000, false), HitLevel::kMem);
+}
+
+TEST_F(CacheSystemE5345, MissCountersSeparateL1L2) {
+  cs.reset_stats();
+  cs.access(0, 0xc000, false);  // L1 miss + L2 miss.
+  cs.access(0, 0xc000, false);  // L1 hit.
+  EXPECT_EQ(cs.l1_misses(), 1u);
+  EXPECT_EQ(cs.l2_misses(), 1u);
+}
+
+TEST(CacheSystem, WorkingSetLargerThanL2Thrashes) {
+  CacheSystem cs(xeon_e5345());
+  // Stream 8 MiB through a 4 MiB L2 twice: second pass still misses.
+  std::uint64_t base = 0x10000000;
+  for (int pass = 0; pass < 2; ++pass)
+    for (std::uint64_t a = 0; a < 8 * MiB; a += 64)
+      cs.access(0, base + a, false);
+  // Both passes ~all memory: 2 * 131072 line accesses.
+  EXPECT_GT(cs.l2_misses(), 250000u);
+}
+
+TEST(CacheSystem, WorkingSetFittingL2StopsMissing) {
+  CacheSystem cs(xeon_e5345());
+  std::uint64_t base = 0x10000000;
+  for (std::uint64_t a = 0; a < 1 * MiB; a += 64) cs.access(0, base + a, false);
+  cs.reset_stats();
+  for (std::uint64_t a = 0; a < 1 * MiB; a += 64) cs.access(0, base + a, false);
+  EXPECT_EQ(cs.l2_misses(), 0u);
+}
+
+}  // namespace
+}  // namespace nemo::sim

@@ -1,0 +1,208 @@
+// Collectives across LMT backends and rank counts, including non-power-of-two
+// worlds and the large-message alltoall(v) paths Figure 7 depends on.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/checksum.hpp"
+#include "core/comm.hpp"
+
+namespace nemo::core {
+namespace {
+
+struct CollParam {
+  int nranks;
+  lmt::LmtKind kind;
+};
+
+class Collectives : public ::testing::TestWithParam<CollParam> {
+ protected:
+  Config config() const {
+    Config cfg;
+    cfg.nranks = GetParam().nranks;
+    cfg.lmt = GetParam().kind;
+    cfg.knem_mode = lmt::KnemMode::kAuto;
+    cfg.shared_pool_bytes = 64 * MiB;
+    return cfg;
+  }
+};
+
+TEST_P(Collectives, BarrierManyTimes) {
+  run(config(), [&](Comm& comm) {
+    for (int i = 0; i < 50; ++i) comm.barrier();
+  });
+}
+
+TEST_P(Collectives, BcastFromEveryRoot) {
+  run(config(), [&](Comm& comm) {
+    constexpr std::size_t kN = 200 * KiB;  // Rendezvous-sized.
+    std::vector<std::byte> buf(kN);
+    for (int root = 0; root < comm.size(); ++root) {
+      if (comm.rank() == root) pattern_fill(buf, 100 + root);
+      comm.bcast(buf.data(), kN, root);
+      EXPECT_EQ(pattern_check(buf, 100 + static_cast<unsigned>(root)),
+                kPatternOk)
+          << "root " << root;
+    }
+  });
+}
+
+TEST_P(Collectives, GatherScatterInverse) {
+  run(config(), [&](Comm& comm) {
+    const std::size_t per = 64 * KiB + 16;
+    int n = comm.size();
+    std::vector<std::byte> mine(per);
+    pattern_fill(mine, static_cast<std::uint64_t>(comm.rank()));
+    std::vector<std::byte> all(per * static_cast<std::size_t>(n));
+    comm.gather(mine.data(), per, all.data(), 0);
+    if (comm.rank() == 0) {
+      for (int r = 0; r < n; ++r)
+        EXPECT_EQ(
+            pattern_check(std::span<const std::byte>(
+                              all.data() + static_cast<std::size_t>(r) * per,
+                              per),
+                          static_cast<std::uint64_t>(r)),
+            kPatternOk);
+    }
+    std::vector<std::byte> back(per);
+    comm.scatter(all.data(), per, back.data(), 0);
+    EXPECT_EQ(pattern_check(back, static_cast<std::uint64_t>(comm.rank())),
+              kPatternOk);
+  });
+}
+
+TEST_P(Collectives, AllgatherRing) {
+  run(config(), [&](Comm& comm) {
+    const std::size_t per = 96 * KiB;
+    int n = comm.size();
+    std::vector<std::byte> mine(per);
+    pattern_fill(mine, 7u + static_cast<std::uint64_t>(comm.rank()));
+    std::vector<std::byte> all(per * static_cast<std::size_t>(n));
+    comm.allgather(mine.data(), per, all.data());
+    for (int r = 0; r < n; ++r)
+      EXPECT_EQ(pattern_check(std::span<const std::byte>(
+                                  all.data() + static_cast<std::size_t>(r) * per,
+                                  per),
+                              7u + static_cast<std::uint64_t>(r)),
+                kPatternOk);
+  });
+}
+
+TEST_P(Collectives, AlltoallLargeBlocks) {
+  run(config(), [&](Comm& comm) {
+    const std::size_t per = 128 * KiB;
+    int n = comm.size();
+    std::vector<std::byte> send(per * static_cast<std::size_t>(n)),
+        recv(per * static_cast<std::size_t>(n));
+    // Block (r -> d) filled with seed r*1000+d.
+    for (int d = 0; d < n; ++d)
+      pattern_fill(std::span<std::byte>(
+                       send.data() + static_cast<std::size_t>(d) * per, per),
+                   static_cast<std::uint64_t>(comm.rank()) * 1000 +
+                       static_cast<std::uint64_t>(d));
+    comm.alltoall(send.data(), per, recv.data());
+    for (int s = 0; s < n; ++s)
+      EXPECT_EQ(pattern_check(std::span<const std::byte>(
+                                  recv.data() + static_cast<std::size_t>(s) * per,
+                                  per),
+                              static_cast<std::uint64_t>(s) * 1000 +
+                                  static_cast<std::uint64_t>(comm.rank())),
+                kPatternOk)
+          << "from rank " << s;
+  });
+}
+
+TEST_P(Collectives, AlltoallvUnevenIncludingZeros) {
+  run(config(), [&](Comm& comm) {
+    int n = comm.size();
+    int me = comm.rank();
+    auto nsz = static_cast<std::size_t>(n);
+    // Rank r sends (r+1)*8KiB to each destination except one it skips.
+    std::vector<std::size_t> scounts(nsz), sdispls(nsz), rcounts(nsz),
+        rdispls(nsz);
+    for (int d = 0; d < n; ++d) {
+      auto dz = static_cast<std::size_t>(d);
+      scounts[dz] =
+          (d == (me + 1) % n && n > 1) ? 0 : (static_cast<std::size_t>(me) + 1) * 8 * KiB;
+    }
+    std::partial_sum(scounts.begin(), scounts.end() - 1, sdispls.begin() + 1);
+    for (int s = 0; s < n; ++s) {
+      auto sz = static_cast<std::size_t>(s);
+      rcounts[sz] =
+          (me == (s + 1) % n && n > 1) ? 0 : (static_cast<std::size_t>(s) + 1) * 8 * KiB;
+    }
+    std::partial_sum(rcounts.begin(), rcounts.end() - 1, rdispls.begin() + 1);
+
+    std::vector<std::byte> send(sdispls[nsz - 1] + scounts[nsz - 1]);
+    std::vector<std::byte> recv(rdispls[nsz - 1] + rcounts[nsz - 1]);
+    for (int d = 0; d < n; ++d) {
+      auto dz = static_cast<std::size_t>(d);
+      pattern_fill(std::span<std::byte>(send.data() + sdispls[dz],
+                                        scounts[dz]),
+                   static_cast<std::uint64_t>(me) * 97 +
+                       static_cast<std::uint64_t>(d));
+    }
+    comm.alltoallv(send.data(), scounts.data(), sdispls.data(), recv.data(),
+                   rcounts.data(), rdispls.data());
+    for (int s = 0; s < n; ++s) {
+      auto sz = static_cast<std::size_t>(s);
+      EXPECT_EQ(pattern_check(std::span<const std::byte>(
+                                  recv.data() + rdispls[sz], rcounts[sz]),
+                              static_cast<std::uint64_t>(s) * 97 +
+                                  static_cast<std::uint64_t>(me)),
+                kPatternOk)
+          << "from " << s;
+    }
+  });
+}
+
+TEST_P(Collectives, ReduceAndAllreduce) {
+  run(config(), [&](Comm& comm) {
+    int n = comm.size();
+    const std::size_t kN = 4096;
+    std::vector<double> in(kN), out(kN, -1);
+    for (std::size_t i = 0; i < kN; ++i)
+      in[i] = static_cast<double>(comm.rank()) + static_cast<double>(i);
+    comm.reduce_f64(in.data(), out.data(), kN, Comm::ReduceOp::kSum, 0);
+    if (comm.rank() == 0) {
+      for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_DOUBLE_EQ(out[i], n * (n - 1) / 2.0 +
+                                     static_cast<double>(n) *
+                                         static_cast<double>(i));
+    }
+    std::vector<double> amax(kN);
+    comm.allreduce_f64(in.data(), amax.data(), kN, Comm::ReduceOp::kMax);
+    for (std::size_t i = 0; i < kN; ++i)
+      EXPECT_DOUBLE_EQ(amax[i],
+                       static_cast<double>(n - 1) + static_cast<double>(i));
+
+    std::int64_t one = comm.rank() + 1, sum = 0;
+    comm.allreduce_i64(&one, &sum, 1, Comm::ReduceOp::kSum);
+    EXPECT_EQ(sum, static_cast<std::int64_t>(n) * (n + 1) / 2);
+    std::int64_t mn = 0;
+    comm.allreduce_i64(&one, &mn, 1, Comm::ReduceOp::kMin);
+    EXPECT_EQ(mn, 1);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorldsAndKinds, Collectives,
+    ::testing::Values(CollParam{2, lmt::LmtKind::kKnem},
+                      CollParam{4, lmt::LmtKind::kKnem},
+                      CollParam{8, lmt::LmtKind::kKnem},
+                      CollParam{3, lmt::LmtKind::kKnem},
+                      CollParam{5, lmt::LmtKind::kDefaultShm},
+                      CollParam{4, lmt::LmtKind::kDefaultShm},
+                      CollParam{4, lmt::LmtKind::kVmsplice},
+                      CollParam{4, lmt::LmtKind::kAuto}),
+    [](const auto& info) {
+      std::string s = std::to_string(info.param.nranks) + "ranks_";
+      s += lmt::to_string(info.param.kind);
+      for (auto& c : s)
+        if (c == '-') c = '_';
+      return s;
+    });
+
+}  // namespace
+}  // namespace nemo::core

@@ -1,0 +1,134 @@
+// Double-buffer copy ring: SPSC streaming across messages, drained()
+// semantics, peek/release scatter path, and concurrent producer/consumer.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/checksum.hpp"
+#include "shm/copy_ring.hpp"
+
+namespace nemo::shm {
+namespace {
+
+struct RingFixture : ::testing::Test {
+  RingFixture()
+      : arena(Arena::create_anonymous(8 * MiB)),
+        ring_off(CopyRing::create(arena, 2, 4096)),
+        ring(arena, ring_off) {}
+  Arena arena;
+  std::uint64_t ring_off;
+  CopyRing ring;
+};
+
+TEST_F(RingFixture, PushPopSingleChunk) {
+  std::vector<std::byte> src(1000), dst(4096);
+  pattern_fill(src, 1);
+  std::uint64_t sc = 0, rc = 0;
+  EXPECT_EQ(ring.try_push(sc, src.data(), 1000, true), 1000u);
+  bool last = false;
+  EXPECT_EQ(ring.try_pop(rc, dst.data(), last), 1000u);
+  EXPECT_TRUE(last);
+  EXPECT_EQ(pattern_check(std::span<const std::byte>(dst.data(), 1000), 1),
+            kPatternOk);
+  EXPECT_TRUE(ring.drained(sc));
+}
+
+TEST_F(RingFixture, PushBlocksWhenRingFull) {
+  std::vector<std::byte> src(4096);
+  std::uint64_t sc = 0;
+  EXPECT_EQ(ring.try_push(sc, src.data(), 4096, false), 4096u);
+  EXPECT_EQ(ring.try_push(sc, src.data(), 4096, false), 4096u);
+  EXPECT_EQ(ring.try_push(sc, src.data(), 4096, false), 0u);  // Full.
+  EXPECT_FALSE(ring.drained(sc));
+}
+
+TEST_F(RingFixture, CursorsPersistAcrossMessages) {
+  std::vector<std::byte> buf(4096), out(4096);
+  std::uint64_t sc = 0, rc = 0;
+  // Three back-to-back "messages" of 3 chunks each: the regression that
+  // originally deadlocked transfer #2 (cursor reset vs cumulative seq).
+  for (int msg = 0; msg < 3; ++msg) {
+    for (int chunk = 0; chunk < 3; ++chunk) {
+      pattern_fill(buf, static_cast<std::uint64_t>(msg * 3 + chunk));
+      while (ring.try_push(sc, buf.data(), 4096, chunk == 2) == 0) {
+        bool last;
+        ring.try_pop(rc, out.data(), last);
+      }
+    }
+    bool last = false;
+    while (!ring.drained(sc)) {
+      if (ring.try_pop(rc, out.data(), last) == 0) break;
+    }
+  }
+  EXPECT_TRUE(ring.drained(sc));
+  EXPECT_EQ(sc, 9u);
+  EXPECT_EQ(rc, 9u);
+}
+
+TEST_F(RingFixture, PeekReleaseMatchesPop) {
+  std::vector<std::byte> src(4096);
+  pattern_fill(src, 3);
+  std::uint64_t sc = 0, rc = 0;
+  ring.try_push(sc, src.data(), 2222, true);
+  auto view = ring.peek(rc);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->bytes, 2222u);
+  EXPECT_TRUE(view->last);
+  EXPECT_EQ(pattern_check(
+                std::span<const std::byte>(view->data, view->bytes), 3),
+            kPatternOk);
+  ring.release(rc);
+  EXPECT_EQ(rc, 1u);
+  EXPECT_FALSE(ring.peek(rc).has_value());
+}
+
+TEST_F(RingFixture, ConcurrentStream) {
+  constexpr std::size_t kTotal = 2 * MiB;
+  std::vector<std::byte> src(kTotal), dst(kTotal);
+  pattern_fill(src, 9);
+
+  std::thread producer([&] {
+    CopyRing r(arena, ring_off);
+    std::uint64_t sc = 0;
+    std::size_t off = 0;
+    while (off < kTotal) {
+      std::size_t n = std::min<std::size_t>(4096, kTotal - off);
+      std::size_t pushed =
+          r.try_push(sc, src.data() + off, n, off + n == kTotal);
+      off += pushed;
+    }
+    while (!r.drained(sc)) {
+    }
+  });
+
+  CopyRing r(arena, ring_off);
+  std::uint64_t rc = 0;
+  std::size_t off = 0;
+  bool last = false;
+  while (off < kTotal) {
+    std::size_t n = r.try_pop(rc, dst.data() + off, last);
+    off += n;
+  }
+  producer.join();
+  EXPECT_TRUE(last);
+  EXPECT_EQ(pattern_check(dst, 9), kPatternOk);
+}
+
+TEST(CopyRing, ConfigurableGeometry) {
+  Arena arena = Arena::create_anonymous(8 * MiB);
+  std::uint64_t off = CopyRing::create(arena, 4, 64 * KiB);
+  CopyRing ring(arena, off);
+  EXPECT_EQ(ring.nbufs(), 4u);
+  EXPECT_EQ(ring.buf_bytes(), 64 * KiB);
+  // Four pushes fit without a pop.
+  std::vector<std::byte> buf(64 * KiB);
+  std::uint64_t sc = 0;
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(ring.try_push(sc, buf.data(), buf.size(), false), buf.size());
+  EXPECT_EQ(ring.try_push(sc, buf.data(), buf.size(), false), 0u);
+}
+
+}  // namespace
+}  // namespace nemo::shm

@@ -1,0 +1,151 @@
+// Matching engine: wildcard semantics, FIFO ordering, context isolation,
+// partial-eager lookup.
+#include <gtest/gtest.h>
+
+#include "core/comm.hpp"
+#include "core/match.hpp"
+
+namespace nemo::core {
+namespace {
+
+PostedRecv make_pr(int src, int tag, int context = 0) {
+  PostedRecv pr;
+  pr.src = src;
+  pr.tag = tag;
+  pr.context = context;
+  pr.req = std::make_shared<RequestState>();
+  return pr;
+}
+
+std::unique_ptr<UnexpectedMsg> make_um(int src, int tag, int context = 0,
+                                       std::uint32_t seq = 0) {
+  auto um = std::make_unique<UnexpectedMsg>();
+  um->src = src;
+  um->tag = tag;
+  um->context = context;
+  um->seq = seq;
+  return um;
+}
+
+TEST(Match, PostedThenIncoming) {
+  MatchEngine m;
+  PostedRecv pr = make_pr(1, 5);
+  EXPECT_EQ(m.post_recv(pr), nullptr);
+  EXPECT_EQ(m.posted_count(), 1u);
+  auto got = m.match_incoming(1, 5, 0);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(m.posted_count(), 0u);
+  EXPECT_EQ(m.match_incoming(1, 5, 0), nullptr);
+}
+
+TEST(Match, IncomingThenPosted) {
+  MatchEngine m;
+  m.add_unexpected(make_um(2, 9));
+  PostedRecv pr = make_pr(2, 9);
+  auto um = m.post_recv(pr);
+  ASSERT_NE(um, nullptr);
+  EXPECT_EQ(um->src, 2);
+  // pr untouched: req still present.
+  EXPECT_NE(pr.req, nullptr);
+  EXPECT_EQ(m.unexpected_count(), 0u);
+}
+
+TEST(Match, WildcardSourceMatchesAny) {
+  MatchEngine m;
+  m.add_unexpected(make_um(3, 7));
+  PostedRecv pr = make_pr(kAnySource, 7);
+  auto um = m.post_recv(pr);
+  ASSERT_NE(um, nullptr);
+  EXPECT_EQ(um->src, 3);
+}
+
+TEST(Match, WildcardTagMatchesAny) {
+  MatchEngine m;
+  PostedRecv pr = make_pr(1, kAnyTag);
+  m.post_recv(pr);
+  EXPECT_NE(m.match_incoming(1, 12345, 0), nullptr);
+}
+
+TEST(Match, ContextNeverWildcard) {
+  MatchEngine m;
+  m.add_unexpected(make_um(1, 5, /*context=*/1));
+  // A fully-wildcard user recv must not see internal (context 1) traffic.
+  PostedRecv pr = make_pr(kAnySource, kAnyTag, /*context=*/0);
+  EXPECT_EQ(m.post_recv(pr), nullptr);
+  EXPECT_EQ(m.unexpected_count(), 1u);
+  // The matching internal recv does.
+  PostedRecv pr2 = make_pr(kAnySource, kAnyTag, /*context=*/1);
+  EXPECT_NE(m.post_recv(pr2), nullptr);
+}
+
+TEST(Match, FifoWithinMatchingClass) {
+  MatchEngine m;
+  m.add_unexpected(make_um(1, 5, 0, /*seq=*/10));
+  m.add_unexpected(make_um(1, 5, 0, /*seq=*/11));
+  PostedRecv pr = make_pr(1, 5);
+  auto first = m.post_recv(pr);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->seq, 10u);  // Oldest first (non-overtaking).
+  PostedRecv pr2 = make_pr(1, 5);
+  auto second = m.post_recv(pr2);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->seq, 11u);
+}
+
+TEST(Match, PostedFifoAcrossWildcards) {
+  MatchEngine m;
+  PostedRecv specific = make_pr(1, 5);
+  PostedRecv wild = make_pr(kAnySource, kAnyTag);
+  m.post_recv(specific);
+  m.post_recv(wild);
+  // The older posted recv (specific) wins for a matching envelope.
+  auto got = m.match_incoming(1, 5, 0);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->src, 1);
+  // The next envelope lands on the wildcard.
+  auto got2 = m.match_incoming(2, 99, 0);
+  ASSERT_NE(got2, nullptr);
+  EXPECT_EQ(got2->src, kAnySource);
+}
+
+TEST(Match, NonMatchingTagSkipped) {
+  MatchEngine m;
+  m.add_unexpected(make_um(1, 5));
+  PostedRecv pr = make_pr(1, 6);
+  EXPECT_EQ(m.post_recv(pr), nullptr);
+  EXPECT_EQ(m.unexpected_count(), 1u);
+  EXPECT_EQ(m.posted_count(), 1u);
+}
+
+TEST(Match, FindPartialOnlyIncompleteEager) {
+  MatchEngine m;
+  auto um = make_um(1, 5, 0, 42);
+  um->total = 100;
+  um->data.resize(100);
+  um->bytes_arrived = 50;
+  m.add_unexpected(std::move(um));
+  EXPECT_NE(m.find_partial(1, 42), nullptr);
+  EXPECT_EQ(m.find_partial(1, 43), nullptr);
+  EXPECT_EQ(m.find_partial(2, 42), nullptr);
+  // Complete it: no longer "partial".
+  m.find_partial(1, 42)->bytes_arrived = 100;
+  EXPECT_EQ(m.find_partial(1, 42), nullptr);
+}
+
+TEST(Match, RndvUnexpectedCarriesWire) {
+  MatchEngine m;
+  auto um = make_um(4, 8);
+  um->is_rndv = true;
+  um->rts.total = 12345;
+  um->rts.knem_cookie = 77;
+  m.add_unexpected(std::move(um));
+  PostedRecv pr = make_pr(4, 8);
+  auto got = m.post_recv(pr);
+  ASSERT_NE(got, nullptr);
+  EXPECT_TRUE(got->is_rndv);
+  EXPECT_EQ(got->rts.total, 12345u);
+  EXPECT_EQ(got->rts.knem_cookie, 77u);
+}
+
+}  // namespace
+}  // namespace nemo::core

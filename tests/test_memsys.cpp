@@ -1,0 +1,100 @@
+// Memory-system timing: per-line cost accounting, RFO write pricing, NT and
+// DMA costs, and the cache-warming effects the LMT models rely on.
+#include <gtest/gtest.h>
+
+#include "sim/memsys.hpp"
+
+namespace nemo::sim {
+namespace {
+
+struct MemSysFixture : ::testing::Test {
+  MemSysFixture() : ms(e5345_machine()) {}
+  MemSystem ms;
+};
+
+TEST_F(MemSysFixture, ColdReadChargesMemoryPerLine) {
+  const TimingParams& t = ms.timing();
+  Cost c = ms.read(0, 0x100000, 64 * KiB);
+  EXPECT_DOUBLE_EQ(c.mem_ns, 1024 * t.mem_ns);
+  EXPECT_DOUBLE_EQ(c.cache_ns, 0);
+}
+
+TEST_F(MemSysFixture, WarmReadChargesCache) {
+  ms.read(0, 0x100000, 64 * KiB);
+  Cost c = ms.read(0, 0x100000, 64 * KiB);
+  EXPECT_DOUBLE_EQ(c.mem_ns, 0);
+  EXPECT_GT(c.cache_ns, 0);
+  // 64 KiB fits neither L1 entirely... 32 KiB L1: half L1 hits, half L2.
+  const TimingParams& t = ms.timing();
+  EXPECT_LE(c.cache_ns, 1024 * t.l2_hit_ns);
+  EXPECT_GE(c.cache_ns, 1024 * t.l1_hit_ns);
+}
+
+TEST_F(MemSysFixture, ColdWritePaysRfo) {
+  const TimingParams& t = ms.timing();
+  Cost w = ms.write(0, 0x200000, 64 * KiB);
+  EXPECT_DOUBLE_EQ(w.mem_ns, 1024 * t.mem_ns * t.write_rfo_factor);
+}
+
+TEST_F(MemSysFixture, NtWriteSkipsRfoAndCache) {
+  const TimingParams& t = ms.timing();
+  Cost w = ms.write(0, 0x300000, 64 * KiB, /*nt=*/true);
+  EXPECT_DOUBLE_EQ(w.mem_ns, 1024 * t.mem_ns);
+  // Still cold afterwards (no allocation).
+  Cost r = ms.read(0, 0x300000, 64 * KiB);
+  EXPECT_GT(r.mem_ns, 0);
+}
+
+TEST_F(MemSysFixture, CopyCombinesReadAndWrite) {
+  Cost c = ms.copy(0, 0x500000, 0x400000, 64 * KiB);
+  const TimingParams& t = ms.timing();
+  EXPECT_DOUBLE_EQ(c.mem_ns,
+                   1024 * t.mem_ns * (1.0 + t.write_rfo_factor));
+  // Second copy: source warm, destination warm -> all cache-served.
+  Cost c2 = ms.copy(0, 0x500000, 0x400000, 64 * KiB);
+  EXPECT_DOUBLE_EQ(c2.mem_ns, 0);
+  EXPECT_LT(c2.total(), c.total());
+}
+
+TEST_F(MemSysFixture, UnalignedRangesCoverAllTouchedLines) {
+  // 100 bytes starting 10 bytes into a line touch 2 lines.
+  Cost c = ms.read(0, 0x600000 + 10, 100);
+  const TimingParams& t = ms.timing();
+  EXPECT_DOUBLE_EQ(c.mem_ns, 2 * t.mem_ns);
+}
+
+TEST_F(MemSysFixture, DmaCopyTimePerLineAndNoCacheFill) {
+  const TimingParams& t = ms.timing();
+  Cost c = ms.dma_copy(0x800000, 0x700000, 256 * KiB);
+  EXPECT_DOUBLE_EQ(c.mem_ns, 4096 * t.dma_line_ns);
+  EXPECT_DOUBLE_EQ(c.cache_ns, 0);
+  // Destination is not cached afterwards.
+  Cost r = ms.read(0, 0x800000, 256 * KiB);
+  EXPECT_GT(r.mem_ns, 0);
+}
+
+TEST_F(MemSysFixture, DmaCopyInvalidatesStaleCachedDst) {
+  ms.read(0, 0x900000, 4 * KiB);  // Cache the future destination.
+  ms.dma_copy(0x900000, 0xa00000, 4 * KiB);
+  Cost r = ms.read(0, 0x900000, 4 * KiB);
+  EXPECT_GT(r.mem_ns, 0);  // Stale copies were invalidated.
+}
+
+TEST_F(MemSysFixture, TouchIsReadPlusCheapWrite) {
+  Cost c = ms.touch(0, 0xb00000, 4 * KiB);
+  EXPECT_GT(c.mem_ns, 0);
+  Cost c2 = ms.touch(0, 0xb00000, 4 * KiB);
+  EXPECT_DOUBLE_EQ(c2.mem_ns, 0);
+}
+
+TEST(MemSys, CostAccumulation) {
+  Cost a{1.0, 2.0};
+  Cost b{0.5, 4.0};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.cache_ns, 1.5);
+  EXPECT_DOUBLE_EQ(a.mem_ns, 6.0);
+  EXPECT_DOUBLE_EQ(a.total(), 7.5);
+}
+
+}  // namespace
+}  // namespace nemo::sim

@@ -1,0 +1,65 @@
+// Non-temporal copy kernels: correctness over sizes/alignments (the I/OAT
+// stand-in must be byte-exact whatever the pointer alignment).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/checksum.hpp"
+#include "common/common.hpp"
+#include "shm/nt_copy.hpp"
+
+namespace nemo::shm {
+namespace {
+
+class NtCopySizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NtCopySizes, ByteExact) {
+  std::size_t n = GetParam();
+  std::vector<std::byte> src(n + 64), dst(n + 64, std::byte{0xee});
+  pattern_fill(src, n);
+  nt_memcpy(dst.data(), src.data(), n);
+  EXPECT_EQ(pattern_check(std::span<const std::byte>(dst.data(), n), n),
+            kPatternOk);
+  // Guard bytes untouched.
+  for (std::size_t i = n; i < n + 64; ++i)
+    EXPECT_EQ(dst[i], std::byte{0xee}) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NtCopySizes,
+                         ::testing::Values(0, 1, 15, 16, 17, 63, 64, 65, 100,
+                                           4095, 4096, 4097, 64 * 1024,
+                                           1 << 20));
+
+class NtCopyAlignments : public ::testing::TestWithParam<int> {};
+
+TEST_P(NtCopyAlignments, MisalignedSourceAndDest) {
+  int off = GetParam();
+  constexpr std::size_t kN = 10000;
+  std::vector<std::byte> src(kN + 32), dst(kN + 32);
+  pattern_fill(src, 5);
+  nt_memcpy(dst.data() + off, src.data() + (off * 7) % 16, kN);
+  for (std::size_t i = 0; i < kN; ++i)
+    ASSERT_EQ(dst[static_cast<std::size_t>(off) + i],
+              src[static_cast<std::size_t>((off * 7) % 16) + i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, NtCopyAlignments,
+                         ::testing::Values(0, 1, 3, 7, 8, 13, 15));
+
+TEST(NtCopy, AvailableOnX86) {
+#if defined(__x86_64__)
+  EXPECT_TRUE(nt_copy_available());
+#else
+  SUCCEED();
+#endif
+}
+
+TEST(NtCopy, CachedCopyIsMemcpy) {
+  std::vector<std::byte> src(1000), dst(1000);
+  pattern_fill(src, 9);
+  cached_memcpy(dst.data(), src.data(), 1000);
+  EXPECT_EQ(pattern_check(dst, 9), kPatternOk);
+}
+
+}  // namespace
+}  // namespace nemo::shm

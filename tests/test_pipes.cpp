@@ -1,0 +1,115 @@
+// Pipe substrate: vmsplice/writev/readv wrappers, nonblocking flow control,
+// window limits, and the pipe matrix.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/checksum.hpp"
+#include "shm/pipes.hpp"
+
+namespace nemo::shm {
+namespace {
+
+TEST(Pipes, VmspliceAvailableOnThisKernel) {
+  // The CI/bench environment is Linux >= 2.6.17; record availability.
+  EXPECT_TRUE(Pipe::vmsplice_available());
+}
+
+TEST(Pipes, WritevReadvRoundTrip) {
+  Pipe p = Pipe::create();
+  std::vector<std::byte> src(3000), dst(3000);
+  pattern_fill(src, 1);
+  EXPECT_EQ(p.writev_some({src.data(), src.size()}), src.size());
+  EXPECT_EQ(p.readv_some({dst.data(), dst.size()}), dst.size());
+  EXPECT_EQ(pattern_check(dst, 1), kPatternOk);
+}
+
+TEST(Pipes, VmspliceReadvRoundTrip) {
+  if (!Pipe::vmsplice_available()) GTEST_SKIP();
+  Pipe p = Pipe::create();
+  std::vector<std::byte> src(3000), dst(3000);
+  pattern_fill(src, 2);
+  EXPECT_EQ(p.vmsplice_some({src.data(), src.size()}), src.size());
+  EXPECT_EQ(p.readv_some({dst.data(), dst.size()}), dst.size());
+  EXPECT_EQ(pattern_check(dst, 2), kPatternOk);
+}
+
+TEST(Pipes, EmptyReadReturnsZero) {
+  Pipe p = Pipe::create();
+  std::byte b;
+  EXPECT_EQ(p.readv_some({&b, 1}), 0u);
+}
+
+TEST(Pipes, FullPipeReturnsZeroThenDrains) {
+  if (!Pipe::vmsplice_available()) GTEST_SKIP();
+  Pipe p = Pipe::create();
+  std::vector<std::byte> big(1 * MiB), out(1 * MiB);
+  pattern_fill(big, 3);
+  // Fill until the window is exhausted.
+  std::size_t pushed = 0;
+  for (;;) {
+    std::size_t n = p.vmsplice_some({big.data() + pushed, big.size() - pushed});
+    if (n == 0) break;
+    pushed += n;
+    ASSERT_LT(pushed, big.size()) << "pipe never filled";  // NOLINT
+  }
+  EXPECT_GT(pushed, 0u);
+  // Drain and verify.
+  std::size_t got = 0;
+  while (got < pushed) {
+    std::size_t n = p.readv_some({out.data() + got, pushed - got});
+    if (n == 0) break;
+    got += n;
+  }
+  EXPECT_EQ(got, pushed);
+  EXPECT_EQ(pattern_check(std::span<const std::byte>(out.data(), got), 3),
+            kPatternOk);
+}
+
+TEST(Pipes, StreamLargeMessageThroughWindow) {
+  if (!Pipe::vmsplice_available()) GTEST_SKIP();
+  constexpr std::size_t kTotal = 4 * MiB;
+  Pipe p = Pipe::create();
+  std::vector<std::byte> src(kTotal), dst(kTotal);
+  pattern_fill(src, 4);
+  std::thread writer([&] {
+    std::size_t off = 0;
+    while (off < kTotal) {
+      std::size_t chunk = std::min(kPipeWindow, kTotal - off);
+      std::size_t n = p.vmsplice_some({src.data() + off, chunk});
+      off += n;
+    }
+  });
+  std::size_t off = 0;
+  while (off < kTotal) off += p.readv_some({dst.data() + off, kTotal - off});
+  writer.join();
+  EXPECT_EQ(pattern_check(dst, 4), kPatternOk);
+}
+
+TEST(Pipes, MatrixHasDistinctPipesPerOrderedPair) {
+  PipeMatrix m(3);
+  std::byte b{42}, out{0};
+  EXPECT_EQ(m.get(0, 1).writev_some({&b, 1}), 1u);
+  // The reverse direction is a different pipe: nothing to read there.
+  EXPECT_EQ(m.get(1, 0).readv_some({&out, 1}), 0u);
+  EXPECT_EQ(m.get(0, 1).readv_some({&out, 1}), 1u);
+  EXPECT_EQ(out, std::byte{42});
+  for (int s = 0; s < 3; ++s)
+    for (int d = 0; d < 3; ++d)
+      if (s != d) {
+        EXPECT_TRUE(m.get(s, d).valid());
+      }
+}
+
+TEST(Pipes, MoveSemantics) {
+  Pipe a = Pipe::create();
+  int rfd = a.read_fd();
+  Pipe b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.read_fd(), rfd);
+}
+
+}  // namespace
+}  // namespace nemo::shm
