@@ -146,6 +146,7 @@ inline core::Config cfg_for(lmt::LmtKind kind,
 struct SimStrategyRow {
   const char* name;
   sim::Strategy strategy;
+  sim::LmtModels::Options opt{};  ///< Ring geometry etc. for this row.
 };
 
 inline void run_sim_pingpong_block(const sim::SimMachine& machine,
@@ -156,11 +157,31 @@ inline void run_sim_pingpong_block(const sim::SimMachine& machine,
   for (const auto& row : rows) {
     std::vector<double> vals;
     for (auto s : sizes) {
-      sim::LmtModels m(machine);
+      sim::LmtModels m(machine, row.opt);
       vals.push_back(m.pingpong_mibs(row.strategy, core_a, core_b, s));
     }
     print_row(row.name, vals);
   }
+}
+
+/// Minimal JSON results file: one {"bench": ..., "rows": [...]} object.
+/// Rows are pre-formatted JSON objects so each bench controls its schema.
+/// Returns false (after printing to stderr) when the file cannot be opened.
+inline bool write_json_rows(const std::string& path, const std::string& bench,
+                            const std::vector<std::string>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [\n", bench.c_str());
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    std::fprintf(f, "  %s%s\n", rows[i].c_str(),
+                 i + 1 < rows.size() ? "," : "");
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace nemo::bench

@@ -57,6 +57,36 @@ bool Options::get_flag(const std::string& key) const {
   return it->second != "0" && it->second != "false";
 }
 
+std::optional<std::string> env_str(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+std::size_t env_size(const char* name, std::size_t def) {
+  auto v = env_str(name);
+  if (!v) return def;
+  if (*v == "off" || *v == "never") return static_cast<std::size_t>(-1);
+  try {
+    return parse_size(*v);
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument(std::string(name) + ": bad size value '" +
+                                *v + "'");
+  }
+}
+
+long env_long(const char* name, long def) {
+  auto v = env_str(name);
+  if (!v) return def;
+  return std::strtol(v->c_str(), nullptr, 10);
+}
+
+bool env_flag(const char* name, bool def) {
+  auto v = env_str(name);
+  if (!v) return def;
+  return !(*v == "0" || *v == "false" || *v == "off" || *v == "no");
+}
+
 void Options::finalize() const {
   bool bad = false;
   for (const auto& [k, v] : values_) {

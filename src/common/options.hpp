@@ -42,4 +42,22 @@ class Options {
   std::vector<std::pair<std::string, std::string>> declared_;
 };
 
+// ---------------------------------------------------------------------------
+// Environment knobs. The runtime's tunables (NEMO_NT_MIN, NEMO_RING_BUFS,
+// NEMO_RING_BUF_BYTES, NEMO_FASTBOX) are read through these so every entry
+// point — tests, benches, examples — honours the same spelling.
+// ---------------------------------------------------------------------------
+
+/// Raw environment lookup; empty optional when unset or empty.
+std::optional<std::string> env_str(const char* name);
+
+/// Size knob with unit suffixes ("64KiB", "4M"). The sentinels "off" and
+/// "never" parse as SIZE_MAX (callers use that to disable a threshold).
+std::size_t env_size(const char* name, std::size_t def);
+
+long env_long(const char* name, long def);
+
+/// Boolean knob: "0", "false", "off", "no" are false; anything else true.
+bool env_flag(const char* name, bool def);
+
 }  // namespace nemo

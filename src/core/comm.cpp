@@ -6,6 +6,7 @@
 #include <cstring>
 #include <thread>
 
+#include "common/options.hpp"
 #include "lmt/backends.hpp"
 
 namespace nemo::core {
@@ -36,17 +37,36 @@ std::size_t auto_arena_bytes(const Config& cfg) {
       sizeof(shm::CopyRingState) +
       cfg.ring_bufs * (sizeof(shm::CopyRingSlot) + cfg.ring_buf_bytes) +
       4 * KiB;
+  std::size_t per_fastbox = sizeof(shm::FastboxState) + kCacheLine;
   std::size_t knem = sizeof(knem::DeviceState) +
                      256 * sizeof(knem::CookieSlot) +
                      256 * sizeof(knem::SegBlock) + 64 * KiB;
-  return 1 * MiB + n * per_rank + pairs * per_ring + knem +
+  return 1 * MiB + n * per_rank + pairs * (per_ring + per_fastbox) + knem +
          cfg.shared_pool_bytes;
+}
+
+/// Environment knobs override the programmatic Config so any entry point
+/// (tests, benches, applications) can be retuned without a rebuild.
+Config apply_env(Config cfg) {
+  long rb = env_long("NEMO_RING_BUFS", cfg.ring_bufs);
+  if (rb >= 1) cfg.ring_bufs = static_cast<std::uint32_t>(rb);
+  std::size_t rbb = env_size("NEMO_RING_BUF_BYTES", cfg.ring_buf_bytes);
+  if (rbb != static_cast<std::size_t>(-1) && rbb >= kCacheLine) {
+    if (rbb > 1 * GiB)
+      throw std::invalid_argument(
+          "NEMO_RING_BUF_BYTES: too large (max 1GiB)");
+    cfg.ring_buf_bytes =
+        static_cast<std::uint32_t>(round_up(rbb, kCacheLine));
+  }
+  cfg.use_fastbox = env_flag("NEMO_FASTBOX", cfg.use_fastbox);
+  if (env_str("NEMO_NT_MIN")) cfg.nt_min = env_size("NEMO_NT_MIN", 0);
+  return cfg;
 }
 
 }  // namespace
 
 World::World(Config cfg)
-    : cfg_(std::move(cfg)),
+    : cfg_(apply_env(std::move(cfg))),
       topo_(cfg_.topo.num_cores > 0 ? cfg_.topo : detect_host()),
       arena_(cfg_.shm_name.empty()
                  ? shm::Arena::create_anonymous(
@@ -80,6 +100,19 @@ World::World(Config cfg)
                    static_cast<std::size_t>(d)] =
             shm::CopyRing::create(arena_, cfg_.ring_bufs,
                                   cfg_.ring_buf_bytes);
+
+  if (cfg_.use_fastbox) {
+    fastbox_offs_.assign(static_cast<std::size_t>(cfg_.nranks) *
+                             static_cast<std::size_t>(cfg_.nranks),
+                         kNil);
+    for (int s = 0; s < cfg_.nranks; ++s)
+      for (int d = 0; d < cfg_.nranks; ++d)
+        if (s != d)
+          fastbox_offs_[static_cast<std::size_t>(s) *
+                            static_cast<std::size_t>(cfg_.nranks) +
+                        static_cast<std::size_t>(d)] =
+              shm::Fastbox::create(arena_);
+  }
 
   knem_off_ = knem::Device::create(arena_);
 
@@ -151,9 +184,25 @@ Engine::Engine(World& world, int rank)
       knem_dev_(world.arena(), world.knem_off(), rank, ::getpid()),
       recv_q_(world.arena(), world.recv_q_off(rank)),
       free_q_(world.arena(), world.free_q_off(rank)),
-      next_seq_(static_cast<std::size_t>(world.nranks()), 1) {
+      next_seq_(static_cast<std::size_t>(world.nranks()), 1),
+      expected_seq_(static_cast<std::size_t>(world.nranks()), 1) {
   world.register_pid(rank, ::getpid());
   backends_.resize(4);
+  int n = world.nranks();
+  peer_recv_q_.reserve(static_cast<std::size_t>(n));
+  peer_free_q_.reserve(static_cast<std::size_t>(n));
+  fb_out_.resize(static_cast<std::size_t>(n));
+  fb_in_.resize(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    peer_recv_q_.emplace_back(world.arena(), world.recv_q_off(r));
+    peer_free_q_.emplace_back(world.arena(), world.free_q_off(r));
+    if (world.use_fastbox() && r != rank) {
+      fb_out_[static_cast<std::size_t>(r)] =
+          shm::Fastbox(world.arena(), world.fastbox_off(rank, r));
+      fb_in_[static_cast<std::size_t>(r)] =
+          shm::Fastbox(world.arena(), world.fastbox_off(r, rank));
+    }
+  }
 }
 
 Engine::~Engine() {
@@ -221,15 +270,14 @@ Cell* Engine::get_cell_blocking() {
 }
 
 void Engine::send_cell(int dst, Cell* cell) {
-  QueueView q(world_.arena(), world_.recv_q_off(dst));
-  q.enqueue(world_.arena().offset_of(cell));
+  peer_recv_q_[static_cast<std::size_t>(dst)].enqueue(
+      world_.arena().offset_of(cell));
   stats_.cells_sent++;
 }
 
 void Engine::return_cell(Cell* cell) {
-  QueueView q(world_.arena(),
-              world_.free_q_off(static_cast<int>(cell->owner)));
-  q.enqueue(world_.arena().offset_of(cell));
+  peer_free_q_[static_cast<std::size_t>(cell->owner)].enqueue(
+      world_.arena().offset_of(cell));
 }
 
 bool Engine::try_send_ctrl(const PendingCtrl& pc) {
@@ -286,6 +334,39 @@ Request Engine::start_send(ConstSegmentList segs, int dst, int tag,
   }
 
   if (eager) {
+    // Small messages bypass the recv queue entirely through the pair's
+    // fastbox (falling back to cells when the box is still occupied).
+    if (dst != rank_ && world_.use_fastbox() &&
+        total <= shm::Fastbox::kPayload) {
+      std::byte packed[shm::Fastbox::kPayload];
+      const std::byte* data = nullptr;
+      if (segs.size() == 1) {
+        data = segs[0].base;
+      } else {
+        std::size_t filled = 0;
+        for (const ConstSegment& s : segs) {
+          std::memcpy(packed + filled, s.base, s.len);
+          filled += s.len;
+        }
+        data = packed;
+      }
+      if (fb_out_[static_cast<std::size_t>(dst)].try_put(
+              static_cast<std::uint32_t>(rank_), tag, seq,
+              static_cast<std::uint32_t>(context), data, total)) {
+        stats_.fastbox_sent++;
+        stats_.eager_msgs_sent++;
+        stats_.bytes_sent += total;
+        req->complete = true;
+        return req;
+      }
+    }
+    // Cell-path eager sends must not overtake control messages parked by
+    // cell exhaustion: the receiver merges each source's streams by seq,
+    // and a gap that is neither in the queue nor the fastbox is fatal.
+    while (!pending_ctrl_.empty()) {
+      progress();
+      if (!pending_ctrl_.empty()) std::this_thread::yield();
+    }
     std::size_t off = 0;
     std::size_t seg_idx = 0, seg_off = 0;
     bool first = true;
@@ -455,45 +536,86 @@ void Engine::start_lmt_recv(int src, int tag, std::uint32_t seq,
 
 // --- Progress ----------------------------------------------------------------
 
+void Engine::deliver_eager_first(int src, int tag, int context,
+                                 std::uint32_t seq, std::size_t total,
+                                 const std::byte* data, std::size_t len) {
+  std::unique_ptr<PostedRecv> pr = matcher_.match_incoming(src, tag, context);
+  if (pr != nullptr) {
+    NEMO_ASSERT_MSG(total <= pr->capacity,
+                    "message truncation: recv buffer too small");
+    scatter_at(pr->segs, 0, data, len);
+    if (len == total) {
+      pr->req->complete = true;
+      pr->req->info = RecvInfo{src, tag, total};
+      stats_.eager_msgs_recv++;
+      stats_.bytes_recv += total;
+    } else {
+      BoundEager be;
+      be.segs = pr->segs;
+      be.total = total;
+      be.arrived = len;
+      be.req = pr->req;
+      be.tag = tag;
+      bound_eager_[{src, seq}] = std::move(be);
+    }
+    return;
+  }
+  // Unexpected: buffer it.
+  auto um = std::make_unique<UnexpectedMsg>();
+  um->src = src;
+  um->tag = tag;
+  um->context = context;
+  um->seq = seq;
+  um->is_rndv = false;
+  um->total = total;
+  um->data.resize(total);
+  std::memcpy(um->data.data(), data, len);
+  um->bytes_arrived = len;
+  matcher_.add_unexpected(std::move(um));
+}
+
+bool Engine::poll_fastbox(int src) {
+  shm::Fastbox& fb = fb_in_[static_cast<std::size_t>(src)];
+  if (!fb.valid()) return false;
+  const shm::FastboxState* st = fb.peek();
+  if (st == nullptr ||
+      st->msg_seq != expected_seq_[static_cast<std::size_t>(src)])
+    return false;
+  expected_seq_[static_cast<std::size_t>(src)]++;
+  stats_.fastbox_recv++;
+  // Fastbox messages are always complete (len == total): deliver straight
+  // from the box, then return it to the sender.
+  deliver_eager_first(src, st->tag, static_cast<int>(st->context),
+                      st->msg_seq, st->payload_len, st->payload,
+                      st->payload_len);
+  fb.release();
+  return true;
+}
+
+void Engine::poll_fastboxes() {
+  if (!world_.use_fastbox()) return;
+  for (int src = 0; src < nranks(); ++src)
+    if (src != rank_) poll_fastbox(src);
+}
+
+void Engine::sync_stream(int src, std::uint32_t seq) {
+  // Cells from one source dequeue in send order, so the only message that
+  // can be missing ahead of `seq` is the (single) one parked in the pair's
+  // fastbox — its publish happens-before the later cell's enqueue.
+  while (expected_seq_[static_cast<std::size_t>(src)] < seq) {
+    bool got = poll_fastbox(src);
+    NEMO_ASSERT_MSG(got, "message stream gap not resident in fastbox");
+  }
+  NEMO_ASSERT(expected_seq_[static_cast<std::size_t>(src)] == seq);
+}
+
 void Engine::handle_eager(Cell* cell) {
   int src = static_cast<int>(cell->src);
   auto type = static_cast<CellType>(cell->type);
   if (type == CellType::kEagerFirst) {
-    std::size_t total = cell->total_size;
-    std::unique_ptr<PostedRecv> pr = matcher_.match_incoming(
-        src, cell->tag, static_cast<int>(cell->flags));
-    if (pr != nullptr) {
-      NEMO_ASSERT_MSG(total <= pr->capacity,
-                      "message truncation: recv buffer too small");
-      scatter_at(pr->segs, 0, cell->data(), cell->payload_len);
-      if (cell->payload_len == total) {
-        pr->req->complete = true;
-        pr->req->info = RecvInfo{src, cell->tag, total};
-        stats_.eager_msgs_recv++;
-        stats_.bytes_recv += total;
-      } else {
-        BoundEager be;
-        be.segs = pr->segs;
-        be.total = total;
-        be.arrived = cell->payload_len;
-        be.req = pr->req;
-        be.tag = cell->tag;
-        bound_eager_[{src, cell->msg_seq}] = std::move(be);
-      }
-      return;
-    }
-    // Unexpected: buffer it.
-    auto um = std::make_unique<UnexpectedMsg>();
-    um->src = src;
-    um->tag = cell->tag;
-    um->context = static_cast<int>(cell->flags);
-    um->seq = cell->msg_seq;
-    um->is_rndv = false;
-    um->total = total;
-    um->data.resize(total);
-    std::memcpy(um->data.data(), cell->data(), cell->payload_len);
-    um->bytes_arrived = cell->payload_len;
-    matcher_.add_unexpected(std::move(um));
+    deliver_eager_first(src, cell->tag, static_cast<int>(cell->flags),
+                        cell->msg_seq, cell->total_size, cell->data(),
+                        cell->payload_len);
     return;
   }
 
@@ -556,7 +678,15 @@ void Engine::handle_fin(Cell* cell) {
 }
 
 void Engine::handle_cell(Cell* cell) {
-  switch (static_cast<CellType>(cell->type)) {
+  auto type = static_cast<CellType>(cell->type);
+  // New-message cells participate in the per-source sequence stream that
+  // fastbox messages share; merge back into sender order before delivery.
+  if (type == CellType::kEagerFirst || type == CellType::kRts) {
+    int src = static_cast<int>(cell->src);
+    sync_stream(src, cell->msg_seq);
+    expected_seq_[static_cast<std::size_t>(src)]++;
+  }
+  switch (type) {
     case CellType::kEagerFirst:
     case CellType::kEagerBody:
       handle_eager(cell);
@@ -657,6 +787,10 @@ void Engine::progress() {
     pending_ctrl_.pop_front();
   }
 
+  // One pass drains every ready fastbox, a batch of queue cells, then the
+  // fastboxes again (a box whose message was sequenced after queued cells
+  // only becomes consumable once those cells are handled).
+  poll_fastboxes();
   int budget = 256;
   while (budget-- > 0) {
     std::uint64_t off = recv_q_.dequeue();
@@ -665,6 +799,7 @@ void Engine::progress() {
     handle_cell(cell);
     return_cell(cell);
   }
+  poll_fastboxes();
 
   progress_sends();
   progress_recvs();

@@ -26,6 +26,7 @@
 #include "shm/arena.hpp"
 #include "shm/copy_ring.hpp"
 #include "shm/dma_engine.hpp"
+#include "shm/fastbox.hpp"
 #include "shm/nemesis_queue.hpp"
 #include "shm/pipes.hpp"
 
@@ -47,8 +48,21 @@ struct Config {
   std::size_t eager_threshold = 64 * KiB;
 
   std::uint32_t cells_per_rank = 64;
-  std::uint32_t ring_bufs = shm::CopyRing::kDefaultBufs;
+
+  /// Copy-ring geometry. Four buffers by default so copy #1 and copy #2
+  /// pipeline deeply (the seed's 2×32KiB ring stalls the sender every other
+  /// chunk). Overridable per run via NEMO_RING_BUFS / NEMO_RING_BUF_BYTES.
+  std::uint32_t ring_bufs = 4;
   std::uint32_t ring_buf_bytes = shm::CopyRing::kDefaultBufBytes;
+
+  /// Per-ordered-pair single-slot fastboxes for small eager messages
+  /// (bypasses the MPSC recv-queue enqueue). NEMO_FASTBOX=0 disables.
+  bool use_fastbox = true;
+
+  /// Minimum rendezvous size that switches the shm-copy ring to streaming
+  /// (non-temporal) stores. 0 = auto: NEMO_NT_MIN env if set, else half the
+  /// detected last-level cache. SIZE_MAX (or NEMO_NT_MIN=off) = never.
+  std::size_t nt_min = 0;
 
   std::size_t arena_bytes = 0;        ///< 0 = auto.
   std::size_t shared_pool_bytes = 32 * MiB;  ///< For Comm::shared_alloc.
@@ -105,6 +119,13 @@ class World {
                           static_cast<std::size_t>(cfg_.nranks) +
                       static_cast<std::size_t>(dst)];
   }
+  [[nodiscard]] bool use_fastbox() const { return cfg_.use_fastbox; }
+  [[nodiscard]] std::uint64_t fastbox_off(int src, int dst) const {
+    NEMO_ASSERT(cfg_.use_fastbox && src != dst);
+    return fastbox_offs_[static_cast<std::size_t>(src) *
+                             static_cast<std::size_t>(cfg_.nranks) +
+                         static_cast<std::size_t>(dst)];
+  }
   [[nodiscard]] std::uint64_t knem_off() const { return knem_off_; }
 
   /// Effective availability after probing the host.
@@ -135,6 +156,7 @@ class World {
   shm::PipeMatrix pipes_;
   std::vector<shm::RankQueues> rank_queues_;
   std::vector<std::uint64_t> ring_offs_;
+  std::vector<std::uint64_t> fastbox_offs_;
   std::uint64_t knem_off_ = 0;
   std::uint64_t pid_table_off_ = 0;
   std::uint64_t barrier_off_ = 0;
@@ -146,6 +168,8 @@ class World {
 struct EngineStats {
   std::uint64_t eager_msgs_sent = 0;
   std::uint64_t eager_msgs_recv = 0;
+  std::uint64_t fastbox_sent = 0;  ///< Eager messages that took the fastbox.
+  std::uint64_t fastbox_recv = 0;
   std::uint64_t rndv_sent = 0;
   std::uint64_t rndv_recv = 0;
   std::uint64_t cells_sent = 0;
@@ -229,6 +253,19 @@ class Engine {
   void handle_cts(shm::Cell* cell);
   void handle_fin(shm::Cell* cell);
 
+  /// Deliver the first (or only) chunk of an eager message — shared by the
+  /// cell path and the fastbox path.
+  void deliver_eager_first(int src, int tag, int context, std::uint32_t seq,
+                           std::size_t total, const std::byte* data,
+                           std::size_t len);
+  /// Consume src's inbound fastbox if it holds the next in-order message.
+  bool poll_fastbox(int src);
+  /// Drain every inbound fastbox that is ready and in order.
+  void poll_fastboxes();
+  /// A queue cell from `src` carries `seq`; any earlier message still parked
+  /// in the pair's fastbox must be delivered first to preserve sender order.
+  void sync_stream(int src, std::uint32_t seq);
+
   void start_lmt_recv(int src, int tag, std::uint32_t seq,
                       const lmt::RtsWire& rts, PostedRecv& pr);
   void progress_sends();
@@ -245,6 +282,14 @@ class Engine {
   shm::QueueView recv_q_;
   shm::QueueView free_q_;
 
+  // Per-peer cached views (rebuilt-per-call views were a measurable cost on
+  // the hot path): receiver queues for send_cell, free queues for
+  // return_cell, and this rank's inbound/outbound fastboxes.
+  std::vector<shm::QueueView> peer_recv_q_;
+  std::vector<shm::QueueView> peer_free_q_;
+  std::vector<shm::Fastbox> fb_out_;  ///< Indexed by destination rank.
+  std::vector<shm::Fastbox> fb_in_;   ///< Indexed by source rank.
+
   std::unique_ptr<shm::DmaEngine> dma_channel_;
   std::unique_ptr<shm::DmaEngine> kthread_channel_;
 
@@ -252,6 +297,9 @@ class Engine {
 
   MatchEngine matcher_;
   std::vector<std::uint32_t> next_seq_;  ///< Per destination.
+  /// Next message sequence expected from each source: merges the fastbox
+  /// and recv-queue streams back into sender order.
+  std::vector<std::uint32_t> expected_seq_;
   std::map<std::pair<int, std::uint32_t>, BoundEager> bound_eager_;
 
   // Rendezvous registries.

@@ -4,9 +4,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "lmt/lmt.hpp"
+#include "shm/copy_ring.hpp"
 
 namespace nemo::core {
 class Engine;
@@ -29,12 +31,31 @@ class ShmCopyBackend final : public Backend {
   bool recv_progress(RecvCtx& ctx) override;
 
  private:
+  /// True when this transfer should use streaming stores: it is at least
+  /// nt_min bytes, so the two ring copies would otherwise sweep a large
+  /// slice of the LLC for data with no reuse.
+  [[nodiscard]] bool use_nt(std::uint64_t total) const {
+    return nt_ok_ && total >= nt_min_;
+  }
+
   core::Engine& eng_;
   // Ring slot sequence numbers are cumulative across transfers, so the
   // chunk cursor is per-pair state that outlives one message. Transfers on
   // a pair are serialized by the engine, making these safe to share.
   std::vector<std::uint64_t> send_cursor_;  ///< Indexed by peer.
   std::vector<std::uint64_t> recv_cursor_;
+  // Per-peer ring views, fixed at construction (reconstructing a view from
+  // the arena on every *_progress call was pure hot-path overhead). The
+  // self slot stays empty.
+  std::vector<std::optional<shm::CopyRing>> send_ring_;  ///< rank -> peer.
+  std::vector<std::optional<shm::CopyRing>> recv_ring_;  ///< peer -> rank.
+  /// Streaming copy #1 (into the ring slot) only pays off when the pair
+  /// does NOT share a last-level cache: on a shared cache the cached slot
+  /// write is what lets the receiver's slot read hit. Receiver copy #2's
+  /// destination streams regardless (large buffer, no reuse in the copy).
+  std::vector<bool> push_nt_ok_;  ///< Indexed by peer.
+  std::size_t nt_min_;
+  bool nt_ok_;
 };
 
 /// Single-copy transfer through a Unix pipe: the sender attaches its pages

@@ -2,6 +2,7 @@
 
 #include "core/comm.hpp"
 #include "lmt/backends.hpp"
+#include "shm/nt_copy.hpp"
 
 namespace nemo::lmt {
 
@@ -10,7 +11,28 @@ using shm::CopyRing;
 ShmCopyBackend::ShmCopyBackend(core::Engine& eng)
     : eng_(eng),
       send_cursor_(static_cast<std::size_t>(eng.nranks()), 0),
-      recv_cursor_(static_cast<std::size_t>(eng.nranks()), 0) {}
+      recv_cursor_(static_cast<std::size_t>(eng.nranks()), 0),
+      nt_min_(eng.world().config().nt_min != 0
+                  ? eng.world().config().nt_min
+                  : shm::nt_default_threshold()),
+      nt_ok_(shm::nt_copy_available()) {
+  shm::Arena& arena = eng.world().arena();
+  send_ring_.resize(static_cast<std::size_t>(eng.nranks()));
+  recv_ring_.resize(static_cast<std::size_t>(eng.nranks()));
+  push_nt_ok_.assign(static_cast<std::size_t>(eng.nranks()), false);
+  const Topology& topo = eng.world().topology();
+  for (int p = 0; p < eng.nranks(); ++p) {
+    if (p == eng.rank()) continue;
+    send_ring_[static_cast<std::size_t>(p)].emplace(
+        arena, eng.world().ring_off(eng.rank(), p));
+    recv_ring_[static_cast<std::size_t>(p)].emplace(
+        arena, eng.world().ring_off(p, eng.rank()));
+    int mine = eng.world().core_of(eng.rank());
+    int theirs = eng.world().core_of(p);
+    push_nt_ok_[static_cast<std::size_t>(p)] =
+        mine >= 0 && theirs >= 0 && !topo.shared_cache(mine, theirs);
+  }
+}
 
 void ShmCopyBackend::send_init(SendCtx& ctx) {
   ctx.rts.kind = static_cast<std::uint32_t>(LmtKind::kDefaultShm);
@@ -20,9 +42,10 @@ void ShmCopyBackend::send_init(SendCtx& ctx) {
 
 bool ShmCopyBackend::send_progress(SendCtx& ctx) {
   if (ctx.total == 0) return true;
-  CopyRing ring(eng_.world().arena(),
-                eng_.world().ring_off(eng_.rank(), ctx.peer));
+  CopyRing& ring = *send_ring_[static_cast<std::size_t>(ctx.peer)];
   std::uint64_t& cursor = send_cursor_[static_cast<std::size_t>(ctx.peer)];
+  const bool nt =
+      use_nt(ctx.total) && push_nt_ok_[static_cast<std::size_t>(ctx.peer)];
   while (ctx.bytes_moved < ctx.total) {
     // The next contiguous piece of the (possibly segmented) source,
     // clipped to one ring buffer.
@@ -35,7 +58,8 @@ bool ShmCopyBackend::send_progress(SendCtx& ctx) {
     }
     std::size_t piece = avail < ring.buf_bytes() ? avail : ring.buf_bytes();
     bool last = (ctx.bytes_moved + piece == ctx.total);
-    std::size_t n = ring.try_push(cursor, s.base + ctx.seg_off, piece, last);
+    std::size_t n = ring.try_push(cursor, s.base + ctx.seg_off, piece, last,
+                                  nt);
     if (n == 0) return false;  // Ring full: receiver hasn't drained yet.
     ctx.seg_off += n;
     ctx.bytes_moved += n;
@@ -51,9 +75,9 @@ void ShmCopyBackend::recv_init(RecvCtx&) {}
 
 bool ShmCopyBackend::recv_progress(RecvCtx& ctx) {
   if (ctx.total == 0) return true;
-  CopyRing ring(eng_.world().arena(),
-                eng_.world().ring_off(ctx.peer, eng_.rank()));
+  CopyRing& ring = *recv_ring_[static_cast<std::size_t>(ctx.peer)];
   std::uint64_t& cursor = recv_cursor_[static_cast<std::size_t>(ctx.peer)];
+  const bool nt = use_nt(ctx.total);
   while (ctx.bytes_moved < ctx.total) {
     auto view = ring.peek(cursor);
     if (!view) return false;
@@ -70,7 +94,7 @@ bool ShmCopyBackend::recv_progress(RecvCtx& ctx) {
         continue;
       }
       std::size_t n = left < room ? left : room;
-      std::memcpy(d.base + ctx.seg_off, src, n);
+      shm::copy_for(nt, d.base + ctx.seg_off, src, n);
       src += n;
       ctx.seg_off += n;
       left -= n;

@@ -18,6 +18,7 @@
 
 #include "common/common.hpp"
 #include "shm/arena.hpp"
+#include "shm/nt_copy.hpp"
 
 namespace nemo::shm {
 
@@ -81,14 +82,17 @@ class CopyRing {
   /// Sender side: try to publish up to buf_bytes from `src`. `cursor` is the
   /// sender's monotonically increasing chunk index. Returns bytes accepted
   /// (0 if the slot is still full — caller should progress and retry).
+  /// With `nt`, the copy into the ring buffer uses streaming stores so a
+  /// large transfer does not evict the sender's working set (the nt_memcpy
+  /// sfence doubles as the release fence for the seq publish).
   std::size_t try_push(std::uint64_t& cursor, const std::byte* src,
-                       std::size_t len, bool last) {
+                       std::size_t len, bool last, bool nt = false) {
     CopyRingSlot* s = slot(static_cast<std::uint32_t>(cursor % st_->nbufs));
     std::uint64_t expected_empty = 2 * (cursor / st_->nbufs);
     if (aref(s->seq).load(std::memory_order_acquire) != expected_empty)
       return 0;
     std::size_t n = len < st_->buf_bytes ? len : st_->buf_bytes;
-    std::memcpy(buf(static_cast<std::uint32_t>(cursor % st_->nbufs)), src, n);
+    copy_for(nt, buf(static_cast<std::uint32_t>(cursor % st_->nbufs)), src, n);
     s->bytes = static_cast<std::uint32_t>(n);
     s->last = (last && n == len) ? 1u : 0u;
     aref(s->seq).store(expected_empty + 1, std::memory_order_release);
@@ -98,13 +102,15 @@ class CopyRing {
 
   /// Receiver side: try to consume the next chunk into `dst` (capacity must
   /// be >= buf_bytes). Returns bytes consumed, sets `last`. 0 = not ready.
-  std::size_t try_pop(std::uint64_t& cursor, std::byte* dst, bool& last) {
+  /// With `nt`, the store into `dst` streams past the receiver's cache.
+  std::size_t try_pop(std::uint64_t& cursor, std::byte* dst, bool& last,
+                      bool nt = false) {
     CopyRingSlot* s = slot(static_cast<std::uint32_t>(cursor % st_->nbufs));
     std::uint64_t expected_full = 2 * (cursor / st_->nbufs) + 1;
     if (aref(s->seq).load(std::memory_order_acquire) != expected_full)
       return 0;
     std::size_t n = s->bytes;
-    std::memcpy(dst, buf(static_cast<std::uint32_t>(cursor % st_->nbufs)), n);
+    copy_for(nt, dst, buf(static_cast<std::uint32_t>(cursor % st_->nbufs)), n);
     last = s->last != 0;
     aref(s->seq).store(expected_full + 1, std::memory_order_release);
     ++cursor;

@@ -1,0 +1,96 @@
+// Per-ordered-pair SPSC fastbox, after MPICH Nemesis' fboxes: a single
+// inline message slot the sender fills and the receiver drains without ever
+// touching the MPSC recv queue's atomic-exchange enqueue. Small eager
+// messages take this path when the box is free and fall back to the queue
+// when it is occupied; the engine merges the two streams back into sender
+// order using the per-pair message sequence number carried in both.
+//
+// The box is a single flag word plus an inline header+payload. Only two
+// cache lines move per message in steady state (the flag/header line and
+// the payload), and — unlike the queue — no third-party cell memory bounces
+// between the pair.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+
+#include "common/common.hpp"
+#include "shm/arena.hpp"
+
+namespace nemo::shm {
+
+/// Shared-memory layout of one fastbox. `flag` and the header share the
+/// first cache line (SPSC: sender writes everything, then releases via
+/// `flag`; no false sharing because the receiver only polls `flag`).
+struct FastboxState {
+  alignas(kCacheLine) std::uint32_t flag;  ///< 0 = empty, 1 = full.
+  std::uint32_t src;                       ///< Sending rank.
+  std::int32_t tag;
+  std::uint32_t msg_seq;      ///< Per-(src,dst) sequence (stream merge key).
+  std::uint32_t context;
+  std::uint32_t payload_len;
+  static constexpr std::size_t kHeaderBytes = 64;
+  static constexpr std::size_t kSize = 2 * KiB;
+  static constexpr std::size_t kPayload = kSize - kHeaderBytes;
+  alignas(kCacheLine) std::byte payload[kPayload];
+};
+static_assert(sizeof(FastboxState) == FastboxState::kSize);
+static_assert(offsetof(FastboxState, payload) == FastboxState::kHeaderBytes);
+
+/// Cheap view over one fastbox in the arena. Default-constructed views are
+/// invalid placeholders (the engine keeps a dense per-peer vector).
+class Fastbox {
+ public:
+  static constexpr std::size_t kPayload = FastboxState::kPayload;
+
+  static std::uint64_t create(Arena& arena) {
+    std::uint64_t off = arena.alloc(sizeof(FastboxState), kCacheLine);
+    auto* st = arena.at_as<FastboxState>(off);
+    std::memset(st, 0, sizeof(FastboxState));
+    aref(st->flag).store(0, std::memory_order_release);
+    return off;
+  }
+
+  Fastbox() = default;
+  Fastbox(Arena& arena, std::uint64_t off)
+      : st_(arena.at_as<FastboxState>(off)) {}
+
+  [[nodiscard]] bool valid() const { return st_ != nullptr; }
+
+  /// Sender: publish a complete message if the box is free. Gathers from a
+  /// caller-provided segment walker via memcpy of one contiguous range per
+  /// call — the engine passes contiguous data (small messages are packed).
+  bool try_put(std::uint32_t src, std::int32_t tag, std::uint32_t msg_seq,
+               std::uint32_t context, const std::byte* data,
+               std::size_t len) {
+    NEMO_ASSERT(len <= kPayload);
+    if (aref(st_->flag).load(std::memory_order_acquire) != 0) return false;
+    st_->src = src;
+    st_->tag = tag;
+    st_->msg_seq = msg_seq;
+    st_->context = context;
+    st_->payload_len = static_cast<std::uint32_t>(len);
+    if (len != 0) std::memcpy(st_->payload, data, len);
+    aref(st_->flag).store(1, std::memory_order_release);
+    return true;
+  }
+
+  /// Receiver: the resident message header, or nullptr when empty. The
+  /// payload stays valid until release(); consuming in place keeps the
+  /// receive path single-copy (box -> user buffer).
+  [[nodiscard]] const FastboxState* peek() const {
+    if (aref(st_->flag).load(std::memory_order_acquire) != 1) return nullptr;
+    return st_;
+  }
+
+  /// Receiver: hand the box back to the sender.
+  void release() {
+    aref(st_->flag).store(0, std::memory_order_release);
+  }
+
+ private:
+  FastboxState* st_ = nullptr;
+};
+
+}  // namespace nemo::shm

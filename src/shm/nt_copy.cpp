@@ -1,7 +1,11 @@
 #include "shm/nt_copy.hpp"
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstring>
+
+#include "common/common.hpp"
 
 #if defined(__x86_64__) || defined(_M_X64)
 #include <emmintrin.h>
@@ -16,6 +20,21 @@ bool nt_copy_available() { return NEMO_HAVE_SSE2 != 0; }
 
 void cached_memcpy(void* dst, const void* src, std::size_t n) {
   std::memcpy(dst, src, n);
+}
+
+std::size_t nt_default_threshold() {
+  static const std::size_t cached = [] {
+    long llc = 0;
+#ifdef _SC_LEVEL3_CACHE_SIZE
+    llc = ::sysconf(_SC_LEVEL3_CACHE_SIZE);
+#endif
+#ifdef _SC_LEVEL2_CACHE_SIZE
+    if (llc <= 0) llc = ::sysconf(_SC_LEVEL2_CACHE_SIZE);
+#endif
+    if (llc <= 0) llc = static_cast<long>(16 * MiB);
+    return static_cast<std::size_t>(llc) / 2;
+  }();
+  return cached;
 }
 
 #if NEMO_HAVE_SSE2

@@ -18,4 +18,20 @@ void nt_memcpy(void* dst, const void* src, std::size_t n);
 /// Plain cached copy (for symmetric call sites / benchmarking).
 void cached_memcpy(void* dst, const void* src, std::size_t n);
 
+/// Default minimum transfer size for switching to streaming stores: half of
+/// the detected last-level cache (sysconf L3, falling back to L2, falling
+/// back to 16 MiB). Below this a transfer fits comfortably in cache and the
+/// cached copy's reuse wins; above it the copy only evicts useful lines.
+/// Overridable at runtime via NEMO_NT_MIN.
+std::size_t nt_default_threshold();
+
+/// Copy selecting streaming vs cached stores by `use_nt` (single call site
+/// idiom for the ring/backend hot paths).
+inline void copy_for(bool use_nt, void* dst, const void* src, std::size_t n) {
+  if (use_nt)
+    nt_memcpy(dst, src, n);
+  else
+    cached_memcpy(dst, src, n);
+}
+
 }  // namespace nemo::shm

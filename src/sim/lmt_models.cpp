@@ -15,6 +15,7 @@ double pages_of(std::size_t n) {
 const char* to_string(Strategy s) {
   switch (s) {
     case Strategy::kDefault: return "default";
+    case Strategy::kDefaultNt: return "default-nt";
     case Strategy::kVmsplice: return "vmsplice";
     case Strategy::kVmspliceWritev: return "vmsplice-writev";
     case Strategy::kKnem: return "knem";
@@ -48,7 +49,7 @@ void LmtModels::reset() {
 
 XferOutcome LmtModels::default_shm(int sc, int rc, std::uint64_t src,
                                    std::uint64_t dst, std::size_t n,
-                                   PairBufs& pb) {
+                                   PairBufs& pb, bool nt) {
   const TimingParams& t = mem_.timing();
   bool shared =
       mem_.machine().topo.shared_cache(sc, rc).has_value();
@@ -68,8 +69,11 @@ XferOutcome LmtModels::default_shm(int sc, int rc, std::uint64_t src,
     std::size_t chunk = std::min(opt_.ring_buf_bytes, n - off);
     std::uint64_t slot =
         pb.ring + (i % opt_.ring_bufs) * opt_.ring_buf_bytes;
-    Cost ts = mem_.copy(sc, slot, src + off, chunk);      // Copy #1.
-    Cost tr = mem_.copy(rc, dst + off, slot, chunk);      // Copy #2.
+    // Copy #1 streams into the slot only on non-shared pairs (a cached
+    // slot write is what makes the receiver's slot read hit a shared L2);
+    // copy #2's destination streams whenever the NT path is on.
+    Cost ts = mem_.copy(sc, slot, src + off, chunk, nt && !shared);
+    Cost tr = mem_.copy(rc, dst + off, slot, chunk, nt);
     double prevS = i > 0 ? S[i - 1] : 0;
     double reuse = i >= opt_.ring_bufs ? R[i - opt_.ring_bufs] : 0;
     double s_done = std::max(prevS, reuse) + ts.total() + chunk_sync / 2;
@@ -259,7 +263,10 @@ XferOutcome LmtModels::transfer(Strategy s, int sender_core, int recv_core,
   PairBufs& pb = pair_bufs(sender_core, recv_core);
   switch (s) {
     case Strategy::kDefault:
-      return default_shm(sender_core, recv_core, src, dst, bytes, pb);
+      return default_shm(sender_core, recv_core, src, dst, bytes, pb, false);
+    case Strategy::kDefaultNt:
+      return default_shm(sender_core, recv_core, src, dst, bytes, pb,
+                         bytes >= opt_.nt_min);
     case Strategy::kVmsplice:
       return vmsplice(sender_core, recv_core, src, dst, bytes, pb, false);
     case Strategy::kVmspliceWritev:

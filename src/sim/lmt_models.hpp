@@ -15,6 +15,8 @@ namespace nemo::sim {
 /// Transfer strategies distinguished in the evaluation.
 enum class Strategy {
   kDefault,        ///< Nemesis double-buffered shm copy.
+  kDefaultNt,      ///< Same ring, both copies with non-temporal stores
+                   ///< (this repo's streaming pipeline above NEMO_NT_MIN).
   kVmsplice,       ///< vmsplice + readv (single copy).
   kVmspliceWritev, ///< writev + readv (two copies through the pipe buffer).
   kKnem,           ///< KNEM synchronous kernel copy (receiver core).
@@ -43,6 +45,9 @@ class LmtModels {
   struct Options {
     std::uint32_t ring_bufs = 2;
     std::size_t ring_buf_bytes = 32 * KiB;
+    /// kDefaultNt streams only at/above this size (mirrors NEMO_NT_MIN:
+    /// half the paper machine's 4 MiB shared L2).
+    std::size_t nt_min = 2 * MiB;
     std::size_t pipe_window = 64 * KiB;
     /// Memory-bus contention factor per extra concurrent streaming flow.
     double contention_per_flow = 0.75;
@@ -96,7 +101,8 @@ class LmtModels {
   PairBufs& pair_bufs(int a, int b);
 
   XferOutcome default_shm(int sc, int rc, std::uint64_t src,
-                          std::uint64_t dst, std::size_t n, PairBufs& pb);
+                          std::uint64_t dst, std::size_t n, PairBufs& pb,
+                          bool nt);
   XferOutcome vmsplice(int sc, int rc, std::uint64_t src, std::uint64_t dst,
                        std::size_t n, PairBufs& pb, bool writev);
   XferOutcome vmsplice_ioat(int sc, int rc, std::uint64_t src,

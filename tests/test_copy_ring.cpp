@@ -116,6 +116,28 @@ TEST_F(RingFixture, ConcurrentStream) {
   EXPECT_EQ(pattern_check(dst, 9), kPatternOk);
 }
 
+TEST_F(RingFixture, NtPushPopIsByteExact) {
+  // The streaming-store path must be indistinguishable from the cached one
+  // to the receiver (including the seq publish after the sfence).
+  constexpr std::size_t kTotal = 1 * MiB;
+  std::vector<std::byte> src(kTotal), dst(kTotal);
+  pattern_fill(src, 21);
+  std::uint64_t sc = 0, rc = 0;
+  std::size_t pushed = 0, popped = 0;
+  bool last = false;
+  while (popped < kTotal) {
+    if (pushed < kTotal) {
+      std::size_t n = std::min<std::size_t>(4096, kTotal - pushed);
+      pushed += ring.try_push(sc, src.data() + pushed, n,
+                              pushed + n == kTotal, /*nt=*/true);
+    }
+    popped += ring.try_pop(rc, dst.data() + popped, last, /*nt=*/true);
+  }
+  EXPECT_TRUE(last);
+  EXPECT_EQ(pattern_check(dst, 21), kPatternOk);
+  EXPECT_TRUE(ring.drained(sc));
+}
+
 TEST(CopyRing, ConfigurableGeometry) {
   Arena arena = Arena::create_anonymous(8 * MiB);
   std::uint64_t off = CopyRing::create(arena, 4, 64 * KiB);

@@ -46,6 +46,52 @@ TEST_P(NtCopyAlignments, MisalignedSourceAndDest) {
 INSTANTIATE_TEST_SUITE_P(Offsets, NtCopyAlignments,
                          ::testing::Values(0, 1, 3, 7, 8, 13, 15));
 
+// Full head/bulk/tail matrix: every combination of destination misalignment
+// (drives the head fixup), source misalignment (unaligned loads), and sizes
+// straddling the 16-byte and 64-byte boundaries, including n < 16 where the
+// whole copy is head+tail.
+TEST(NtCopy, AlignmentBySizeMatrix) {
+  constexpr std::size_t kMaxN = 300;
+  constexpr std::size_t kGuard = 32;
+  std::vector<std::byte> src(kMaxN + kGuard + 16), dst;
+  pattern_fill(src, 77);
+  for (std::size_t doff : {0u, 1u, 7u, 8u, 15u}) {
+    for (std::size_t soff : {0u, 3u, 9u}) {
+      for (std::size_t n :
+           {0u, 1u, 2u, 15u, 16u, 17u, 31u, 63u, 64u, 65u, 127u, 128u,
+            200u, 255u}) {
+        dst.assign(n + doff + kGuard, std::byte{0xee});
+        nt_memcpy(dst.data() + doff, src.data() + soff, n);
+        for (std::size_t i = 0; i < n; ++i)
+          ASSERT_EQ(dst[doff + i], src[soff + i])
+              << "doff=" << doff << " soff=" << soff << " n=" << n
+              << " i=" << i;
+        for (std::size_t i = 0; i < doff; ++i)
+          ASSERT_EQ(dst[i], std::byte{0xee}) << "head guard " << i;
+        for (std::size_t i = n + doff; i < dst.size(); ++i)
+          ASSERT_EQ(dst[i], std::byte{0xee}) << "tail guard " << i;
+      }
+    }
+  }
+}
+
+TEST(NtCopy, DefaultThresholdIsSaneAndStable) {
+  std::size_t t = nt_default_threshold();
+  EXPECT_GE(t, 256 * KiB);  // Half of any plausible LLC.
+  EXPECT_LE(t, 1 * GiB);
+  EXPECT_EQ(t, nt_default_threshold());  // Cached, deterministic.
+}
+
+TEST(NtCopy, CopyForSelectsBothPaths) {
+  std::vector<std::byte> src(5000), dst(5000);
+  pattern_fill(src, 11);
+  copy_for(true, dst.data(), src.data(), src.size());
+  EXPECT_EQ(pattern_check(dst, 11), kPatternOk);
+  std::fill(dst.begin(), dst.end(), std::byte{0});
+  copy_for(false, dst.data(), src.data(), src.size());
+  EXPECT_EQ(pattern_check(dst, 11), kPatternOk);
+}
+
 TEST(NtCopy, AvailableOnX86) {
 #if defined(__x86_64__)
   EXPECT_TRUE(nt_copy_available());
