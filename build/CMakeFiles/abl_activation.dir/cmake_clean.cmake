@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_activation.dir/bench/abl_activation.cpp.o"
+  "CMakeFiles/abl_activation.dir/bench/abl_activation.cpp.o.d"
+  "abl_activation"
+  "abl_activation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_activation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_chunk.dir/bench/abl_chunk.cpp.o"
+  "CMakeFiles/abl_chunk.dir/bench/abl_chunk.cpp.o.d"
+  "abl_chunk"
+  "abl_chunk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_chunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

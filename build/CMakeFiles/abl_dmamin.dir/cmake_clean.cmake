@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dmamin.dir/bench/abl_dmamin.cpp.o"
+  "CMakeFiles/abl_dmamin.dir/bench/abl_dmamin.cpp.o.d"
+  "abl_dmamin"
+  "abl_dmamin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dmamin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_future.dir/bench/abl_future.cpp.o"
+  "CMakeFiles/abl_future.dir/bench/abl_future.cpp.o.d"
+  "abl_future"
+  "abl_future.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_future.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

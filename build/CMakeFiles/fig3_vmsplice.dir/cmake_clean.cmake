@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_vmsplice.dir/bench/fig3_vmsplice.cpp.o"
+  "CMakeFiles/fig3_vmsplice.dir/bench/fig3_vmsplice.cpp.o.d"
+  "fig3_vmsplice"
+  "fig3_vmsplice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_vmsplice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

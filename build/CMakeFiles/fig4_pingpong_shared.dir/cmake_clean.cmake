@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_pingpong_shared.dir/bench/fig4_pingpong_shared.cpp.o"
+  "CMakeFiles/fig4_pingpong_shared.dir/bench/fig4_pingpong_shared.cpp.o.d"
+  "fig4_pingpong_shared"
+  "fig4_pingpong_shared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pingpong_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

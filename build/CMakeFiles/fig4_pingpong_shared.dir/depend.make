@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_pingpong_shared.
+# This may be replaced when dependencies are built.

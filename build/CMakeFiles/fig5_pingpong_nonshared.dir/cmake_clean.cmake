@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_pingpong_nonshared.dir/bench/fig5_pingpong_nonshared.cpp.o"
+  "CMakeFiles/fig5_pingpong_nonshared.dir/bench/fig5_pingpong_nonshared.cpp.o.d"
+  "fig5_pingpong_nonshared"
+  "fig5_pingpong_nonshared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_pingpong_nonshared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

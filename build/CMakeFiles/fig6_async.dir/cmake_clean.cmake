@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_async.dir/bench/fig6_async.cpp.o"
+  "CMakeFiles/fig6_async.dir/bench/fig6_async.cpp.o.d"
+  "fig6_async"
+  "fig6_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

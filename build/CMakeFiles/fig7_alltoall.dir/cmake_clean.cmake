@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_alltoall.dir/bench/fig7_alltoall.cpp.o"
+  "CMakeFiles/fig7_alltoall.dir/bench/fig7_alltoall.cpp.o.d"
+  "fig7_alltoall"
+  "fig7_alltoall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_alltoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imb.dir/examples/imb.cpp.o"
+  "CMakeFiles/imb.dir/examples/imb.cpp.o.d"
+  "imb"
+  "imb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

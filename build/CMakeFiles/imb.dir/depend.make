@@ -1,0 +1,2 @@
+# Empty dependencies file for imb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmt_tuner.dir/examples/lmt_tuner.cpp.o"
+  "CMakeFiles/lmt_tuner.dir/examples/lmt_tuner.cpp.o.d"
+  "lmt_tuner"
+  "lmt_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmt_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

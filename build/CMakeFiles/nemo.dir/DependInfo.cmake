@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/iovec.cpp" "CMakeFiles/nemo.dir/src/common/iovec.cpp.o" "gcc" "CMakeFiles/nemo.dir/src/common/iovec.cpp.o.d"
+  "/root/repo/src/common/options.cpp" "CMakeFiles/nemo.dir/src/common/options.cpp.o" "gcc" "CMakeFiles/nemo.dir/src/common/options.cpp.o.d"
+  "/root/repo/src/common/topology.cpp" "CMakeFiles/nemo.dir/src/common/topology.cpp.o" "gcc" "CMakeFiles/nemo.dir/src/common/topology.cpp.o.d"
+  "/root/repo/src/core/collectives.cpp" "CMakeFiles/nemo.dir/src/core/collectives.cpp.o" "gcc" "CMakeFiles/nemo.dir/src/core/collectives.cpp.o.d"
+  "/root/repo/src/core/comm.cpp" "CMakeFiles/nemo.dir/src/core/comm.cpp.o" "gcc" "CMakeFiles/nemo.dir/src/core/comm.cpp.o.d"
+  "/root/repo/src/core/datatype.cpp" "CMakeFiles/nemo.dir/src/core/datatype.cpp.o" "gcc" "CMakeFiles/nemo.dir/src/core/datatype.cpp.o.d"
+  "/root/repo/src/core/match.cpp" "CMakeFiles/nemo.dir/src/core/match.cpp.o" "gcc" "CMakeFiles/nemo.dir/src/core/match.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "CMakeFiles/nemo.dir/src/core/runtime.cpp.o" "gcc" "CMakeFiles/nemo.dir/src/core/runtime.cpp.o.d"
+  "/root/repo/src/counters/papi_lite.cpp" "CMakeFiles/nemo.dir/src/counters/papi_lite.cpp.o" "gcc" "CMakeFiles/nemo.dir/src/counters/papi_lite.cpp.o.d"
+  "/root/repo/src/knem/knem_device.cpp" "CMakeFiles/nemo.dir/src/knem/knem_device.cpp.o" "gcc" "CMakeFiles/nemo.dir/src/knem/knem_device.cpp.o.d"
+  "/root/repo/src/lmt/lmt_knem.cpp" "CMakeFiles/nemo.dir/src/lmt/lmt_knem.cpp.o" "gcc" "CMakeFiles/nemo.dir/src/lmt/lmt_knem.cpp.o.d"
+  "/root/repo/src/lmt/lmt_shm_copy.cpp" "CMakeFiles/nemo.dir/src/lmt/lmt_shm_copy.cpp.o" "gcc" "CMakeFiles/nemo.dir/src/lmt/lmt_shm_copy.cpp.o.d"
+  "/root/repo/src/lmt/lmt_vmsplice.cpp" "CMakeFiles/nemo.dir/src/lmt/lmt_vmsplice.cpp.o" "gcc" "CMakeFiles/nemo.dir/src/lmt/lmt_vmsplice.cpp.o.d"
+  "/root/repo/src/lmt/policy.cpp" "CMakeFiles/nemo.dir/src/lmt/policy.cpp.o" "gcc" "CMakeFiles/nemo.dir/src/lmt/policy.cpp.o.d"
+  "/root/repo/src/shm/arena.cpp" "CMakeFiles/nemo.dir/src/shm/arena.cpp.o" "gcc" "CMakeFiles/nemo.dir/src/shm/arena.cpp.o.d"
+  "/root/repo/src/shm/dma_engine.cpp" "CMakeFiles/nemo.dir/src/shm/dma_engine.cpp.o" "gcc" "CMakeFiles/nemo.dir/src/shm/dma_engine.cpp.o.d"
+  "/root/repo/src/shm/nt_copy.cpp" "CMakeFiles/nemo.dir/src/shm/nt_copy.cpp.o" "gcc" "CMakeFiles/nemo.dir/src/shm/nt_copy.cpp.o.d"
+  "/root/repo/src/shm/pipes.cpp" "CMakeFiles/nemo.dir/src/shm/pipes.cpp.o" "gcc" "CMakeFiles/nemo.dir/src/shm/pipes.cpp.o.d"
+  "/root/repo/src/shm/process_runner.cpp" "CMakeFiles/nemo.dir/src/shm/process_runner.cpp.o" "gcc" "CMakeFiles/nemo.dir/src/shm/process_runner.cpp.o.d"
+  "/root/repo/src/shm/remote_mem.cpp" "CMakeFiles/nemo.dir/src/shm/remote_mem.cpp.o" "gcc" "CMakeFiles/nemo.dir/src/shm/remote_mem.cpp.o.d"
+  "/root/repo/src/sim/cache_sim.cpp" "CMakeFiles/nemo.dir/src/sim/cache_sim.cpp.o" "gcc" "CMakeFiles/nemo.dir/src/sim/cache_sim.cpp.o.d"
+  "/root/repo/src/sim/lmt_models.cpp" "CMakeFiles/nemo.dir/src/sim/lmt_models.cpp.o" "gcc" "CMakeFiles/nemo.dir/src/sim/lmt_models.cpp.o.d"
+  "/root/repo/src/sim/memsys.cpp" "CMakeFiles/nemo.dir/src/sim/memsys.cpp.o" "gcc" "CMakeFiles/nemo.dir/src/sim/memsys.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

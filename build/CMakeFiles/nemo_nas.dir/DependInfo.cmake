@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nas/cg.cpp" "CMakeFiles/nemo_nas.dir/src/nas/cg.cpp.o" "gcc" "CMakeFiles/nemo_nas.dir/src/nas/cg.cpp.o.d"
+  "/root/repo/src/nas/ep.cpp" "CMakeFiles/nemo_nas.dir/src/nas/ep.cpp.o" "gcc" "CMakeFiles/nemo_nas.dir/src/nas/ep.cpp.o.d"
+  "/root/repo/src/nas/ft.cpp" "CMakeFiles/nemo_nas.dir/src/nas/ft.cpp.o" "gcc" "CMakeFiles/nemo_nas.dir/src/nas/ft.cpp.o.d"
+  "/root/repo/src/nas/is.cpp" "CMakeFiles/nemo_nas.dir/src/nas/is.cpp.o" "gcc" "CMakeFiles/nemo_nas.dir/src/nas/is.cpp.o.d"
+  "/root/repo/src/nas/mg.cpp" "CMakeFiles/nemo_nas.dir/src/nas/mg.cpp.o" "gcc" "CMakeFiles/nemo_nas.dir/src/nas/mg.cpp.o.d"
+  "/root/repo/src/nas/nas_common.cpp" "CMakeFiles/nemo_nas.dir/src/nas/nas_common.cpp.o" "gcc" "CMakeFiles/nemo_nas.dir/src/nas/nas_common.cpp.o.d"
+  "/root/repo/src/nas/pseudo_apps.cpp" "CMakeFiles/nemo_nas.dir/src/nas/pseudo_apps.cpp.o" "gcc" "CMakeFiles/nemo_nas.dir/src/nas/pseudo_apps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/nemo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

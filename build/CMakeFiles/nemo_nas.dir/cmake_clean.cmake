@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemo_nas.dir/src/nas/cg.cpp.o"
+  "CMakeFiles/nemo_nas.dir/src/nas/cg.cpp.o.d"
+  "CMakeFiles/nemo_nas.dir/src/nas/ep.cpp.o"
+  "CMakeFiles/nemo_nas.dir/src/nas/ep.cpp.o.d"
+  "CMakeFiles/nemo_nas.dir/src/nas/ft.cpp.o"
+  "CMakeFiles/nemo_nas.dir/src/nas/ft.cpp.o.d"
+  "CMakeFiles/nemo_nas.dir/src/nas/is.cpp.o"
+  "CMakeFiles/nemo_nas.dir/src/nas/is.cpp.o.d"
+  "CMakeFiles/nemo_nas.dir/src/nas/mg.cpp.o"
+  "CMakeFiles/nemo_nas.dir/src/nas/mg.cpp.o.d"
+  "CMakeFiles/nemo_nas.dir/src/nas/nas_common.cpp.o"
+  "CMakeFiles/nemo_nas.dir/src/nas/nas_common.cpp.o.d"
+  "CMakeFiles/nemo_nas.dir/src/nas/pseudo_apps.cpp.o"
+  "CMakeFiles/nemo_nas.dir/src/nas/pseudo_apps.cpp.o.d"
+  "libnemo_nas.a"
+  "libnemo_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemo_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

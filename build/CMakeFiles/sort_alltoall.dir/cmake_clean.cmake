@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_alltoall.dir/examples/sort_alltoall.cpp.o"
+  "CMakeFiles/sort_alltoall.dir/examples/sort_alltoall.cpp.o.d"
+  "sort_alltoall"
+  "sort_alltoall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_alltoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

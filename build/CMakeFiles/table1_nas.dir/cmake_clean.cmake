@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_nas.dir/bench/table1_nas.cpp.o"
+  "CMakeFiles/table1_nas.dir/bench/table1_nas.cpp.o.d"
+  "table1_nas"
+  "table1_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_cachemiss.dir/bench/table2_cachemiss.cpp.o"
+  "CMakeFiles/table2_cachemiss.dir/bench/table2_cachemiss.cpp.o.d"
+  "table2_cachemiss"
+  "table2_cachemiss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_cachemiss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_copy_ring.dir/tests/test_copy_ring.cpp.o"
+  "CMakeFiles/test_copy_ring.dir/tests/test_copy_ring.cpp.o.d"
+  "test_copy_ring"
+  "test_copy_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_copy_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dma_engine.dir/tests/test_dma_engine.cpp.o"
+  "CMakeFiles/test_dma_engine.dir/tests/test_dma_engine.cpp.o.d"
+  "test_dma_engine"
+  "test_dma_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dma_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

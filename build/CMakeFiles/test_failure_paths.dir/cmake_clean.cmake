@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure_paths.dir/tests/test_failure_paths.cpp.o"
+  "CMakeFiles/test_failure_paths.dir/tests/test_failure_paths.cpp.o.d"
+  "test_failure_paths"
+  "test_failure_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fastbox.dir/tests/test_fastbox.cpp.o"
+  "CMakeFiles/test_fastbox.dir/tests/test_fastbox.cpp.o.d"
+  "test_fastbox"
+  "test_fastbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fastbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

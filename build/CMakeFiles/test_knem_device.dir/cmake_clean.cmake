@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_knem_device.dir/tests/test_knem_device.cpp.o"
+  "CMakeFiles/test_knem_device.dir/tests/test_knem_device.cpp.o.d"
+  "test_knem_device"
+  "test_knem_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_knem_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lmt_backends.dir/tests/test_lmt_backends.cpp.o"
+  "CMakeFiles/test_lmt_backends.dir/tests/test_lmt_backends.cpp.o.d"
+  "test_lmt_backends"
+  "test_lmt_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lmt_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

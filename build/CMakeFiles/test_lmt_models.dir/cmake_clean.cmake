@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lmt_models.dir/tests/test_lmt_models.cpp.o"
+  "CMakeFiles/test_lmt_models.dir/tests/test_lmt_models.cpp.o.d"
+  "test_lmt_models"
+  "test_lmt_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lmt_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_match.dir/tests/test_match.cpp.o"
+  "CMakeFiles/test_match.dir/tests/test_match.cpp.o.d"
+  "test_match"
+  "test_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nas.dir/tests/test_nas.cpp.o"
+  "CMakeFiles/test_nas.dir/tests/test_nas.cpp.o.d"
+  "test_nas"
+  "test_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

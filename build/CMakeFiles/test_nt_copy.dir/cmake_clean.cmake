@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nt_copy.dir/tests/test_nt_copy.cpp.o"
+  "CMakeFiles/test_nt_copy.dir/tests/test_nt_copy.cpp.o.d"
+  "test_nt_copy"
+  "test_nt_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nt_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipes.dir/tests/test_pipes.cpp.o"
+  "CMakeFiles/test_pipes.dir/tests/test_pipes.cpp.o.d"
+  "test_pipes"
+  "test_pipes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

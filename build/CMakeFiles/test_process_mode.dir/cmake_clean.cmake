@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_process_mode.dir/tests/test_process_mode.cpp.o"
+  "CMakeFiles/test_process_mode.dir/tests/test_process_mode.cpp.o.d"
+  "test_process_mode"
+  "test_process_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_process_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

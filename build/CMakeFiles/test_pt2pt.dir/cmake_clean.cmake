@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pt2pt.dir/tests/test_pt2pt.cpp.o"
+  "CMakeFiles/test_pt2pt.dir/tests/test_pt2pt.cpp.o.d"
+  "test_pt2pt"
+  "test_pt2pt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pt2pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

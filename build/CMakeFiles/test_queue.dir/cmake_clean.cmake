@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queue.dir/tests/test_queue.cpp.o"
+  "CMakeFiles/test_queue.dir/tests/test_queue.cpp.o.d"
+  "test_queue"
+  "test_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

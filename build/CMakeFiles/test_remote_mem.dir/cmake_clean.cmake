@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remote_mem.dir/tests/test_remote_mem.cpp.o"
+  "CMakeFiles/test_remote_mem.dir/tests/test_remote_mem.cpp.o.d"
+  "test_remote_mem"
+  "test_remote_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remote_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
