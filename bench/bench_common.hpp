@@ -58,9 +58,13 @@ inline void print_row(const std::string& name,
 }
 
 /// Measured pingpong between ranks 0 and 1 of a 2-rank world. Returns
-/// one-way MiB/s (IMB convention) as measured on rank 0.
+/// one-way MiB/s (IMB convention) as measured on rank 0. When `telemetry`
+/// is given (sized >= 2), each rank's engine counters are accumulated into
+/// its slot so the caller can dump a --telemetry JSON across runs.
 inline double real_pingpong_mibs(core::Config cfg, std::size_t bytes,
-                                 int iters = 30) {
+                                 int iters = 30,
+                                 std::vector<tune::Counters>* telemetry =
+                                     nullptr) {
   cfg.nranks = 2;
   cfg.shared_pool_bytes = std::max<std::size_t>(cfg.shared_pool_bytes,
                                                 4 * bytes + 8 * MiB);
@@ -98,6 +102,11 @@ inline double real_pingpong_mibs(core::Config cfg, std::size_t bytes,
           static_cast<double>(ns) / (2.0 * static_cast<double>(iters));
       result = (static_cast<double>(bytes) / (1024.0 * 1024.0)) /
                (oneway_ns * 1e-9);
+    }
+    if (telemetry != nullptr) {
+      comm.hard_barrier();  // Quiesce before reading peers' epochs end.
+      (*telemetry)[static_cast<std::size_t>(comm.rank())] +=
+          comm.engine().counters();
     }
   });
   return result;

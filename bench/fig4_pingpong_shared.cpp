@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   opt.declare("iters", "real-mode pingpong iterations (default 30)");
   opt.declare("skip-real", "only print the simulator block");
   opt.declare("json", "write [real] rows to this JSON file");
+  opt.declare("telemetry", "write per-rank engine counters to this JSON file");
   opt.finalize();
   int iters = static_cast<int>(opt.get_int("iters", 30));
 
@@ -62,10 +63,13 @@ int main(int argc, char** argv) {
          cfg_for(lmt::LmtKind::kKnem, lmt::KnemMode::kSyncDma)},
     };
     std::vector<std::string> json_rows;
+    std::vector<tune::Counters> telemetry(2);
+    std::vector<tune::Counters>* tel =
+        opt.has("telemetry") ? &telemetry : nullptr;
     for (const auto& row : real_rows) {
       std::vector<double> vals;
       for (auto s : sizes) {
-        double mibs = real_pingpong_mibs(row.cfg, s, iters);
+        double mibs = real_pingpong_mibs(row.cfg, s, iters, tel);
         vals.push_back(mibs);
         char buf[160];
         std::snprintf(buf, sizeof buf,
@@ -79,6 +83,10 @@ int main(int argc, char** argv) {
     if (opt.has("json") &&
         !write_json_rows(opt.get("json", ""), "fig4_pingpong_shared",
                          json_rows))
+      return 1;
+    if (tel != nullptr &&
+        !tune::write_telemetry(opt.get("telemetry", ""),
+                               "fig4_pingpong_shared", telemetry.data(), 2))
       return 1;
   }
   return 0;

@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
   opt.declare("min", "smallest message (default 1KiB)");
   opt.declare("max", "largest message (default 4MiB)");
   opt.declare("procs", "fork processes instead of threads");
+  opt.declare("telemetry", "write per-rank engine counters to this JSON file");
   opt.finalize();
 
   std::string op = opt.get("op", "pingpong");
@@ -74,6 +75,18 @@ int main(int argc, char** argv) {
                                  : "");
   std::printf("%12s %12s %12s\n", "bytes", "usec",
               op == "alltoall" ? "agg MiB/s" : "MiB/s");
+
+  // Telemetry aggregation only works for thread mode (forked children
+  // cannot write back into the parent's vector).
+  std::vector<tune::Counters> telemetry;
+  if (opt.has("telemetry")) {
+    if (cfg.mode == core::LaunchMode::kThreads)
+      telemetry.resize(static_cast<std::size_t>(cfg.nranks));
+    else
+      std::fprintf(stderr,
+                   "imb: --telemetry is ignored with --procs (forked ranks "
+                   "cannot report counters back); no file will be written\n");
+  }
 
   core::run(cfg, [&](core::Comm& comm) {
     int n = comm.size();
@@ -154,6 +167,15 @@ int main(int argc, char** argv) {
       if (comm.rank() == 0)
         std::printf("%12zu %12.2f %12.1f\n", sz, usec, mibs);
     }
+    if (!telemetry.empty()) {
+      comm.hard_barrier();
+      telemetry[static_cast<std::size_t>(comm.rank())] +=
+          comm.engine().counters();
+    }
   });
+  if (!telemetry.empty() &&
+      !tune::write_telemetry(opt.get("telemetry", ""), "imb-" + op,
+                             telemetry.data(), cfg.nranks))
+    return 1;
   return 0;
 }

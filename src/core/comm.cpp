@@ -28,7 +28,8 @@ struct BarrierBlock {
   alignas(kCacheLine) std::uint64_t generation;
 };
 
-std::size_t auto_arena_bytes(const Config& cfg) {
+std::size_t auto_arena_bytes(const Config& cfg,
+                             const tune::TuningTable& tuning) {
   std::size_t n = static_cast<std::size_t>(cfg.nranks);
   std::size_t per_rank = 2 * sizeof(shm::QueueState) +
                          cfg.cells_per_rank * sizeof(Cell) + 4 * KiB;
@@ -37,7 +38,11 @@ std::size_t auto_arena_bytes(const Config& cfg) {
       sizeof(shm::CopyRingState) +
       cfg.ring_bufs * (sizeof(shm::CopyRingSlot) + cfg.ring_buf_bytes) +
       4 * KiB;
-  std::size_t per_fastbox = sizeof(shm::FastboxState) + kCacheLine;
+  std::size_t per_fastbox =
+      sizeof(shm::FastboxState) +
+      static_cast<std::size_t>(tuning.fastbox_slots) *
+          tuning.fastbox_slot_bytes +
+      kCacheLine;
   std::size_t knem = sizeof(knem::DeviceState) +
                      256 * sizeof(knem::CookieSlot) +
                      256 * sizeof(knem::SegBlock) + 64 * KiB;
@@ -68,14 +73,17 @@ Config apply_env(Config cfg) {
 World::World(Config cfg)
     : cfg_(apply_env(std::move(cfg))),
       topo_(cfg_.topo.num_cores > 0 ? cfg_.topo : detect_host()),
+      tuning_(cfg_.tuning ? tune::with_env_overrides(*cfg_.tuning)
+                          : tune::effective_table(topo_)),
       arena_(cfg_.shm_name.empty()
                  ? shm::Arena::create_anonymous(
                        cfg_.arena_bytes ? cfg_.arena_bytes
-                                        : auto_arena_bytes(cfg_))
+                                        : auto_arena_bytes(cfg_, tuning_))
                  : shm::Arena::create_shm(
-                       cfg_.shm_name, cfg_.arena_bytes
-                                          ? cfg_.arena_bytes
-                                          : auto_arena_bytes(cfg_))),
+                       cfg_.shm_name,
+                       cfg_.arena_bytes
+                           ? cfg_.arena_bytes
+                           : auto_arena_bytes(cfg_, tuning_))),
       pipes_(cfg_.nranks) {
   NEMO_ASSERT(cfg_.nranks >= 1);
   NEMO_ASSERT_MSG(cfg_.core_binding.empty() ||
@@ -111,7 +119,8 @@ World::World(Config cfg)
           fastbox_offs_[static_cast<std::size_t>(s) *
                             static_cast<std::size_t>(cfg_.nranks) +
                         static_cast<std::size_t>(d)] =
-              shm::Fastbox::create(arena_);
+              shm::Fastbox::create(arena_, tuning_.fastbox_slots,
+                                   tuning_.fastbox_slot_bytes);
   }
 
   knem_off_ = knem::Device::create(arena_);
@@ -172,6 +181,7 @@ lmt::PolicyConfig effective_policy(const World& w, const Config& cfg) {
   lmt::PolicyConfig pc = cfg.policy;
   pc.vmsplice_available = pc.vmsplice_available && w.vmsplice_ok();
   pc.dma_available = pc.dma_available && cfg.dma_available;
+  pc.tuning = &w.tuning();  // World outlives every engine's policy.
   return pc;
 }
 
@@ -187,6 +197,12 @@ Engine::Engine(World& world, int rank)
       next_seq_(static_cast<std::size_t>(world.nranks()), 1),
       expected_seq_(static_cast<std::size_t>(world.nranks()), 1) {
   world.register_pid(rank, ::getpid());
+  const tune::TuningTable& tuning = world.tuning();
+  fastbox_max_ =
+      std::min<std::size_t>(tuning.fastbox_max,
+                            tuning.fastbox_slot_bytes -
+                                shm::FastboxSlot::kHeaderBytes);
+  drain_budget_ = std::max<std::uint32_t>(1, tuning.drain_budget);
   backends_.resize(4);
   int n = world.nranks();
   peer_recv_q_.reserve(static_cast<std::size_t>(n));
@@ -328,17 +344,17 @@ Request Engine::start_send(ConstSegmentList segs, int dst, int tag,
   if (dst == rank_) {
     eager = true;  // Self sends always go through the (local) eager path.
   } else if (world_.config().lmt == lmt::LmtKind::kAuto) {
-    eager = !policy_.use_lmt(total, collective);
+    eager = !policy_.use_lmt(total, collective, world_.core_of(rank_),
+                             world_.core_of(dst));
   } else {
     eager = total <= world_.config().eager_threshold;
   }
 
   if (eager) {
     // Small messages bypass the recv queue entirely through the pair's
-    // fastbox (falling back to cells when the box is still occupied).
-    if (dst != rank_ && world_.use_fastbox() &&
-        total <= shm::Fastbox::kPayload) {
-      std::byte packed[shm::Fastbox::kPayload];
+    // fastbox ring (falling back to cells when every slot is occupied).
+    if (dst != rank_ && world_.use_fastbox() && total <= fastbox_max_) {
+      std::byte packed[shm::Fastbox::kMaxSlotBytes];
       const std::byte* data = nullptr;
       if (segs.size() == 1) {
         data = segs[0].base;
@@ -356,9 +372,12 @@ Request Engine::start_send(ConstSegmentList segs, int dst, int tag,
         stats_.fastbox_sent++;
         stats_.eager_msgs_sent++;
         stats_.bytes_sent += total;
+        counters_.fastbox_hits++;
+        counters_.record_send(total, tune::Counters::kPathFastbox);
         req->complete = true;
         return req;
       }
+      counters_.fastbox_fallbacks++;
     }
     // Cell-path eager sends must not overtake control messages parked by
     // cell exhaustion: the receiver merges each source's streams by seq,
@@ -403,6 +422,7 @@ Request Engine::start_send(ConstSegmentList segs, int dst, int tag,
     }
     stats_.eager_msgs_sent++;
     stats_.bytes_sent += total;
+    counters_.record_send(total, tune::Counters::kPathEager);
     req->complete = true;  // Payload is buffered in cells.
     return req;
   }
@@ -425,6 +445,7 @@ Request Engine::start_send(ConstSegmentList segs, int dst, int tag,
   stats_.rndv_sent++;
   stats_.bytes_sent += total;
   stats_.rndv_by_kind[static_cast<std::size_t>(kind)]++;
+  counters_.record_send(total, static_cast<int>(kind));
   return req;
 }
 
@@ -577,16 +598,16 @@ void Engine::deliver_eager_first(int src, int tag, int context,
 bool Engine::poll_fastbox(int src) {
   shm::Fastbox& fb = fb_in_[static_cast<std::size_t>(src)];
   if (!fb.valid()) return false;
-  const shm::FastboxState* st = fb.peek();
+  const shm::FastboxSlot* st = fb.peek();
   if (st == nullptr ||
       st->msg_seq != expected_seq_[static_cast<std::size_t>(src)])
     return false;
   expected_seq_[static_cast<std::size_t>(src)]++;
   stats_.fastbox_recv++;
   // Fastbox messages are always complete (len == total): deliver straight
-  // from the box, then return it to the sender.
+  // from the slot, then return it to the sender.
   deliver_eager_first(src, st->tag, static_cast<int>(st->context),
-                      st->msg_seq, st->payload_len, st->payload,
+                      st->msg_seq, st->payload_len, st->payload(),
                       st->payload_len);
   fb.release();
   return true;
@@ -791,14 +812,19 @@ void Engine::progress() {
   // fastboxes again (a box whose message was sequenced after queued cells
   // only becomes consumable once those cells are handled).
   poll_fastboxes();
-  int budget = 256;
-  while (budget-- > 0) {
+  std::uint32_t drained = 0;
+  while (drained < drain_budget_) {
     std::uint64_t off = recv_q_.dequeue();
     if (off == kNil) break;
+    ++drained;
     Cell* cell = world_.arena().at_as<Cell>(off);
     handle_cell(cell);
     return_cell(cell);
   }
+  // Budget fully consumed = cells were likely left enqueued; the tuner
+  // reads this as "drain budget too small for this workload".
+  if (drained == drain_budget_) counters_.drain_exhausted++;
+  counters_.progress_passes++;
   poll_fastboxes();
 
   progress_sends();

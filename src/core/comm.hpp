@@ -29,6 +29,8 @@
 #include "shm/fastbox.hpp"
 #include "shm/nemesis_queue.hpp"
 #include "shm/pipes.hpp"
+#include "tune/counters.hpp"
+#include "tune/tuning.hpp"
 
 namespace nemo::core {
 
@@ -74,6 +76,12 @@ struct Config {
   /// Machine description for the selection policy. Empty name = detect.
   Topology topo{};
 
+  /// Tuning table override. Unset = resolve for the world's topology via
+  /// tune::effective_table (persistent cache when valid, else formulas; env
+  /// knobs override either). A programmatic table still gets env overrides
+  /// applied, so every entry point honours the same knobs.
+  std::optional<tune::TuningTable> tuning;
+
   /// Model I/OAT presence (the software DMA channel).
   bool dma_available = true;
 
@@ -104,6 +112,8 @@ class World {
   [[nodiscard]] int nranks() const { return cfg_.nranks; }
   [[nodiscard]] const Config& config() const { return cfg_; }
   [[nodiscard]] const Topology& topology() const { return topo_; }
+  /// The effective (cache/formula + env) tuning state every layer consults.
+  [[nodiscard]] const tune::TuningTable& tuning() const { return tuning_; }
   [[nodiscard]] shm::Arena& arena() { return arena_; }
   [[nodiscard]] shm::PipeMatrix& pipes() { return pipes_; }
 
@@ -152,6 +162,7 @@ class World {
  private:
   Config cfg_;
   Topology topo_;
+  tune::TuningTable tuning_;  ///< Resolved before the arena (sizes fastboxes).
   shm::Arena arena_;
   shm::PipeMatrix pipes_;
   std::vector<shm::RankQueues> rank_queues_;
@@ -207,6 +218,9 @@ class Engine {
   bool test(const Request& req);
 
   [[nodiscard]] const EngineStats& stats() const { return stats_; }
+  /// Telemetry registry this rank's hot paths feed (backends bump it too).
+  [[nodiscard]] tune::Counters& counters() { return counters_; }
+  [[nodiscard]] const tune::Counters& counters() const { return counters_; }
 
   /// Monotonic collective-instance counter (tag namespacing).
   std::uint32_t bump_coll_seq() { return coll_seq_++; }
@@ -321,6 +335,12 @@ class Engine {
 
   std::deque<PendingCtrl> pending_ctrl_;
   EngineStats stats_;
+  tune::Counters counters_;
+  /// Largest eager message routed through the pair fastboxes (tuned cutoff
+  /// clamped to the slot payload).
+  std::size_t fastbox_max_ = 0;
+  /// Recv-queue cells drained per progress() pass (tuned / env override).
+  std::uint32_t drain_budget_ = 256;
   bool in_progress_ = false;
   std::uint32_t coll_seq_ = 0;
 };

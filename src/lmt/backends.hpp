@@ -31,11 +31,12 @@ class ShmCopyBackend final : public Backend {
   bool recv_progress(RecvCtx& ctx) override;
 
  private:
-  /// True when this transfer should use streaming stores: it is at least
-  /// nt_min bytes, so the two ring copies would otherwise sweep a large
-  /// slice of the LLC for data with no reuse.
-  [[nodiscard]] bool use_nt(std::uint64_t total) const {
-    return nt_ok_ && total >= nt_min_;
+  /// True when this transfer should use streaming stores on the `peer`
+  /// pair: it is at least the pair placement's tuned nt_min, so the two
+  /// ring copies would otherwise sweep a large slice of the LLC for data
+  /// with no reuse.
+  [[nodiscard]] bool use_nt(std::uint64_t total, int peer) const {
+    return nt_ok_ && total >= nt_min_[static_cast<std::size_t>(peer)];
   }
 
   core::Engine& eng_;
@@ -53,8 +54,9 @@ class ShmCopyBackend final : public Backend {
   /// does NOT share a last-level cache: on a shared cache the cached slot
   /// write is what lets the receiver's slot read hit. Receiver copy #2's
   /// destination streams regardless (large buffer, no reuse in the copy).
-  std::vector<bool> push_nt_ok_;  ///< Indexed by peer.
-  std::size_t nt_min_;
+  /// Both come from the pair placement's tuned row (cfg.nt_min overrides).
+  std::vector<bool> push_nt_ok_;          ///< Indexed by peer.
+  std::vector<std::size_t> nt_min_;       ///< Indexed by peer.
   bool nt_ok_;
 };
 

@@ -12,15 +12,16 @@ ShmCopyBackend::ShmCopyBackend(core::Engine& eng)
     : eng_(eng),
       send_cursor_(static_cast<std::size_t>(eng.nranks()), 0),
       recv_cursor_(static_cast<std::size_t>(eng.nranks()), 0),
-      nt_min_(eng.world().config().nt_min != 0
-                  ? eng.world().config().nt_min
-                  : shm::nt_default_threshold()),
       nt_ok_(shm::nt_copy_available()) {
   shm::Arena& arena = eng.world().arena();
   send_ring_.resize(static_cast<std::size_t>(eng.nranks()));
   recv_ring_.resize(static_cast<std::size_t>(eng.nranks()));
   push_nt_ok_.assign(static_cast<std::size_t>(eng.nranks()), false);
+  nt_min_.assign(static_cast<std::size_t>(eng.nranks()),
+                 shm::nt_default_threshold());
   const Topology& topo = eng.world().topology();
+  const tune::TuningTable& tuning = eng.world().tuning();
+  const std::size_t nt_override = eng.world().config().nt_min;
   for (int p = 0; p < eng.nranks(); ++p) {
     if (p == eng.rank()) continue;
     send_ring_[static_cast<std::size_t>(p)].emplace(
@@ -29,8 +30,17 @@ ShmCopyBackend::ShmCopyBackend(core::Engine& eng)
         arena, eng.world().ring_off(p, eng.rank()));
     int mine = eng.world().core_of(eng.rank());
     int theirs = eng.world().core_of(p);
+    // Unpinned ranks read the shared-LLC row: its half-cache nt_min matches
+    // the host default, and its push_nt=false keeps copy #1 cached — the
+    // same conservative stance the pre-tuning code took for unknown cores.
+    PairPlacement place = PairPlacement::kSharedCache;
+    if (mine >= 0 && theirs >= 0 && mine != theirs)
+      place = topo.classify(mine, theirs);
+    const tune::PlacementTuning& row = tuning.for_placement(place);
+    nt_min_[static_cast<std::size_t>(p)] =
+        nt_override != 0 ? nt_override : row.nt_min;
     push_nt_ok_[static_cast<std::size_t>(p)] =
-        mine >= 0 && theirs >= 0 && !topo.shared_cache(mine, theirs);
+        mine >= 0 && theirs >= 0 && row.push_nt;
   }
 }
 
@@ -44,8 +54,8 @@ bool ShmCopyBackend::send_progress(SendCtx& ctx) {
   if (ctx.total == 0) return true;
   CopyRing& ring = *send_ring_[static_cast<std::size_t>(ctx.peer)];
   std::uint64_t& cursor = send_cursor_[static_cast<std::size_t>(ctx.peer)];
-  const bool nt =
-      use_nt(ctx.total) && push_nt_ok_[static_cast<std::size_t>(ctx.peer)];
+  const bool nt = use_nt(ctx.total, ctx.peer) &&
+                  push_nt_ok_[static_cast<std::size_t>(ctx.peer)];
   while (ctx.bytes_moved < ctx.total) {
     // The next contiguous piece of the (possibly segmented) source,
     // clipped to one ring buffer.
@@ -60,7 +70,10 @@ bool ShmCopyBackend::send_progress(SendCtx& ctx) {
     bool last = (ctx.bytes_moved + piece == ctx.total);
     std::size_t n = ring.try_push(cursor, s.base + ctx.seg_off, piece, last,
                                   nt);
-    if (n == 0) return false;  // Ring full: receiver hasn't drained yet.
+    if (n == 0) {  // Ring full: receiver hasn't drained yet.
+      eng_.counters().ring_stalls++;
+      return false;
+    }
     ctx.seg_off += n;
     ctx.bytes_moved += n;
   }
@@ -77,7 +90,7 @@ bool ShmCopyBackend::recv_progress(RecvCtx& ctx) {
   if (ctx.total == 0) return true;
   CopyRing& ring = *recv_ring_[static_cast<std::size_t>(ctx.peer)];
   std::uint64_t& cursor = recv_cursor_[static_cast<std::size_t>(ctx.peer)];
-  const bool nt = use_nt(ctx.total);
+  const bool nt = use_nt(ctx.total, ctx.peer);
   while (ctx.bytes_moved < ctx.total) {
     auto view = ring.peek(cursor);
     if (!view) return false;

@@ -14,6 +14,13 @@
 // The policy also picks *which* backend: KNEM when present; vmsplice when the
 // communicating cores share no cache (where it beats the two-copy scheme);
 // otherwise the default double-buffering (which wins under a shared cache).
+//
+// When a tune::TuningTable is attached (the runtime always attaches the
+// World's effective table), its measured per-placement crossovers replace
+// the static formulas: activation and backend come from the placement row,
+// DMAmin from the measured value when present. Availability still gates the
+// final backend (a table preferring KNEM falls back per the formula chain
+// when the module cannot load).
 #pragma once
 
 #include <cstddef>
@@ -21,6 +28,7 @@
 
 #include "common/topology.hpp"
 #include "lmt/lmt.hpp"
+#include "tune/tuning.hpp"
 
 namespace nemo::lmt {
 
@@ -33,6 +41,10 @@ struct PolicyConfig {
   bool knem_available = true;
   bool vmsplice_available = true;
   bool dma_available = true;
+
+  /// Measured per-machine tuning (nullptr = pure formula policy). Not
+  /// owned; must outlive the Policy (the World owns the runtime's table).
+  const tune::TuningTable* tuning = nullptr;
 };
 
 class Policy {
@@ -50,12 +62,33 @@ class Policy {
 
   [[nodiscard]] std::size_t dma_min_for(int recv_core) const {
     if (cfg_.dma_min_override != 0) return cfg_.dma_min_override;
+    if (cfg_.tuning != nullptr && cfg_.tuning->dma_min != 0)
+      return cfg_.tuning->dma_min;
     return dma_min(topo_, recv_core);
   }
 
+  /// Placement row consulted for a core pair. Unknown cores (no binding)
+  /// conservatively read the cross-socket row — the same "assume no shared
+  /// cache" default the formula policy uses.
+  [[nodiscard]] const tune::PlacementTuning& tuning_row(int sender_core,
+                                                        int recv_core) const {
+    PairPlacement p = PairPlacement::kDifferentSockets;
+    if (sender_core >= 0 && recv_core >= 0 && sender_core != recv_core)
+      p = topo_.classify(sender_core, recv_core);
+    return cfg_.tuning->for_placement(p);
+  }
+
   /// Should this message leave the eager path? `collective` selects the
-  /// lower activation threshold discussed in §4.4.
-  [[nodiscard]] bool use_lmt(std::size_t bytes, bool collective = false) const {
+  /// lower activation threshold discussed in §4.4; cores (when known) select
+  /// the tuned placement row.
+  [[nodiscard]] bool use_lmt(std::size_t bytes, bool collective = false,
+                             int sender_core = -1, int recv_core = -1) const {
+    if (cfg_.tuning != nullptr) {
+      std::size_t act = collective
+                            ? cfg_.tuning->collective_activation
+                            : tuning_row(sender_core, recv_core).lmt_activation;
+      return bytes > act;
+    }
     if (cfg_.knem_available) {
       std::size_t act = collective ? cfg_.knem_collective_activation
                                    : cfg_.knem_activation;
@@ -65,12 +98,27 @@ class Policy {
   }
 
   /// Resolve kAuto into a concrete backend for a (sender, receiver) pair.
+  /// The tuned row states a preference; availability gates it, falling back
+  /// down the formula chain (knem -> vmsplice-on-unshared -> default).
   [[nodiscard]] LmtKind choose_kind(std::size_t bytes, int sender_core,
                                     int recv_core) const {
     (void)bytes;
-    if (cfg_.knem_available) return LmtKind::kKnem;
     bool shared = sender_core >= 0 && recv_core >= 0 &&
                   topo_.shared_cache(sender_core, recv_core).has_value();
+    if (cfg_.tuning != nullptr) {
+      switch (tuning_row(sender_core, recv_core).backend) {
+        case tune::Backend::kKnem:
+          if (cfg_.knem_available) return LmtKind::kKnem;
+          break;
+        case tune::Backend::kVmsplice:
+          if (cfg_.vmsplice_available) return LmtKind::kVmsplice;
+          break;
+        case tune::Backend::kDefault:
+          return LmtKind::kDefaultShm;
+      }
+    } else if (cfg_.knem_available) {
+      return LmtKind::kKnem;
+    }
     if (cfg_.vmsplice_available && !shared) return LmtKind::kVmsplice;
     return LmtKind::kDefaultShm;
   }

@@ -1,14 +1,16 @@
-// Per-ordered-pair SPSC fastbox, after MPICH Nemesis' fboxes: a single
-// inline message slot the sender fills and the receiver drains without ever
-// touching the MPSC recv queue's atomic-exchange enqueue. Small eager
-// messages take this path when the box is free and fall back to the queue
-// when it is occupied; the engine merges the two streams back into sender
-// order using the per-pair message sequence number carried in both.
+// Per-ordered-pair SPSC fastbox, after MPICH Nemesis' fboxes — grown from a
+// single inline slot into a small N-slot ring: the sender publishes small
+// eager messages without ever touching the MPSC recv queue's
+// atomic-exchange enqueue, and with N slots a burst no longer falls back to
+// the queue after the first message. When every slot is occupied the sender
+// falls back to the queue; the engine merges the two streams back into
+// sender order using the per-pair message sequence carried in both.
 //
-// The box is a single flag word plus an inline header+payload. Only two
-// cache lines move per message in steady state (the flag/header line and
-// the payload), and — unlike the queue — no third-party cell memory bounces
-// between the pair.
+// Geometry (slot count and slot size, hence the eager-routing cutoff) is
+// tunable: the tune subsystem picks it per machine, NEMO_FASTBOX_SLOTS /
+// NEMO_FASTBOX_SLOT_BYTES override. Per message only two cache lines move
+// in steady state (the slot's flag/header line and its payload); wpos/rpos
+// are single-owner words on separate lines, never shared.
 #pragma once
 
 #include <atomic>
@@ -20,10 +22,10 @@
 
 namespace nemo::shm {
 
-/// Shared-memory layout of one fastbox. `flag` and the header share the
-/// first cache line (SPSC: sender writes everything, then releases via
-/// `flag`; no false sharing because the receiver only polls `flag`).
-struct FastboxState {
+/// One slot: flag + header on the first cache line, payload after. The
+/// sender writes everything, then releases via `flag`; the receiver only
+/// polls `flag`, consumes in place, and stores 0 to hand the slot back.
+struct FastboxSlot {
   alignas(kCacheLine) std::uint32_t flag;  ///< 0 = empty, 1 = full.
   std::uint32_t src;                       ///< Sending rank.
   std::int32_t tag;
@@ -31,24 +33,55 @@ struct FastboxState {
   std::uint32_t context;
   std::uint32_t payload_len;
   static constexpr std::size_t kHeaderBytes = 64;
-  static constexpr std::size_t kSize = 2 * KiB;
-  static constexpr std::size_t kPayload = kSize - kHeaderBytes;
-  alignas(kCacheLine) std::byte payload[kPayload];
-};
-static_assert(sizeof(FastboxState) == FastboxState::kSize);
-static_assert(offsetof(FastboxState, payload) == FastboxState::kHeaderBytes);
 
-/// Cheap view over one fastbox in the arena. Default-constructed views are
-/// invalid placeholders (the engine keeps a dense per-peer vector).
+  [[nodiscard]] const std::byte* payload() const {
+    return reinterpret_cast<const std::byte*>(this) + kHeaderBytes;
+  }
+  [[nodiscard]] std::byte* payload() {
+    return reinterpret_cast<std::byte*>(this) + kHeaderBytes;
+  }
+};
+static_assert(sizeof(FastboxSlot) == FastboxSlot::kHeaderBytes);
+
+/// Shared-memory header of one fastbox ring. wpos is sender-owned, rpos
+/// receiver-owned; each sits on its own line so the positions never bounce.
+struct FastboxState {
+  alignas(kCacheLine) std::uint32_t nslots;
+  std::uint32_t slot_bytes;  ///< Header + payload stride per slot.
+  alignas(kCacheLine) std::uint32_t wpos;  ///< Next slot the sender fills.
+  alignas(kCacheLine) std::uint32_t rpos;  ///< Next slot the receiver reads.
+  // nslots * slot_bytes of FastboxSlot follow.
+};
+
+/// Cheap view over one fastbox ring in the arena. Default-constructed views
+/// are invalid placeholders (the engine keeps a dense per-peer vector).
 class Fastbox {
  public:
-  static constexpr std::size_t kPayload = FastboxState::kPayload;
+  static constexpr std::uint32_t kDefaultSlots = 4;
+  static constexpr std::uint32_t kDefaultSlotBytes = 2 * KiB;
+  /// Upper bound on slot size: eager cells stop paying off past 16 KiB.
+  static constexpr std::uint32_t kMaxSlotBytes = 16 * KiB;
+  /// Payload capacity of the default geometry (compat constant for sizing
+  /// stack buffers; per-instance capacity is payload_capacity()).
+  static constexpr std::size_t kPayload =
+      kDefaultSlotBytes - FastboxSlot::kHeaderBytes;
 
-  static std::uint64_t create(Arena& arena) {
-    std::uint64_t off = arena.alloc(sizeof(FastboxState), kCacheLine);
+  static std::uint64_t create(Arena& arena,
+                              std::uint32_t nslots = kDefaultSlots,
+                              std::uint32_t slot_bytes = kDefaultSlotBytes) {
+    NEMO_ASSERT(nslots >= 1);
+    NEMO_ASSERT(slot_bytes > FastboxSlot::kHeaderBytes &&
+                slot_bytes <= kMaxSlotBytes &&
+                slot_bytes % kCacheLine == 0);
+    std::uint64_t off = arena.alloc(
+        sizeof(FastboxState) +
+            static_cast<std::size_t>(nslots) * slot_bytes,
+        kCacheLine);
     auto* st = arena.at_as<FastboxState>(off);
-    std::memset(st, 0, sizeof(FastboxState));
-    aref(st->flag).store(0, std::memory_order_release);
+    std::memset(st, 0, sizeof(FastboxState) +
+                           static_cast<std::size_t>(nslots) * slot_bytes);
+    st->nslots = nslots;
+    st->slot_bytes = slot_bytes;
     return off;
   }
 
@@ -57,39 +90,52 @@ class Fastbox {
       : st_(arena.at_as<FastboxState>(off)) {}
 
   [[nodiscard]] bool valid() const { return st_ != nullptr; }
+  [[nodiscard]] std::uint32_t nslots() const { return st_->nslots; }
+  [[nodiscard]] std::size_t payload_capacity() const {
+    return st_->slot_bytes - FastboxSlot::kHeaderBytes;
+  }
 
-  /// Sender: publish a complete message if the box is free. Gathers from a
-  /// caller-provided segment walker via memcpy of one contiguous range per
-  /// call — the engine passes contiguous data (small messages are packed).
+  /// Sender: publish a complete message into the next free slot, if any.
   bool try_put(std::uint32_t src, std::int32_t tag, std::uint32_t msg_seq,
                std::uint32_t context, const std::byte* data,
                std::size_t len) {
-    NEMO_ASSERT(len <= kPayload);
-    if (aref(st_->flag).load(std::memory_order_acquire) != 0) return false;
-    st_->src = src;
-    st_->tag = tag;
-    st_->msg_seq = msg_seq;
-    st_->context = context;
-    st_->payload_len = static_cast<std::uint32_t>(len);
-    if (len != 0) std::memcpy(st_->payload, data, len);
-    aref(st_->flag).store(1, std::memory_order_release);
+    NEMO_ASSERT(len <= payload_capacity());
+    FastboxSlot* s = slot(st_->wpos);
+    if (aref(s->flag).load(std::memory_order_acquire) != 0) return false;
+    s->src = src;
+    s->tag = tag;
+    s->msg_seq = msg_seq;
+    s->context = context;
+    s->payload_len = static_cast<std::uint32_t>(len);
+    if (len != 0) std::memcpy(s->payload(), data, len);
+    aref(s->flag).store(1, std::memory_order_release);
+    st_->wpos = (st_->wpos + 1) % st_->nslots;  // Sender-private word.
     return true;
   }
 
-  /// Receiver: the resident message header, or nullptr when empty. The
-  /// payload stays valid until release(); consuming in place keeps the
-  /// receive path single-copy (box -> user buffer).
-  [[nodiscard]] const FastboxState* peek() const {
-    if (aref(st_->flag).load(std::memory_order_acquire) != 1) return nullptr;
-    return st_;
+  /// Receiver: the oldest resident message, or nullptr when the ring is
+  /// empty. The payload stays valid until release(); consuming in place
+  /// keeps the receive path single-copy (slot -> user buffer).
+  [[nodiscard]] const FastboxSlot* peek() const {
+    FastboxSlot* s = slot(st_->rpos);
+    if (aref(s->flag).load(std::memory_order_acquire) != 1) return nullptr;
+    return s;
   }
 
-  /// Receiver: hand the box back to the sender.
+  /// Receiver: hand the slot just peeked back to the sender.
   void release() {
-    aref(st_->flag).store(0, std::memory_order_release);
+    FastboxSlot* s = slot(st_->rpos);
+    aref(s->flag).store(0, std::memory_order_release);
+    st_->rpos = (st_->rpos + 1) % st_->nslots;  // Receiver-private word.
   }
 
  private:
+  [[nodiscard]] FastboxSlot* slot(std::uint32_t i) const {
+    return reinterpret_cast<FastboxSlot*>(
+        reinterpret_cast<std::byte*>(st_ + 1) +
+        static_cast<std::size_t>(i) * st_->slot_bytes);
+  }
+
   FastboxState* st_ = nullptr;
 };
 

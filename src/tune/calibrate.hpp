@@ -1,0 +1,76 @@
+// In-process calibration: measure the crossover points the paper derives
+// from architecture formulas, on the machine actually running. The search
+// core is deliberately generic (two cost functions of size) so it is
+// testable against synthetic cost models; the measurement probes feed it
+// wall-clock costs of the real copy primitives.
+//
+// Calibration is placement-aware: each probe pins its two threads to a core
+// pair of the requested placement class (skipping classes this machine does
+// not have — a 1-core container calibrates nothing and keeps the formulas).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "common/topology.hpp"
+#include "tune/tuning.hpp"
+
+namespace nemo::tune {
+
+/// Cost of performing the operation on a message of `bytes` (any unit, as
+/// long as both sides of a comparison use the same one).
+using CostFn = std::function<double(std::size_t)>;
+
+/// Find the smallest size in [lo, hi] at which `cost_b` becomes cheaper
+/// than `cost_a`, assuming the sign of (cost_a - cost_b) changes at most
+/// once over the range (monotone crossover — true of every tradeoff we
+/// tune: a constant-overhead-but-cheaper-per-byte mechanism against a
+/// cheap-setup-but-costlier-per-byte one).
+///
+/// Scans geometrically (×2) to bracket the crossover, then bisects
+/// `refine_steps` times. Returns nullopt when `cost_b` never wins on the
+/// range; returns `lo` when it already wins there.
+std::optional<std::size_t> find_crossover(const CostFn& cost_a,
+                                          const CostFn& cost_b,
+                                          std::size_t lo, std::size_t hi,
+                                          int refine_steps = 5);
+
+/// Knobs bounding how long calibration may take.
+struct CalibrationOptions {
+  std::size_t min_size = 4 * KiB;
+  std::size_t max_size = 32 * MiB;
+  int repeats = 3;          ///< Median-of-N per probe point.
+  bool verbose = false;     ///< Narrate each measured crossover to stdout.
+  /// Pin probe threads to the placement's core pair (disable for tests on
+  /// restricted hosts where sched_setaffinity may fail).
+  bool pin = true;
+};
+
+/// Measure this machine and return a table with source == "calibrated".
+/// Placement classes the topology does not expose keep their formula rows;
+/// measured rows replace them. Never throws on measurement trouble — a probe
+/// that cannot run leaves its formula value in place.
+TuningTable calibrate(const Topology& topo, const CalibrationOptions& opt = {});
+
+// --- Individual probes (exposed for nemo-tune's narration) -----------------
+
+/// Crossover where streaming (non-temporal) copies start beating cached
+/// copies once the cost of refilling the evicted working set is charged.
+/// nullopt when NT stores are unavailable or never win.
+std::optional<std::size_t> measure_nt_crossover(std::size_t working_set,
+                                                const CalibrationOptions& opt);
+
+/// Crossover where a handshaked, pipelined rendezvous beats the eager
+/// two-copy-through-cells path. `handshake_ns` is the measured (or assumed)
+/// RTS/CTS round-trip.
+std::optional<std::size_t> measure_activation_crossover(
+    double handshake_ns, const CalibrationOptions& opt);
+
+/// One-way notification latency between two cores (acquire/release flag
+/// pingpong); the handshake cost feeding the activation probe. nullopt when
+/// the pair cannot be pinned or timed.
+std::optional<double> measure_pair_latency_ns(int core_a, int core_b,
+                                              const CalibrationOptions& opt);
+
+}  // namespace nemo::tune

@@ -1,0 +1,107 @@
+#include "tune/counters.hpp"
+
+#include <cstdio>
+
+#include "tune/json.hpp"
+
+namespace nemo::tune {
+
+Counters& Counters::operator+=(const Counters& o) {
+  for (int i = 0; i < kSizeClasses; ++i)
+    sent_by_class[static_cast<std::size_t>(i)] +=
+        o.sent_by_class[static_cast<std::size_t>(i)];
+  for (int i = 0; i < kPaths; ++i)
+    path_hist[static_cast<std::size_t>(i)] +=
+        o.path_hist[static_cast<std::size_t>(i)];
+  fastbox_hits += o.fastbox_hits;
+  fastbox_fallbacks += o.fastbox_fallbacks;
+  ring_stalls += o.ring_stalls;
+  drain_exhausted += o.drain_exhausted;
+  progress_passes += o.progress_passes;
+  return *this;
+}
+
+namespace {
+
+const char* path_name(int i) {
+  switch (i) {
+    case 0: return "rndv-default";
+    case 1: return "rndv-vmsplice";
+    case 2: return "rndv-vmsplice-writev";
+    case 3: return "rndv-knem";
+    case Counters::kPathEager: return "eager-queue";
+    case Counters::kPathFastbox: return "eager-fastbox";
+  }
+  return "?";
+}
+
+Json counters_to_json(const Counters& c, int rank) {
+  Json j = Json::object();
+  if (rank >= 0) j.set("rank", static_cast<std::uint64_t>(rank));
+
+  // Sparse histogram: only populated classes, keyed by the class floor so
+  // the dump stays readable ("4KiB": 120).
+  Json hist = Json::object();
+  for (int i = 0; i < Counters::kSizeClasses; ++i) {
+    std::uint64_t n = c.sent_by_class[static_cast<std::size_t>(i)];
+    if (n == 0) continue;
+    hist.set(format_size(static_cast<std::size_t>(1) << i), n);
+  }
+  j.set("sent_by_class", std::move(hist));
+
+  Json paths = Json::object();
+  for (int i = 0; i < Counters::kPaths; ++i) {
+    std::uint64_t n = c.path_hist[static_cast<std::size_t>(i)];
+    if (n != 0) paths.set(path_name(i), n);
+  }
+  j.set("paths", std::move(paths));
+
+  j.set("fastbox_hits", c.fastbox_hits);
+  j.set("fastbox_fallbacks", c.fastbox_fallbacks);
+  double attempts =
+      static_cast<double>(c.fastbox_hits + c.fastbox_fallbacks);
+  j.set("fastbox_hit_rate",
+        attempts > 0 ? static_cast<double>(c.fastbox_hits) / attempts : 0.0);
+  j.set("ring_stalls", c.ring_stalls);
+  j.set("drain_exhausted", c.drain_exhausted);
+  j.set("progress_passes", c.progress_passes);
+  return j;
+}
+
+}  // namespace
+
+std::string Counters::to_json(int rank) const {
+  return counters_to_json(*this, rank).dump();
+}
+
+std::string telemetry_json(const std::string& label,
+                           const Counters* per_rank, int nranks) {
+  Json root = Json::object();
+  root.set("schema", std::string("nemo-telemetry/1"));
+  root.set("label", label);
+  Json ranks = Json::array();
+  Counters total;
+  for (int r = 0; r < nranks; ++r) {
+    ranks.push_back(counters_to_json(per_rank[r], r));
+    total += per_rank[r];
+  }
+  root.set("ranks", std::move(ranks));
+  root.set("total", counters_to_json(total, -1));
+  return root.dump() + "\n";
+}
+
+bool write_telemetry(const std::string& path, const std::string& label,
+                     const Counters* per_rank, int nranks) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write telemetry to %s\n", path.c_str());
+    return false;
+  }
+  std::string body = telemetry_json(label, per_rank, nranks);
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace nemo::tune

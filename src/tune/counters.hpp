@@ -1,0 +1,65 @@
+// Telemetry registry: lightweight per-rank counters the engine bumps on its
+// hot paths (plain increments on engine-private memory — no atomics, no
+// sampling) and the tuner/benches read back. Dumped as JSON via the benches'
+// --telemetry flag; the size-class histogram and fastbox hit rate are the
+// measured inputs the next calibration round tunes against.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/common.hpp"
+
+namespace nemo::tune {
+
+struct Counters {
+  /// log2 size classes: bucket i covers [2^i, 2^(i+1)) bytes; bucket 0 also
+  /// takes zero-byte messages. 40 classes cover up to 1 TiB.
+  static constexpr int kSizeClasses = 40;
+  /// Backend histogram slots (mirrors lmt::LmtKind 0..3) plus eager=4,
+  /// fastbox=5.
+  static constexpr int kPaths = 6;
+  static constexpr int kPathEager = 4;
+  static constexpr int kPathFastbox = 5;
+
+  std::array<std::uint64_t, kSizeClasses> sent_by_class{};
+  std::array<std::uint64_t, kPaths> path_hist{};  ///< Messages per path.
+
+  std::uint64_t fastbox_hits = 0;       ///< Eager sends that took the box.
+  std::uint64_t fastbox_fallbacks = 0;  ///< Box occupied -> queue path.
+  std::uint64_t ring_stalls = 0;        ///< Copy-ring push found it full.
+  std::uint64_t drain_exhausted = 0;    ///< progress() hit the drain budget.
+  std::uint64_t progress_passes = 0;
+
+  static int size_class(std::size_t bytes) {
+    int c = 0;
+    while (bytes > 1 && c < kSizeClasses - 1) {
+      bytes >>= 1;
+      ++c;
+    }
+    return c;
+  }
+
+  void record_send(std::size_t bytes, int path) {
+    sent_by_class[static_cast<std::size_t>(size_class(bytes))]++;
+    path_hist[static_cast<std::size_t>(path)]++;
+  }
+
+  Counters& operator+=(const Counters& o);
+
+  /// One JSON object ({"rank": r, ...}); `rank` < 0 omits the field (used
+  /// for cross-rank aggregates).
+  [[nodiscard]] std::string to_json(int rank) const;
+};
+
+/// Aggregate + dump several ranks' counters as a single JSON document:
+/// {"telemetry": ..., "ranks": [...], "total": {...}}. Used by --telemetry.
+std::string telemetry_json(const std::string& label,
+                           const Counters* per_rank, int nranks);
+
+/// Write telemetry_json() to `path`; false (with stderr note) on failure.
+bool write_telemetry(const std::string& path, const std::string& label,
+                     const Counters* per_rank, int nranks);
+
+}  // namespace nemo::tune

@@ -1,0 +1,326 @@
+#include "tune/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace nemo::tune {
+
+namespace {
+const Json kNullJson{};
+}  // namespace
+
+const Json& Json::operator[](const std::string& key) const {
+  for (const auto& [k, v] : obj_)
+    if (k == key) return v;
+  return kNullJson;
+}
+
+void Json::set(const std::string& key, Json v) {
+  for (auto& [k, old] : obj_) {
+    if (k == key) {
+      old = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+}
+
+bool Json::has(const std::string& key) const {
+  for (const auto& [k, v] : obj_) {
+    (void)v;
+    if (k == key) return true;
+  }
+  return false;
+}
+
+namespace {
+
+void dump_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string Json::dump(int indent) const {
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  std::string pad2(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  std::string out;
+  switch (type_) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return bool_ ? "true" : "false";
+    case Type::kNumber: {
+      char buf[40];
+      if (has_uint_)
+        std::snprintf(buf, sizeof buf, "%llu",
+                      static_cast<unsigned long long>(uint_));
+      else if (num_ == std::floor(num_) && std::abs(num_) < 1e15)
+        std::snprintf(buf, sizeof buf, "%.0f", num_);
+      else
+        std::snprintf(buf, sizeof buf, "%.6g", num_);
+      return buf;
+    }
+    case Type::kString:
+      dump_string(out, str_);
+      return out;
+    case Type::kArray: {
+      if (arr_.empty()) return "[]";
+      out = "[\n";
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        out += pad2 + arr_[i].dump(indent + 1);
+        if (i + 1 < arr_.size()) out += ',';
+        out += '\n';
+      }
+      out += pad + "]";
+      return out;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) return "{}";
+      out = "{\n";
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        out += pad2;
+        dump_string(out, obj_[i].first);
+        out += ": " + obj_[i].second.dump(indent + 1);
+        if (i + 1 < obj_.size()) out += ',';
+        out += '\n';
+      }
+      out += pad + "}";
+      return out;
+    }
+  }
+  return "null";
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+  std::string err;
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r'))
+      ++p;
+  }
+
+  bool fail(const std::string& what) {
+    if (err.empty()) err = what;
+    return false;
+  }
+
+  bool literal(const char* lit) {
+    const char* q = lit;
+    const char* save = p;
+    while (*q) {
+      if (p >= end || *p != *q) {
+        p = save;
+        return false;
+      }
+      ++p;
+      ++q;
+    }
+    return true;
+  }
+
+  bool parse_value(Json& out) {
+    skip_ws();
+    if (p >= end) return fail("unexpected end of input");
+    char c = *p;
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') return parse_string_value(out);
+    if (literal("null")) {
+      out = Json();
+      return true;
+    }
+    if (literal("true")) {
+      out = Json(true);
+      return true;
+    }
+    if (literal("false")) {
+      out = Json(false);
+      return true;
+    }
+    return parse_number(out);
+  }
+
+  bool parse_number(Json& out) {
+    char* numend = nullptr;
+    // Integers round-trip exactly through the uint path.
+    if (*p != '-') {
+      errno = 0;
+      unsigned long long u = std::strtoull(p, &numend, 10);
+      if (numend != p && errno == 0 &&
+          (numend >= end || (*numend != '.' && *numend != 'e' &&
+                             *numend != 'E'))) {
+        out = Json(static_cast<std::uint64_t>(u));
+        p = numend;
+        return true;
+      }
+    }
+    double d = std::strtod(p, &numend);
+    if (numend == p) return fail("bad number");
+    out = Json(d);
+    p = numend;
+    return true;
+  }
+
+  bool parse_string(std::string& s) {
+    if (p >= end || *p != '"') return fail("expected string");
+    ++p;
+    s.clear();
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return fail("bad escape");
+        switch (*p) {
+          case '"': s += '"'; break;
+          case '\\': s += '\\'; break;
+          case '/': s += '/'; break;
+          case 'n': s += '\n'; break;
+          case 't': s += '\t'; break;
+          case 'r': s += '\r'; break;
+          case 'b': s += '\b'; break;
+          case 'f': s += '\f'; break;
+          case 'u': {
+            if (end - p < 5) return fail("bad \\u escape");
+            char hex[5] = {p[1], p[2], p[3], p[4], 0};
+            long v = std::strtol(hex, nullptr, 16);
+            // BMP only; enough for the ASCII schemas we own.
+            if (v < 0x80) {
+              s += static_cast<char>(v);
+            } else if (v < 0x800) {
+              s += static_cast<char>(0xC0 | (v >> 6));
+              s += static_cast<char>(0x80 | (v & 0x3F));
+            } else {
+              s += static_cast<char>(0xE0 | (v >> 12));
+              s += static_cast<char>(0x80 | ((v >> 6) & 0x3F));
+              s += static_cast<char>(0x80 | (v & 0x3F));
+            }
+            p += 4;
+            break;
+          }
+          default:
+            return fail("bad escape");
+        }
+        ++p;
+      } else {
+        s += *p++;
+      }
+    }
+    if (p >= end) return fail("unterminated string");
+    ++p;  // Closing quote.
+    return true;
+  }
+
+  bool parse_string_value(Json& out) {
+    std::string s;
+    if (!parse_string(s)) return false;
+    out = Json(std::move(s));
+    return true;
+  }
+
+  bool parse_array(Json& out) {
+    ++p;  // '['
+    out = Json::array();
+    skip_ws();
+    if (p < end && *p == ']') {
+      ++p;
+      return true;
+    }
+    for (;;) {
+      Json v;
+      if (!parse_value(v)) return false;
+      out.push_back(std::move(v));
+      skip_ws();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      if (p < end && *p == ']') {
+        ++p;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_object(Json& out) {
+    ++p;  // '{'
+    out = Json::object();
+    skip_ws();
+    if (p < end && *p == '}') {
+      ++p;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (p >= end || *p != ':') return fail("expected ':'");
+      ++p;
+      Json v;
+      if (!parse_value(v)) return false;
+      out.set(key, std::move(v));
+      skip_ws();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      if (p < end && *p == '}') {
+        ++p;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(const std::string& text, std::string* err) {
+  Parser ps{text.data(), text.data() + text.size(), {}};
+  Json out;
+  bool ok = ps.parse_value(out);
+  if (ok) {
+    ps.skip_ws();
+    if (ps.p != ps.end) {
+      ok = false;
+      ps.err = "trailing characters";
+    }
+  }
+  if (!ok) {
+    if (err != nullptr) *err = ps.err.empty() ? "parse error" : ps.err;
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace nemo::tune

@@ -1,0 +1,123 @@
+// Self-calibrating tuning tables (paper §3.5, generalised): instead of
+// deriving every threshold from the CacheSize/(2·sharers) style formulas,
+// the runtime consults a TuningTable measured on the actual machine — one
+// row per pair-placement class (shared LLC / same socket without sharing /
+// cross socket), since every crossover the paper reports moves with
+// placement.
+//
+// Precedence, applied in effective_table():
+//   env knobs  >  persistent cache (topology-fingerprinted)  >  formulas.
+//
+// The cache file is JSON keyed by a fingerprint of the detected topology so
+// a machine calibrates once (via the nemo-tune tool or Calibrator) and every
+// later run — any entry point — starts with measured thresholds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/common.hpp"
+#include "common/topology.hpp"
+
+namespace nemo::tune {
+
+/// Rendezvous backend preference, kept independent of lmt::LmtKind so the
+/// tune layer stays below lmt (lmt::Policy maps these onto concrete kinds,
+/// honouring availability).
+enum class Backend : std::uint32_t {
+  kDefault = 0,   ///< Double-buffered shm copy ring.
+  kVmsplice = 1,  ///< Single-copy pipe.
+  kKnem = 2,      ///< Single-copy pseudo-device (DMA-capable).
+};
+
+const char* to_string(Backend b);
+std::optional<Backend> backend_from_string(const std::string& s);
+
+/// Thresholds for one pair-placement class.
+struct PlacementTuning {
+  /// Minimum rendezvous size that switches ring copies to streaming
+  /// (non-temporal) stores. SIZE_MAX = never.
+  std::size_t nt_min = 0;
+  /// Whether copy #1 (sender into the ring slot) should also stream. On a
+  /// shared LLC the cached slot write is what makes the receiver's read hit,
+  /// so the formula default streams only on non-sharing placements.
+  bool push_nt = false;
+  /// Eager → rendezvous activation for this placement.
+  std::size_t lmt_activation = 8 * KiB;
+  /// Preferred rendezvous backend.
+  Backend backend = Backend::kDefault;
+};
+
+/// The full per-machine tuning state the runtime consults.
+struct TuningTable {
+  static constexpr int kPlacements = 3;  ///< Indexed by PairPlacement.
+
+  std::string fingerprint;  ///< Topology fingerprint this table was built on.
+  std::string source = "formula";  ///< "formula" | "calibrated" | "cache".
+
+  std::array<PlacementTuning, kPlacements> place{};
+
+  /// KNEM DMA offload threshold. 0 = use the paper's per-core formula.
+  std::size_t dma_min = 0;
+  /// Lower activation used inside collectives (§4.4).
+  std::size_t collective_activation = 4 * KiB;
+
+  /// Eager messages at or below this ride the per-pair fastbox ring.
+  std::size_t fastbox_max = 2 * KiB - 64;
+  std::uint32_t fastbox_slots = 4;
+  std::uint32_t fastbox_slot_bytes = 2 * KiB;
+
+  /// Recv-queue cells drained per progress() pass before yielding to the
+  /// send/recv state machines.
+  std::uint32_t drain_budget = 256;
+
+  [[nodiscard]] const PlacementTuning& for_placement(PairPlacement p) const {
+    return place[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] PlacementTuning& for_placement(PairPlacement p) {
+    return place[static_cast<std::size_t>(p)];
+  }
+};
+
+/// Stable fingerprint of a topology (FNV-1a over the logical layout), e.g.
+/// "host-8c-a1b2c3d4e5f67890". Cache entries are valid only on a machine
+/// with an identical fingerprint.
+std::string topology_fingerprint(const Topology& topo);
+
+/// The paper's static formulas, evaluated for `topo` (no measurement).
+TuningTable formula_defaults(const Topology& topo);
+
+/// Apply env-knob overrides (NEMO_NT_MIN, NEMO_LMT_ACTIVATION,
+/// NEMO_FASTBOX_MAX, NEMO_FASTBOX_SLOTS, NEMO_FASTBOX_SLOT_BYTES,
+/// NEMO_DRAIN_BUDGET, NEMO_DMA_MIN, NEMO_BACKEND) on top of `t`.
+TuningTable with_env_overrides(TuningTable t);
+
+// --- Serialization ---------------------------------------------------------
+
+std::string to_json(const TuningTable& t);
+std::optional<TuningTable> from_json(const std::string& text,
+                                     std::string* err = nullptr);
+
+/// Where the persistent cache lives: $NEMO_TUNE_CACHE if set, else
+/// $XDG_CACHE_HOME/nemo/tune-<fingerprint>.json, else
+/// $HOME/.cache/nemo/tune-<fingerprint>.json, else
+/// /tmp/nemo-tune-<fingerprint>.json.
+std::string default_cache_path(const std::string& fingerprint);
+
+/// Load the cache at `path`; nullopt when missing, malformed, or built for
+/// a different topology (fingerprint mismatch ⇒ stale ⇒ ignored).
+std::optional<TuningTable> load_cache(const std::string& path,
+                                      const std::string& expect_fingerprint);
+
+/// Persist `t` (creates parent directories best-effort). Returns false and
+/// prints to stderr when the file cannot be written.
+bool store_cache(const std::string& path, const TuningTable& t);
+
+/// One-stop resolution for the runtime: cached table if present and valid
+/// for `topo` (unless NEMO_TUNE=0), else formula defaults; env knobs
+/// override either.
+TuningTable effective_table(const Topology& topo);
+
+}  // namespace nemo::tune

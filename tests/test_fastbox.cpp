@@ -22,20 +22,20 @@ TEST(Fastbox, PutPeekReleaseRoundtrip) {
 
   EXPECT_EQ(fb.peek(), nullptr);  // Starts empty.
   ASSERT_TRUE(fb.try_put(3, 17, 1, 0, msg.data(), msg.size()));
-  const FastboxState* st = fb.peek();
+  const FastboxSlot* st = fb.peek();
   ASSERT_NE(st, nullptr);
   EXPECT_EQ(st->src, 3u);
   EXPECT_EQ(st->tag, 17);
   EXPECT_EQ(st->msg_seq, 1u);
   EXPECT_EQ(st->payload_len, 777u);
-  EXPECT_EQ(pattern_check({st->payload, st->payload_len}, 42), kPatternOk);
+  EXPECT_EQ(pattern_check({st->payload(), st->payload_len}, 42), kPatternOk);
   fb.release();
   EXPECT_EQ(fb.peek(), nullptr);
 }
 
-TEST(Fastbox, OccupiedBoxRefusesSecondPut) {
+TEST(Fastbox, FullRingRefusesPutUntilReleased) {
   Arena arena = Arena::create_anonymous(1 * MiB);
-  Fastbox fb(arena, Fastbox::create(arena));
+  Fastbox fb(arena, Fastbox::create(arena, /*nslots=*/1));
   std::byte b{0x5a};
   ASSERT_TRUE(fb.try_put(0, 1, 1, 0, &b, 1));
   EXPECT_FALSE(fb.try_put(0, 1, 2, 0, &b, 1));  // Caller falls back to queue.
@@ -43,11 +43,46 @@ TEST(Fastbox, OccupiedBoxRefusesSecondPut) {
   EXPECT_TRUE(fb.try_put(0, 1, 2, 0, &b, 1));
 }
 
+TEST(Fastbox, MultiSlotRingBuffersABurstInOrder) {
+  Arena arena = Arena::create_anonymous(1 * MiB);
+  Fastbox fb(arena, Fastbox::create(arena, /*nslots=*/4));
+  std::byte b{0x11};
+  // A burst of nslots messages parks entirely in the ring...
+  for (std::uint32_t i = 1; i <= 4; ++i)
+    ASSERT_TRUE(fb.try_put(0, static_cast<std::int32_t>(i), i, 0, &b, 1));
+  // ...the next one spills to the queue path...
+  EXPECT_FALSE(fb.try_put(0, 5, 5, 0, &b, 1));
+  // ...and the receiver drains in publication order, freeing slots as it
+  // goes (lap 2 reuses slot 0).
+  for (std::uint32_t i = 1; i <= 4; ++i) {
+    const FastboxSlot* st = fb.peek();
+    ASSERT_NE(st, nullptr);
+    EXPECT_EQ(st->msg_seq, i);
+    fb.release();
+  }
+  EXPECT_EQ(fb.peek(), nullptr);
+  EXPECT_TRUE(fb.try_put(0, 5, 5, 0, &b, 1));
+}
+
+TEST(Fastbox, TunableSlotBytesRaisesPayloadCapacity) {
+  Arena arena = Arena::create_anonymous(2 * MiB);
+  Fastbox fb(arena, Fastbox::create(arena, 2, 8 * KiB));
+  EXPECT_EQ(fb.payload_capacity(), 8 * KiB - FastboxSlot::kHeaderBytes);
+  std::vector<std::byte> msg(fb.payload_capacity());
+  pattern_fill(msg, 9);
+  ASSERT_TRUE(fb.try_put(1, 2, 1, 0, msg.data(), msg.size()));
+  const FastboxSlot* st = fb.peek();
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(st->payload_len, msg.size());
+  EXPECT_EQ(pattern_check({st->payload(), st->payload_len}, 9), kPatternOk);
+  fb.release();
+}
+
 TEST(Fastbox, ZeroLengthMessage) {
   Arena arena = Arena::create_anonymous(1 * MiB);
   Fastbox fb(arena, Fastbox::create(arena));
   ASSERT_TRUE(fb.try_put(1, 9, 1, 0, nullptr, 0));
-  const FastboxState* st = fb.peek();
+  const FastboxSlot* st = fb.peek();
   ASSERT_NE(st, nullptr);
   EXPECT_EQ(st->payload_len, 0u);
   fb.release();
@@ -71,11 +106,11 @@ TEST(Fastbox, TwoThreadSpscStreamStaysOrdered) {
 
   Fastbox fb(arena, off);
   for (int i = 0; i < kMsgs; ++i) {
-    const FastboxState* st;
+    const FastboxSlot* st;
     while ((st = fb.peek()) == nullptr) std::this_thread::yield();
     ASSERT_EQ(st->msg_seq, static_cast<std::uint32_t>(i + 1));
     ASSERT_EQ(st->tag, i);
-    ASSERT_EQ(pattern_check({st->payload, st->payload_len},
+    ASSERT_EQ(pattern_check({st->payload(), st->payload_len},
                             static_cast<std::uint64_t>(i)),
               kPatternOk);
     fb.release();

@@ -1,0 +1,429 @@
+// The tune subsystem: placement-keyed tables, the monotone crossover search
+// on synthetic cost models, tuning-cache round-trips + fingerprint
+// invalidation, env-override precedence, and counter accuracy against known
+// traffic.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/checksum.hpp"
+#include "core/comm.hpp"
+#include "lmt/policy.hpp"
+#include "tune/calibrate.hpp"
+#include "tune/counters.hpp"
+#include "tune/json.hpp"
+#include "tune/tuning.hpp"
+
+namespace nemo::tune {
+namespace {
+
+/// Scoped env var setter (tests must not leak knobs into each other).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+std::string temp_path(const char* tag) {
+  return "/tmp/nemo-test-" + std::string(tag) + "-" +
+         std::to_string(::getpid()) + ".json";
+}
+
+TEST(Json, RoundTripsScalarsArraysObjects) {
+  std::string text = R"({"a": 1, "b": "x\ny", "c": [true, null, 2.5],
+                         "d": {"nested": 18446744073709551615}})";
+  auto j = Json::parse(text);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ((*j)["a"].as_uint(), 1u);
+  EXPECT_EQ((*j)["b"].as_string(), "x\ny");
+  EXPECT_EQ((*j)["c"].items().size(), 3u);
+  EXPECT_TRUE((*j)["c"].items()[0].as_bool());
+  EXPECT_TRUE((*j)["c"].items()[1].is_null());
+  EXPECT_DOUBLE_EQ((*j)["c"].items()[2].as_double(), 2.5);
+  EXPECT_EQ((*j)["d"]["nested"].as_uint(), 18446744073709551615ULL);
+
+  // Serialized form parses back to the same values.
+  auto j2 = Json::parse(j->dump());
+  ASSERT_TRUE(j2.has_value());
+  EXPECT_EQ((*j2)["d"]["nested"].as_uint(), 18446744073709551615ULL);
+
+  std::string err;
+  EXPECT_FALSE(Json::parse("{\"unterminated\": ", &err).has_value());
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(Json::parse("{} trailing", &err).has_value());
+}
+
+TEST(CrossoverSearch, FindsSyntheticBreakEvenPoint) {
+  // Mechanism A: no setup, 10 ns/byte. Mechanism B: 100000 ns setup,
+  // 2 ns/byte. Break-even at 12500 bytes: B first wins at 12501.
+  auto cost_a = [](std::size_t s) { return 10.0 * static_cast<double>(s); };
+  auto cost_b = [](std::size_t s) {
+    return 100000.0 + 2.0 * static_cast<double>(s);
+  };
+  auto x = find_crossover(cost_a, cost_b, 1024, 1 * MiB, /*refine_steps=*/30);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(*x, 12501u);
+}
+
+TEST(CrossoverSearch, EdgeCases) {
+  auto cheap = [](std::size_t) { return 1.0; };
+  auto dear = [](std::size_t) { return 2.0; };
+  // B never wins on the range.
+  EXPECT_FALSE(find_crossover(cheap, dear, 1024, 1 * MiB).has_value());
+  // B already wins at the lower bound.
+  auto x = find_crossover(dear, cheap, 1024, 1 * MiB);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(*x, 1024u);
+}
+
+TEST(Fingerprint, DistinguishesTopologiesAndIsStable) {
+  std::string a = topology_fingerprint(xeon_e5345());
+  std::string b = topology_fingerprint(xeon_x5460());
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, topology_fingerprint(xeon_e5345()));
+  // The logical layout is hashed, not the name: same layout under another
+  // name shares the hash suffix but not the prefix.
+  Topology renamed = xeon_e5345();
+  renamed.name = "clovertown";
+  EXPECT_NE(a, topology_fingerprint(renamed));
+  EXPECT_EQ(a.substr(a.size() - 16),
+            topology_fingerprint(renamed).substr(
+                topology_fingerprint(renamed).size() - 16));
+}
+
+TEST(TuningTable, JsonRoundTripPreservesEveryField) {
+  TuningTable t = formula_defaults(xeon_e5345());
+  t.source = "calibrated";
+  t.for_placement(PairPlacement::kSharedCache).nt_min = 3 * MiB;
+  t.for_placement(PairPlacement::kSharedCache).backend = Backend::kDefault;
+  t.for_placement(PairPlacement::kDifferentSockets).nt_min = 7 * MiB;
+  t.for_placement(PairPlacement::kDifferentSockets).push_nt = true;
+  t.for_placement(PairPlacement::kDifferentSockets).lmt_activation = 32 * KiB;
+  t.for_placement(PairPlacement::kDifferentSockets).backend =
+      Backend::kVmsplice;
+  t.dma_min = 2 * MiB;
+  t.collective_activation = 2 * KiB;
+  t.fastbox_max = 4 * KiB - 64;
+  t.fastbox_slots = 8;
+  t.fastbox_slot_bytes = 4 * KiB;
+  t.drain_budget = 512;
+
+  auto r = from_json(to_json(t));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->fingerprint, t.fingerprint);
+  EXPECT_EQ(r->source, "calibrated");
+  for (int i = 0; i < TuningTable::kPlacements; ++i) {
+    const auto& want = t.place[static_cast<std::size_t>(i)];
+    const auto& got = r->place[static_cast<std::size_t>(i)];
+    EXPECT_EQ(got.nt_min, want.nt_min) << "placement " << i;
+    EXPECT_EQ(got.push_nt, want.push_nt) << "placement " << i;
+    EXPECT_EQ(got.lmt_activation, want.lmt_activation) << "placement " << i;
+    EXPECT_EQ(got.backend, want.backend) << "placement " << i;
+  }
+  EXPECT_EQ(r->dma_min, 2 * MiB);
+  EXPECT_EQ(r->collective_activation, 2 * KiB);
+  EXPECT_EQ(r->fastbox_max, 4 * KiB - 64);
+  EXPECT_EQ(r->fastbox_slots, 8u);
+  EXPECT_EQ(r->fastbox_slot_bytes, 4 * KiB);
+  EXPECT_EQ(r->drain_budget, 512u);
+}
+
+TEST(TuningCache, RoundTripAndFingerprintMismatchInvalidation) {
+  std::string path = temp_path("cache");
+  TuningTable t = formula_defaults(xeon_e5345());
+  t.for_placement(PairPlacement::kSharedCache).nt_min = 3 * MiB;
+  ASSERT_TRUE(store_cache(path, t));
+
+  auto ok = load_cache(path, t.fingerprint);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->for_placement(PairPlacement::kSharedCache).nt_min, 3 * MiB);
+  EXPECT_EQ(ok->source, "cache");
+
+  // A cache written on another machine must be ignored, not applied.
+  auto other = load_cache(path, topology_fingerprint(xeon_x5460()));
+  EXPECT_FALSE(other.has_value());
+
+  // Malformed cache: ignored.
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("{broken", f);
+  std::fclose(f);
+  EXPECT_FALSE(load_cache(path, t.fingerprint).has_value());
+
+  // Out-of-range values (e.g. hand-edited fastbox geometry that would trip
+  // shm::Fastbox::create's asserts): rejected, runtime keeps the formulas.
+  TuningTable bad = t;
+  bad.fastbox_slots = 0;
+  ASSERT_TRUE(store_cache(path, bad));
+  EXPECT_FALSE(load_cache(path, t.fingerprint).has_value());
+  bad.fastbox_slots = 4;
+  bad.fastbox_slot_bytes = 3000;  // Not a cache-line multiple.
+  ASSERT_TRUE(store_cache(path, bad));
+  EXPECT_FALSE(load_cache(path, t.fingerprint).has_value());
+
+  EXPECT_FALSE(load_cache("/nonexistent/nope.json", t.fingerprint)
+                   .has_value());
+  std::remove(path.c_str());
+}
+
+TEST(TuningCache, EnvOverridesBeatCacheBeatsFormula) {
+  Topology topo = xeon_e5345();
+  std::string path = temp_path("prec");
+  ScopedEnv cache_env("NEMO_TUNE_CACHE", path);
+
+  // No cache: formula defaults.
+  TuningTable formula = formula_defaults(topo);
+  TuningTable eff = effective_table(topo);
+  EXPECT_EQ(eff.source, "formula");
+  EXPECT_EQ(eff.for_placement(PairPlacement::kSharedCache).nt_min,
+            formula.for_placement(PairPlacement::kSharedCache).nt_min);
+
+  // Cache present and valid: cache wins over formula.
+  TuningTable cached = formula;
+  cached.for_placement(PairPlacement::kSharedCache).nt_min = 3 * MiB;
+  cached.drain_budget = 64;
+  ASSERT_TRUE(store_cache(path, cached));
+  eff = effective_table(topo);
+  EXPECT_EQ(eff.source, "cache");
+  EXPECT_EQ(eff.for_placement(PairPlacement::kSharedCache).nt_min, 3 * MiB);
+  EXPECT_EQ(eff.drain_budget, 64u);
+
+  // Env knob wins over the cache.
+  {
+    ScopedEnv nt("NEMO_NT_MIN", "1MiB");
+    ScopedEnv db("NEMO_DRAIN_BUDGET", "32");
+    eff = effective_table(topo);
+    EXPECT_EQ(eff.for_placement(PairPlacement::kSharedCache).nt_min, 1 * MiB);
+    EXPECT_EQ(eff.for_placement(PairPlacement::kDifferentSockets).nt_min,
+              1 * MiB);
+    EXPECT_EQ(eff.drain_budget, 32u);
+  }
+
+  // NEMO_TUNE=0 disables the cache entirely.
+  {
+    ScopedEnv off("NEMO_TUNE", "0");
+    eff = effective_table(topo);
+    EXPECT_EQ(eff.source, "formula");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Policy, ConsultsPlacementRowsAndFallsBackOnAvailability) {
+  Topology topo = xeon_e5345();
+  TuningTable t = formula_defaults(topo);
+  t.for_placement(PairPlacement::kSharedCache).lmt_activation = 16 * KiB;
+  t.for_placement(PairPlacement::kSharedCache).backend = Backend::kDefault;
+  t.for_placement(PairPlacement::kSameSocketNoShare).lmt_activation = 8 * KiB;
+  t.for_placement(PairPlacement::kSameSocketNoShare).backend =
+      Backend::kVmsplice;
+  t.for_placement(PairPlacement::kDifferentSockets).lmt_activation = 4 * KiB;
+  t.for_placement(PairPlacement::kDifferentSockets).backend = Backend::kKnem;
+  t.collective_activation = 1 * KiB;
+  t.dma_min = 2 * MiB;
+
+  lmt::PolicyConfig pc;
+  pc.tuning = &t;
+  lmt::Policy p(topo, pc);
+
+  // e5345: cores 0,1 share an L2; 0,2 same socket, no shared cache; 0,7
+  // different sockets.
+  EXPECT_FALSE(p.use_lmt(16 * KiB, false, 0, 1));
+  EXPECT_TRUE(p.use_lmt(16 * KiB + 1, false, 0, 1));
+  EXPECT_TRUE(p.use_lmt(8 * KiB + 1, false, 0, 2));
+  EXPECT_FALSE(p.use_lmt(4 * KiB, false, 0, 7));
+  EXPECT_TRUE(p.use_lmt(4 * KiB + 1, false, 0, 7));
+  // Unknown cores read the cross-socket row.
+  EXPECT_TRUE(p.use_lmt(4 * KiB + 1));
+  // Collectives use the global collective activation.
+  EXPECT_TRUE(p.use_lmt(1 * KiB + 1, /*collective=*/true, 0, 1));
+
+  EXPECT_EQ(p.choose_kind(1 * MiB, 0, 1), lmt::LmtKind::kDefaultShm);
+  EXPECT_EQ(p.choose_kind(1 * MiB, 0, 2), lmt::LmtKind::kVmsplice);
+  EXPECT_EQ(p.choose_kind(1 * MiB, 0, 7), lmt::LmtKind::kKnem);
+  // Measured DMAmin replaces the formula.
+  EXPECT_EQ(p.dma_min_for(0), 2 * MiB);
+
+  // Availability still gates the table's preference: no KNEM -> the
+  // cross-socket row falls back down the chain to vmsplice.
+  lmt::PolicyConfig no_knem = pc;
+  no_knem.knem_available = false;
+  lmt::Policy p2(topo, no_knem);
+  EXPECT_EQ(p2.choose_kind(1 * MiB, 0, 7), lmt::LmtKind::kVmsplice);
+  no_knem.vmsplice_available = false;
+  lmt::Policy p3(topo, no_knem);
+  EXPECT_EQ(p3.choose_kind(1 * MiB, 0, 7), lmt::LmtKind::kDefaultShm);
+}
+
+TEST(Calibrate, ProducesAPlausibleTableOnThisHost) {
+  CalibrationOptions opt;
+  opt.repeats = 1;
+  opt.max_size = 4 * MiB;  // Keep the test fast.
+  opt.pin = false;
+  Topology topo = detect_host();
+  TuningTable t = calibrate(topo, opt);
+  EXPECT_EQ(t.source, "calibrated");
+  EXPECT_EQ(t.fingerprint, topology_fingerprint(topo));
+  for (const auto& pt : t.place) {
+    EXPECT_GE(pt.lmt_activation, 256u);
+    EXPECT_GT(pt.nt_min, 0u);
+  }
+  EXPECT_GE(t.fastbox_slot_bytes, 2 * KiB);
+  EXPECT_LE(t.fastbox_slot_bytes, 16 * KiB);
+  EXPECT_LE(t.fastbox_max,
+            t.fastbox_slot_bytes - shm::FastboxSlot::kHeaderBytes);
+}
+
+TEST(Counters, SizeClassesAndAccumulation) {
+  EXPECT_EQ(Counters::size_class(0), 0);
+  EXPECT_EQ(Counters::size_class(1), 0);
+  EXPECT_EQ(Counters::size_class(2), 1);
+  EXPECT_EQ(Counters::size_class(128), 7);
+  EXPECT_EQ(Counters::size_class(129), 7);
+  EXPECT_EQ(Counters::size_class(64 * KiB), 16);
+
+  Counters a, b;
+  a.record_send(128, Counters::kPathFastbox);
+  a.fastbox_hits = 1;
+  b.record_send(64 * KiB, 0);
+  b.ring_stalls = 3;
+  a += b;
+  EXPECT_EQ(a.sent_by_class[7], 1u);
+  EXPECT_EQ(a.sent_by_class[16], 1u);
+  EXPECT_EQ(a.ring_stalls, 3u);
+
+  // The JSON dump carries the populated buckets and the hit rate.
+  auto j = Json::parse(telemetry_json("t", &a, 1));
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ((*j)["total"]["sent_by_class"]["128B"].as_uint(), 1u);
+  EXPECT_EQ((*j)["total"]["sent_by_class"]["64KiB"].as_uint(), 1u);
+  EXPECT_EQ((*j)["total"]["ring_stalls"].as_uint(), 3u);
+  EXPECT_DOUBLE_EQ((*j)["total"]["fastbox_hit_rate"].as_double(), 1.0);
+}
+
+}  // namespace
+}  // namespace nemo::tune
+
+namespace nemo::core {
+namespace {
+
+using tune::Counters;
+
+TEST(EngineCounters, MatchKnownTraffic) {
+  // Hermetic: no cache pickup from the host.
+  ::setenv("NEMO_TUNE", "0", 1);
+  Config cfg;
+  cfg.nranks = 2;
+  cfg.lmt = lmt::LmtKind::kDefaultShm;  // Pin the rendezvous backend.
+  constexpr int kSmall = 6, kBig = 2;
+  bool ok = run(cfg, [&](Comm& comm) {
+    std::vector<std::byte> small(128), big(256 * KiB);
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kSmall; ++i) {
+        pattern_fill(small, static_cast<std::uint64_t>(i));
+        comm.send(small.data(), small.size(), 1, 1);
+      }
+      for (int i = 0; i < kBig; ++i) {
+        pattern_fill(big, static_cast<std::uint64_t>(100 + i));
+        comm.send(big.data(), big.size(), 1, 2);
+      }
+      comm.hard_barrier();
+      const Counters& c = comm.engine().counters();
+      // Every small message took either the fastbox or the eager queue.
+      EXPECT_EQ(c.path_hist[Counters::kPathFastbox] +
+                    c.path_hist[Counters::kPathEager],
+                static_cast<std::uint64_t>(kSmall));
+      EXPECT_EQ(c.fastbox_hits, c.path_hist[Counters::kPathFastbox]);
+      // Both big messages went through the default rendezvous backend.
+      EXPECT_EQ(c.path_hist[0],
+                static_cast<std::uint64_t>(kBig));
+      EXPECT_EQ(c.sent_by_class[Counters::size_class(128)],
+                static_cast<std::uint64_t>(kSmall));
+      EXPECT_EQ(c.sent_by_class[Counters::size_class(256 * KiB)],
+                static_cast<std::uint64_t>(kBig));
+    } else {
+      for (int i = 0; i < kSmall; ++i) {
+        comm.recv(small.data(), small.size(), 0, 1);
+        EXPECT_EQ(pattern_check(small, static_cast<std::uint64_t>(i)),
+                  kPatternOk);
+      }
+      for (int i = 0; i < kBig; ++i) {
+        comm.recv(big.data(), big.size(), 0, 2);
+        EXPECT_EQ(pattern_check(big, static_cast<std::uint64_t>(100 + i)),
+                  kPatternOk);
+      }
+      comm.hard_barrier();
+      EXPECT_GT(comm.engine().counters().progress_passes, 0u);
+    }
+  });
+  EXPECT_TRUE(ok);
+  ::unsetenv("NEMO_TUNE");
+}
+
+TEST(EngineCounters, DrainBudgetExhaustionIsRecorded) {
+  ::setenv("NEMO_DRAIN_BUDGET", "1", 1);
+  ::setenv("NEMO_TUNE", "0", 1);
+  Config cfg;
+  cfg.nranks = 2;
+  cfg.use_fastbox = false;  // Force every message through the queue.
+  bool ok = run(cfg, [&](Comm& comm) {
+    EXPECT_EQ(comm.world().tuning().drain_budget, 1u);
+    constexpr int kMsgs = 16;
+    std::vector<std::byte> buf(128);
+    if (comm.rank() == 0) {
+      std::vector<Request> reqs;
+      std::vector<std::vector<std::byte>> bufs(
+          kMsgs, std::vector<std::byte>(128));
+      for (int i = 0; i < kMsgs; ++i)
+        reqs.push_back(comm.isend(bufs[static_cast<std::size_t>(i)].data(),
+                                  128, 1, 5));
+      comm.hard_barrier();  // Receiver starts draining only now.
+      comm.waitall(reqs);
+    } else {
+      comm.hard_barrier();
+      for (int i = 0; i < kMsgs; ++i) comm.recv(buf.data(), 128, 0, 5);
+      // With a 1-cell budget and 16 queued messages, progress passes must
+      // have hit the budget repeatedly.
+      EXPECT_GT(comm.engine().counters().drain_exhausted, 0u);
+    }
+  });
+  EXPECT_TRUE(ok);
+  ::unsetenv("NEMO_DRAIN_BUDGET");
+  ::unsetenv("NEMO_TUNE");
+}
+
+TEST(EngineCounters, TunedFastboxCutoffRoutesBiggerMessages) {
+  // 4 KiB slots with a raised cutoff: a 3000-byte message (too big for the
+  // old 2 KiB slot) now rides the fastbox.
+  ::setenv("NEMO_FASTBOX_SLOT_BYTES", "4KiB", 1);
+  ::setenv("NEMO_FASTBOX_MAX", "4KiB", 1);
+  ::setenv("NEMO_TUNE", "0", 1);
+  Config cfg;
+  cfg.nranks = 2;
+  bool ok = run(cfg, [&](Comm& comm) {
+    EXPECT_EQ(comm.world().tuning().fastbox_slot_bytes, 4 * KiB);
+    std::vector<std::byte> buf(3000);
+    if (comm.rank() == 0) {
+      pattern_fill(buf, 7);
+      comm.send(buf.data(), buf.size(), 1, 9);
+      comm.hard_barrier();
+      EXPECT_EQ(comm.engine().stats().fastbox_sent, 1u);
+    } else {
+      comm.recv(buf.data(), buf.size(), 0, 9);
+      EXPECT_EQ(pattern_check(buf, 7), kPatternOk);
+      comm.hard_barrier();
+    }
+  });
+  EXPECT_TRUE(ok);
+  ::unsetenv("NEMO_FASTBOX_SLOT_BYTES");
+  ::unsetenv("NEMO_FASTBOX_MAX");
+  ::unsetenv("NEMO_TUNE");
+}
+
+}  // namespace
+}  // namespace nemo::core
