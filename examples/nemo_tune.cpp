@@ -3,9 +3,12 @@
 // Grown from lmt_tuner (which only *prints* the formula policy): this tool
 // *measures* — per placement class it locates the NT-copy crossover, the
 // eager/rendezvous activation point, and (with --bench) the fastest
-// rendezvous backend via real pingpongs — then writes the TuningTable to
-// the topology-fingerprinted cache file that every nemo entry point loads
-// at startup. Calibration costs once per machine:
+// rendezvous backend via real pingpongs; a telemetry feedback pass then
+// runs short alltoall probes at 4/8 ranks and reacts to the congestion
+// counters (drain budget, ring depth, fastbox pressure, polling order) —
+// then writes the TuningTable to the topology-fingerprinted cache file that
+// every nemo entry point loads at startup. Calibration costs once per
+// machine:
 //
 //   build/nemo-tune                 # calibrate + write cache (or reuse it)
 //   build/nemo-tune --force         # recalibrate even with a valid cache
@@ -15,6 +18,7 @@
 
 #include "../bench/bench_common.hpp"
 #include "common/options.hpp"
+#include "shm/numa.hpp"
 #include "tune/calibrate.hpp"
 #include "tune/tuning.hpp"
 
@@ -30,19 +34,62 @@ void print_table(const tune::TuningTable& t) {
                                        PairPlacement::kDifferentSockets};
   for (PairPlacement p : kAll) {
     const tune::PlacementTuning& pt = t.for_placement(p);
+    char ring[32];
+    if (pt.ring_bufs == 0 && pt.ring_buf_bytes == 0)
+      std::snprintf(ring, sizeof ring, "inherit");
+    else
+      std::snprintf(ring, sizeof ring, "%ux%s",
+                    pt.ring_bufs != 0 ? pt.ring_bufs : 0,
+                    pt.ring_buf_bytes != 0
+                        ? format_size(pt.ring_buf_bytes).c_str()
+                        : "cfg");
     std::printf(
-        "  %-22s nt_min=%-8s push_nt=%d activation=%-8s backend=%s\n",
+        "  %-22s nt_min=%-8s push_nt=%d activation=%-8s backend=%-8s "
+        "ring=%s\n",
         to_string(p),
         pt.nt_min == SIZE_MAX ? "never" : format_size(pt.nt_min).c_str(),
         pt.push_nt ? 1 : 0, format_size(pt.lmt_activation).c_str(),
-        tune::to_string(pt.backend));
+        tune::to_string(pt.backend), ring);
   }
   std::printf("  dma_min=%s collective_activation=%s\n",
               t.dma_min == 0 ? "formula" : format_size(t.dma_min).c_str(),
               format_size(t.collective_activation).c_str());
-  std::printf("  fastbox: %u slots x %s (cutoff %s)   drain_budget=%u\n",
+  std::printf("  fastbox: %u slots x %s (cutoff %s)   drain_budget=%u   "
+              "poll_hot=%d\n",
               t.fastbox_slots, format_size(t.fastbox_slot_bytes).c_str(),
-              format_size(t.fastbox_max).c_str(), t.drain_budget);
+              format_size(t.fastbox_max).c_str(), t.drain_budget,
+              t.poll_hot ? 1 : 0);
+}
+
+/// Narrate the NUMA placement the runtime would apply per placement class:
+/// the decision for a representative core pair of each class, plus whether
+/// this host can actually bind (mbind + >1 node + NEMO_NUMA).
+void print_numa(const Topology& topo) {
+  shm::NumaPlacement mode = shm::numa_placement_from_env();
+  std::printf("numa: mode=%s  topo-nodes=%d  host-nodes=%d  bind=%s\n",
+              shm::to_string(mode), topo.num_numa_nodes(),
+              shm::host_numa_nodes(),
+              shm::numa_bind_available() ? "available"
+                                         : "unavailable (first-touch)");
+  static const PairPlacement kAll[] = {PairPlacement::kSharedCache,
+                                       PairPlacement::kSameSocketNoShare,
+                                       PairPlacement::kDifferentSockets};
+  for (PairPlacement p : kAll) {
+    auto pair = topo.find_pair(p);
+    if (!pair) continue;
+    shm::RegionPlacement r = shm::choose_region_placement(
+        mode, topo, pair->first, pair->second);
+    const char* what = r.interleave ? "interleaved across nodes"
+                       : r.node >= 0 ? "receiver-side"
+                                     : "first-touch";
+    if (mode == shm::NumaPlacement::kSender && r.node >= 0)
+      what = "sender-side";
+    if (r.node >= 0)
+      std::printf("  %-22s ring buffers -> %s (node %d)\n", to_string(p),
+                  what, r.node);
+    else
+      std::printf("  %-22s ring buffers -> %s\n", to_string(p), what);
+  }
 }
 
 /// Measure a real 512 KiB pingpong on a pinned core pair per candidate
@@ -98,6 +145,7 @@ int main(int argc, char** argv) {
   opt.declare("bench", "also pingpong-race the backends per placement");
   opt.declare("iters", "pingpong iterations for --bench (default 10)");
   opt.declare("quick", "fewer repeats per probe (noisier, faster)");
+  opt.declare("no-feedback", "skip the telemetry feedback pass");
   opt.finalize();
 
   std::string tname = opt.get("topo", "host");
@@ -115,6 +163,7 @@ int main(int argc, char** argv) {
     if (env_flag("NEMO_TUNE", true)) cached = tune::load_cache(path, fp);
     print_table(tune::with_env_overrides(
         cached ? *cached : tune::formula_defaults(topo)));
+    print_numa(topo);
     return 0;
   }
 
@@ -123,6 +172,7 @@ int main(int argc, char** argv) {
       std::printf("cache valid: %s (no recalibration; --force to redo)\n",
                   path.c_str());
       print_table(*cached);
+      print_numa(topo);
       return 0;
     }
   }
@@ -134,6 +184,7 @@ int main(int argc, char** argv) {
   tune::CalibrationOptions copt;
   copt.verbose = true;
   if (opt.get_flag("quick")) copt.repeats = 1;
+  copt.feedback = !opt.get_flag("no-feedback");
   tune::TuningTable t = tune::calibrate(topo, copt);
 
   if (opt.get_flag("bench")) {
@@ -147,5 +198,6 @@ int main(int argc, char** argv) {
   if (!tune::store_cache(path, t)) return 1;
   std::printf("wrote %s\n", path.c_str());
   print_table(t);
+  print_numa(topo);
   return 0;
 }

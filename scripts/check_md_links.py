@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Markdown link check for docs/ and the top-level *.md files.
+
+Verifies that every relative link target exists and that every in-repo
+anchor (#section) resolves to a heading in the target file, so doc rot
+fails CI instead of accumulating. External (http/https/mailto) links are
+not fetched — this check must stay hermetic.
+
+Usage: python3 scripts/check_md_links.py [repo_root]
+"""
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+FENCE_RE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+DUP_SUFFIX_RE = re.compile(r"-\d+$")
+
+
+def strip_fences(body):
+    """Drop fenced code blocks: link syntax inside them is not a link."""
+    return FENCE_RE.sub("", body)
+
+
+def heading_anchor(text):
+    """GitHub-style slug: lowercase, drop punctuation, spaces to dashes."""
+    text = re.sub(r"[`*_]", "", text.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def md_files(root):
+    out = [
+        os.path.join(root, f)
+        for f in os.listdir(root)
+        if f.endswith(".md") and os.path.isfile(os.path.join(root, f))
+    ]
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for dirpath, _, files in os.walk(docs):
+            out.extend(
+                os.path.join(dirpath, f) for f in files if f.endswith(".md")
+            )
+    return sorted(out)
+
+
+def anchors_of(path, cache={}):
+    if path not in cache:
+        with open(path, encoding="utf-8") as f:
+            body = strip_fences(f.read())
+        anchors = set()
+        seen = {}
+        for m in HEADING_RE.finditer(body):
+            slug = heading_anchor(m.group(1))
+            # GitHub suffixes duplicate headings: second "Setup" -> setup-1.
+            n = seen.get(slug, 0)
+            seen[slug] = n + 1
+            anchors.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = anchors
+    return cache[path]
+
+
+def anchor_ok(anchor, anchors):
+    if anchor in anchors:
+        return True
+    # Tolerate a -N suffix pointing at a heading whose earlier duplicates we
+    # may have slugged slightly differently than GitHub does.
+    return DUP_SUFFIX_RE.sub("", anchor) in anchors
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    errors = []
+    for md in md_files(root):
+        rel_md = os.path.relpath(md, root)
+        with open(md, encoding="utf-8") as f:
+            body = strip_fences(f.read())
+        for m in LINK_RE.finditer(body):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            dest = md if not path_part else os.path.normpath(
+                os.path.join(os.path.dirname(md), path_part)
+            )
+            if not os.path.exists(dest):
+                errors.append(f"{rel_md}: broken link -> {target}")
+                continue
+            if anchor and dest.endswith(".md"):
+                if not anchor_ok(anchor.lower(), anchors_of(dest)):
+                    errors.append(f"{rel_md}: missing anchor -> {target}")
+    for e in errors:
+        print(f"error: {e}")
+    checked = len(md_files(root))
+    print(f"checked {checked} markdown files: "
+          f"{'FAIL' if errors else 'ok'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

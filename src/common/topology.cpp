@@ -23,6 +23,12 @@ const char* to_string(PairPlacement p) {
   return "?";
 }
 
+int Topology::num_numa_nodes() const {
+  int hi = 0;
+  for (int n : numa_of) hi = std::max(hi, n);
+  return hi + 1;
+}
+
 std::optional<CacheDomain> Topology::shared_cache(int a, int b) const {
   std::optional<CacheDomain> best;
   for (const auto& c : caches) {
@@ -65,6 +71,10 @@ void Topology::validate() const {
   NEMO_ASSERT(num_cores > 0);
   NEMO_ASSERT(socket_of.size() == static_cast<std::size_t>(num_cores));
   NEMO_ASSERT(die_of.size() == static_cast<std::size_t>(num_cores));
+  NEMO_ASSERT_MSG(numa_of.empty() ||
+                      numa_of.size() == static_cast<std::size_t>(num_cores),
+                  "numa_of must be empty or name one node per core");
+  for (int n : numa_of) NEMO_ASSERT(n >= 0);
   for (int c = 0; c < num_cores; ++c) {
     bool covered = false;
     for (const auto& d : caches)
@@ -100,6 +110,10 @@ Topology xeon_e5345() {
   for (int c = 0; c < 8; ++c) {
     t.socket_of.push_back(c / 4);
     t.die_of.push_back(c / 2);
+    // One synthetic NUMA node per socket: the FSB-era part was UMA, but a
+    // per-socket map makes placement decisions exercisable in the sim and in
+    // tests on single-node containers.
+    t.numa_of.push_back(c / 4);
   }
   add_private_l1(t);
   for (int die = 0; die < 4; ++die)
@@ -248,14 +262,44 @@ Topology detect_host() {
       any_cache = true;
     }
   }
-  if (!any_cache) return flat_smp(ncpu, 8 * MiB);
+  // NUMA map: /sys/devices/system/node/node<N>/cpulist names each node's
+  // cores. A partial map (offline cpus, containers hiding nodes) degrades to
+  // "single node" rather than a half-filled vector.
+  std::vector<int> numa(static_cast<std::size_t>(ncpu), -1);
+  bool any_node = false;
+  // No break on a missing id: node ids can be sparse (offline/hotplug).
+  for (int node = 0; node < 256; ++node) {
+    std::string cpus_s;
+    if (!read_file("/sys/devices/system/node/node" + std::to_string(node) +
+                       "/cpulist",
+                   cpus_s))
+      continue;
+    for (int c : parse_cpulist(cpus_s))
+      if (c >= 0 && c < ncpu) {
+        numa[static_cast<std::size_t>(c)] = node;
+        any_node = true;
+      }
+  }
+  if (any_node &&
+      std::none_of(numa.begin(), numa.end(), [](int n) { return n < 0; }))
+    t.numa_of = std::move(numa);
+
+  if (!any_cache) {
+    Topology flat = flat_smp(ncpu, 8 * MiB);
+    flat.numa_of = t.numa_of;  // Keep the node map even without cache info.
+    return flat;
+  }
   // Soft-validate: NEMO_ASSERT aborts, so check coverage manually and fall
   // back to a flat description when sysfs gave us something partial.
   for (int c = 0; c < ncpu; ++c) {
     bool covered = false;
     for (const auto& d : t.caches)
       if (d.contains(c)) covered = true;
-    if (!covered) return flat_smp(ncpu, 8 * MiB);
+    if (!covered) {
+      Topology flat = flat_smp(ncpu, 8 * MiB);
+      flat.numa_of = t.numa_of;
+      return flat;
+    }
   }
   return t;
 }

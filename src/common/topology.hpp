@@ -46,7 +46,24 @@ struct Topology {
   int num_cores = 0;
   std::vector<int> socket_of;  ///< socket_of[core].
   std::vector<int> die_of;     ///< die_of[core] (globally unique die ids).
+  /// numa_of[core]: NUMA node backing each core's local memory. Empty means
+  /// "single node" (UMA host, or sysfs gave us nothing). The paper-era
+  /// presets synthesize one node per socket so placement logic is testable
+  /// without NUMA hardware.
+  std::vector<int> numa_of;
   std::vector<CacheDomain> caches;
+
+  /// NUMA node of `core` (0 on single-node descriptions).
+  [[nodiscard]] int numa_node_of(int core) const {
+    if (numa_of.empty()) return 0;
+    return numa_of[static_cast<std::size_t>(core)];
+  }
+
+  /// Number of distinct NUMA nodes this description exposes (>= 1).
+  [[nodiscard]] int num_numa_nodes() const;
+
+  /// True when placement decisions can matter: more than one NUMA node.
+  [[nodiscard]] bool multi_numa() const { return num_numa_nodes() > 1; }
 
   /// Largest-level cache shared by both cores, if any.
   [[nodiscard]] std::optional<CacheDomain> shared_cache(int a, int b) const;
@@ -81,7 +98,8 @@ Topology nehalem();
 /// Generic SMP with `ncores` cores, no shared caches (private LLC per core).
 Topology flat_smp(int ncores, std::size_t llc_bytes);
 
-/// Best-effort detection of the host this process runs on, via sysfs.
+/// Best-effort detection of the host this process runs on, via sysfs
+/// (including /sys/devices/system/node for the per-core NUMA map).
 /// Falls back to flat_smp(hardware_concurrency, 8 MiB) when sysfs is absent.
 Topology detect_host();
 

@@ -28,21 +28,52 @@ struct BarrierBlock {
   alignas(kCacheLine) std::uint64_t generation;
 };
 
+/// Both cores valid ids in `topo` and distinct (classify() indexes by core).
+bool classifiable(const Topology& topo, int a, int b) {
+  return a >= 0 && a < topo.num_cores && b >= 0 && b < topo.num_cores &&
+         a != b;
+}
+
+/// Per-pair ring geometry: the tuned placement row when it names one, else
+/// the world-wide Config/env value. Rows only apply when both cores are
+/// known (placement classification needs them).
+std::pair<std::uint32_t, std::uint32_t> ring_geometry(
+    const Config& cfg, const tune::TuningTable& tuning, const Topology& topo,
+    int score, int dcore) {
+  std::uint32_t bufs = cfg.ring_bufs;
+  std::uint32_t buf_bytes = cfg.ring_buf_bytes;
+  if (classifiable(topo, score, dcore)) {
+    const tune::PlacementTuning& row =
+        tuning.for_placement(topo.classify(score, dcore));
+    if (row.ring_bufs != 0) bufs = row.ring_bufs;
+    if (row.ring_buf_bytes != 0) buf_bytes = row.ring_buf_bytes;
+  }
+  return {bufs, buf_bytes};
+}
+
 std::size_t auto_arena_bytes(const Config& cfg,
                              const tune::TuningTable& tuning) {
   std::size_t n = static_cast<std::size_t>(cfg.nranks);
   std::size_t per_rank = 2 * sizeof(shm::QueueState) +
                          cfg.cells_per_rank * sizeof(Cell) + 4 * KiB;
   std::size_t pairs = n * (n - 1);
+  // Size for the largest geometry any placement row could select, plus page
+  // slack for the NUMA-bindable page-aligned carving.
+  std::size_t max_bufs = cfg.ring_bufs;
+  std::size_t max_buf_bytes = cfg.ring_buf_bytes;
+  for (const auto& row : tuning.place) {
+    max_bufs = std::max<std::size_t>(max_bufs, row.ring_bufs);
+    max_buf_bytes = std::max<std::size_t>(max_buf_bytes, row.ring_buf_bytes);
+  }
   std::size_t per_ring =
       sizeof(shm::CopyRingState) +
-      cfg.ring_bufs * (sizeof(shm::CopyRingSlot) + cfg.ring_buf_bytes) +
-      4 * KiB;
+      max_bufs * (sizeof(shm::CopyRingSlot) + max_buf_bytes) +
+      4 * KiB + 2 * shm::Arena::kPageBytes;
   std::size_t per_fastbox =
       sizeof(shm::FastboxState) +
       static_cast<std::size_t>(tuning.fastbox_slots) *
           tuning.fastbox_slot_bytes +
-      kCacheLine;
+      kCacheLine + 2 * shm::Arena::kPageBytes;
   std::size_t knem = sizeof(knem::DeviceState) +
                      256 * sizeof(knem::CookieSlot) +
                      256 * sizeof(knem::SegBlock) + 64 * KiB;
@@ -65,6 +96,7 @@ Config apply_env(Config cfg) {
   }
   cfg.use_fastbox = env_flag("NEMO_FASTBOX", cfg.use_fastbox);
   if (env_str("NEMO_NT_MIN")) cfg.nt_min = env_size("NEMO_NT_MIN", 0);
+  cfg.numa_placement = shm::numa_placement_from_env(cfg.numa_placement);
   return cfg;
 }
 
@@ -97,32 +129,61 @@ World::World(Config cfg)
     rank_queues_.push_back(shm::make_rank_queues(
         arena_, static_cast<std::uint32_t>(r), cfg_.cells_per_rank));
 
-  ring_offs_.assign(static_cast<std::size_t>(cfg_.nranks) *
-                        static_cast<std::size_t>(cfg_.nranks),
-                    kNil);
+  // Per-pair rings and fastboxes, with NUMA-aware placement: the decision
+  // (which node, if any) is recorded for every pair even when binding is
+  // unavailable, so placement stays observable on single-node hosts.
+  numa_mode_ = cfg_.numa_placement;
+  std::size_t n2 = static_cast<std::size_t>(cfg_.nranks) *
+                   static_cast<std::size_t>(cfg_.nranks);
+  ring_offs_.assign(n2, kNil);
+  ring_place_.assign(n2, RingPlacement{});
+  if (cfg_.use_fastbox) fastbox_offs_.assign(n2, kNil);
   for (int s = 0; s < cfg_.nranks; ++s)
-    for (int d = 0; d < cfg_.nranks; ++d)
-      if (s != d)
-        ring_offs_[static_cast<std::size_t>(s) *
-                       static_cast<std::size_t>(cfg_.nranks) +
-                   static_cast<std::size_t>(d)] =
-            shm::CopyRing::create(arena_, cfg_.ring_bufs,
-                                  cfg_.ring_buf_bytes);
-
-  if (cfg_.use_fastbox) {
-    fastbox_offs_.assign(static_cast<std::size_t>(cfg_.nranks) *
-                             static_cast<std::size_t>(cfg_.nranks),
-                         kNil);
-    for (int s = 0; s < cfg_.nranks; ++s)
-      for (int d = 0; d < cfg_.nranks; ++d)
-        if (s != d)
-          fastbox_offs_[static_cast<std::size_t>(s) *
+    for (int d = 0; d < cfg_.nranks; ++d) {
+      if (s == d) continue;
+      std::size_t idx = static_cast<std::size_t>(s) *
                             static_cast<std::size_t>(cfg_.nranks) +
-                        static_cast<std::size_t>(d)] =
-              shm::Fastbox::create(arena_, tuning_.fastbox_slots,
-                                   tuning_.fastbox_slot_bytes);
-  }
+                        static_cast<std::size_t>(d);
+      int score = core_of(s), dcore = core_of(d);
+      auto [bufs, buf_bytes] = ring_geometry(cfg_, tuning_, topo_, score,
+                                             dcore);
+      shm::RegionPlacement want =
+          shm::choose_region_placement(numa_mode_, topo_, score, dcore);
+      bool place = want.node >= 0 || want.interleave;
 
+      RingPlacement rp;
+      if (classifiable(topo_, score, dcore))
+        rp.pair = topo_.classify(score, dcore);
+      rp.node = want.node;
+      rp.interleaved = want.interleave;
+
+      std::uint64_t ring_off =
+          shm::CopyRing::create(arena_, bufs, buf_bytes, place);
+      ring_offs_[idx] = ring_off;
+      shm::CopyRing ring(arena_, ring_off);
+      std::byte* data = arena_.at(ring.data_off());
+      if (want.node >= 0)
+        rp.bound = shm::bind_to_node(data, ring.data_bytes(), want.node);
+      else if (want.interleave)
+        rp.bound = shm::interleave(data, ring.data_bytes());
+      ring_place_[idx] = rp;
+
+      if (cfg_.use_fastbox) {
+        std::uint64_t fb_off = shm::Fastbox::create(
+            arena_, tuning_.fastbox_slots, tuning_.fastbox_slot_bytes, place);
+        fastbox_offs_[idx] = fb_off;
+        std::size_t fb_bytes =
+            sizeof(shm::FastboxState) +
+            static_cast<std::size_t>(tuning_.fastbox_slots) *
+                tuning_.fastbox_slot_bytes;
+        if (want.node >= 0)
+          shm::bind_to_node(arena_.at(fb_off), fb_bytes, want.node);
+        else if (want.interleave)
+          shm::interleave(arena_.at(fb_off), fb_bytes);
+      }
+    }
+
+  std::uint64_t shared_state_begin = arena_.alloc(8, kCacheLine);
   knem_off_ = knem::Device::create(arena_);
 
   pid_table_off_ = arena_.alloc(sizeof(std::uint64_t) *
@@ -135,6 +196,15 @@ World::World(Config cfg)
   auto* bb = arena_.at_as<BarrierBlock>(barrier_off_);
   bb->count = 0;
   bb->generation = 0;
+
+  // Many-reader bootstrap state (KNEM cookie table, pid table, barrier):
+  // every rank polls these, so no single home node is right — interleave the
+  // span under kAuto/kInterleave. Sub-page spans are a no-op.
+  if (numa_mode_ == shm::NumaPlacement::kAuto ||
+      numa_mode_ == shm::NumaPlacement::kInterleave) {
+    std::uint64_t end = barrier_off_ + sizeof(BarrierBlock);
+    shm::interleave(arena_.at(shared_state_begin), end - shared_state_begin);
+  }
 
   vmsplice_ok_ = shm::Pipe::vmsplice_available();
   cma_ok_ = shm::cma_available();
@@ -203,15 +273,18 @@ Engine::Engine(World& world, int rank)
                             tuning.fastbox_slot_bytes -
                                 shm::FastboxSlot::kHeaderBytes);
   drain_budget_ = std::max<std::uint32_t>(1, tuning.drain_budget);
+  poll_hot_ = tuning.poll_hot;
   backends_.resize(4);
   int n = world.nranks();
   peer_recv_q_.reserve(static_cast<std::size_t>(n));
   peer_free_q_.reserve(static_cast<std::size_t>(n));
   fb_out_.resize(static_cast<std::size_t>(n));
   fb_in_.resize(static_cast<std::size_t>(n));
+  fb_hot_.assign(static_cast<std::size_t>(n), 0);
   for (int r = 0; r < n; ++r) {
     peer_recv_q_.emplace_back(world.arena(), world.recv_q_off(r));
     peer_free_q_.emplace_back(world.arena(), world.free_q_off(r));
+    if (r != rank) poll_order_.push_back(r);
     if (world.use_fastbox() && r != rank) {
       fb_out_[static_cast<std::size_t>(r)] =
           shm::Fastbox(world.arena(), world.fastbox_off(rank, r));
@@ -604,6 +677,7 @@ bool Engine::poll_fastbox(int src) {
     return false;
   expected_seq_[static_cast<std::size_t>(src)]++;
   stats_.fastbox_recv++;
+  fb_hot_[static_cast<std::size_t>(src)]++;
   // Fastbox messages are always complete (len == total): deliver straight
   // from the slot, then return it to the sender.
   deliver_eager_first(src, st->tag, static_cast<int>(st->context),
@@ -615,8 +689,20 @@ bool Engine::poll_fastbox(int src) {
 
 void Engine::poll_fastboxes() {
   if (!world_.use_fastbox()) return;
-  for (int src = 0; src < nranks(); ++src)
-    if (src != rank_) poll_fastbox(src);
+  for (int src : poll_order_) poll_fastbox(src);
+}
+
+void Engine::reorder_poll() {
+  // Hot peers first: under alltoall-style load at 8+ ranks most passes find
+  // only a few boxes full; scanning those first shortens the latency of the
+  // common case. Stable sort keeps rank order among equally-warm peers; the
+  // decay halves history so a peer that goes quiet drifts back.
+  std::stable_sort(poll_order_.begin(), poll_order_.end(),
+                   [&](int a, int b) {
+                     return fb_hot_[static_cast<std::size_t>(a)] >
+                            fb_hot_[static_cast<std::size_t>(b)];
+                   });
+  for (auto& h : fb_hot_) h >>= 1;
 }
 
 void Engine::sync_stream(int src, std::uint32_t seq) {
@@ -825,6 +911,7 @@ void Engine::progress() {
   // reads this as "drain budget too small for this workload".
   if (drained == drain_budget_) counters_.drain_exhausted++;
   counters_.progress_passes++;
+  if (poll_hot_ && (counters_.progress_passes & 0x1FF) == 0) reorder_poll();
   poll_fastboxes();
 
   progress_sends();

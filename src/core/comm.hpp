@@ -28,6 +28,7 @@
 #include "shm/dma_engine.hpp"
 #include "shm/fastbox.hpp"
 #include "shm/nemesis_queue.hpp"
+#include "shm/numa.hpp"
 #include "shm/pipes.hpp"
 #include "tune/counters.hpp"
 #include "tune/tuning.hpp"
@@ -82,6 +83,12 @@ struct Config {
   /// applied, so every entry point honours the same knobs.
   std::optional<tune::TuningTable> tuning;
 
+  /// NUMA placement policy for per-pair shared regions (ring buffers,
+  /// fastboxes): receiver-side for cross-node pairs under kAuto. Overridable
+  /// via NEMO_NUMA_PLACEMENT; binding degrades to first-touch when the host
+  /// is single-node or mbind is unavailable (decisions stay recorded).
+  shm::NumaPlacement numa_placement = shm::NumaPlacement::kAuto;
+
   /// Model I/OAT presence (the software DMA channel).
   bool dma_available = true;
 
@@ -102,6 +109,16 @@ struct RequestState {
 using Request = std::shared_ptr<RequestState>;
 
 class Engine;
+
+/// The recorded NUMA decision for one ordered pair's shared regions. `node`
+/// / `interleaved` are the decision (computed even on single-node hosts so
+/// it stays testable); `bound` reports whether mbind actually applied it.
+struct RingPlacement {
+  PairPlacement pair = PairPlacement::kDifferentSockets;
+  int node = -1;            ///< Target NUMA node; -1 = first-touch.
+  bool interleaved = false;
+  bool bound = false;
+};
 
 /// All cross-rank shared state. Construct in the launcher before ranks
 /// spawn; ranks then build a Comm against it.
@@ -138,6 +155,16 @@ class World {
   }
   [[nodiscard]] std::uint64_t knem_off() const { return knem_off_; }
 
+  /// Effective NUMA placement mode after env resolution.
+  [[nodiscard]] shm::NumaPlacement numa_mode() const { return numa_mode_; }
+  /// The placement decision applied to pair (src, dst)'s ring/fastbox.
+  [[nodiscard]] const RingPlacement& ring_placement(int src, int dst) const {
+    NEMO_ASSERT(src != dst);
+    return ring_place_[static_cast<std::size_t>(src) *
+                           static_cast<std::size_t>(cfg_.nranks) +
+                       static_cast<std::size_t>(dst)];
+  }
+
   /// Effective availability after probing the host.
   [[nodiscard]] bool vmsplice_ok() const { return vmsplice_ok_; }
   [[nodiscard]] bool cma_ok() const { return cma_ok_; }
@@ -168,6 +195,8 @@ class World {
   std::vector<shm::RankQueues> rank_queues_;
   std::vector<std::uint64_t> ring_offs_;
   std::vector<std::uint64_t> fastbox_offs_;
+  shm::NumaPlacement numa_mode_ = shm::NumaPlacement::kFirstTouch;
+  std::vector<RingPlacement> ring_place_;
   std::uint64_t knem_off_ = 0;
   std::uint64_t pid_table_off_ = 0;
   std::uint64_t barrier_off_ = 0;
@@ -274,8 +303,11 @@ class Engine {
                            std::size_t len);
   /// Consume src's inbound fastbox if it holds the next in-order message.
   bool poll_fastbox(int src);
-  /// Drain every inbound fastbox that is ready and in order.
+  /// Drain every inbound fastbox that is ready and in order, in poll_order_.
   void poll_fastboxes();
+  /// Hot-peer-first: re-sort poll_order_ by recent fastbox traffic and decay
+  /// the per-peer counts (called periodically when tuning.poll_hot).
+  void reorder_poll();
   /// A queue cell from `src` carries `seq`; any earlier message still parked
   /// in the pair's fastbox must be delivered first to preserve sender order.
   void sync_stream(int src, std::uint32_t seq);
@@ -303,6 +335,11 @@ class Engine {
   std::vector<shm::QueueView> peer_free_q_;
   std::vector<shm::Fastbox> fb_out_;  ///< Indexed by destination rank.
   std::vector<shm::Fastbox> fb_in_;   ///< Indexed by source rank.
+  /// Fastbox poll order (all peers). Identity order unless tuning.poll_hot,
+  /// which re-sorts by fb_hot_ so hot peers are polled first.
+  std::vector<int> poll_order_;
+  std::vector<std::uint64_t> fb_hot_;  ///< Recent hits per source (decayed).
+  bool poll_hot_ = false;
 
   std::unique_ptr<shm::DmaEngine> dma_channel_;
   std::unique_ptr<shm::DmaEngine> kthread_channel_;

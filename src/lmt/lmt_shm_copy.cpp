@@ -34,7 +34,8 @@ ShmCopyBackend::ShmCopyBackend(core::Engine& eng)
     // the host default, and its push_nt=false keeps copy #1 cached — the
     // same conservative stance the pre-tuning code took for unknown cores.
     PairPlacement place = PairPlacement::kSharedCache;
-    if (mine >= 0 && theirs >= 0 && mine != theirs)
+    if (mine >= 0 && mine < topo.num_cores && theirs >= 0 &&
+        theirs < topo.num_cores && mine != theirs)
       place = topo.classify(mine, theirs);
     const tune::PlacementTuning& row = tuning.for_placement(place);
     nt_min_[static_cast<std::size_t>(p)] =

@@ -32,6 +32,9 @@
 
 namespace nemo::lmt {
 
+/// Construction-time knobs for a Policy. Plain data; copied into the Policy.
+/// The availability flags start from the caller's intent and are ANDed with
+/// what World actually probed on the host (see effective_policy in comm.cpp).
 struct PolicyConfig {
   std::size_t lmt_activation = 64 * 1024;   ///< Eager→LMT switch (Nemesis).
   std::size_t knem_activation = 8 * 1024;   ///< KNEM pays off from here...
@@ -47,6 +50,21 @@ struct PolicyConfig {
   const tune::TuningTable* tuning = nullptr;
 };
 
+/// Per-engine LMT selection policy.
+///
+/// Contract: immutable after construction — every query (use_lmt,
+/// choose_kind, dma_min_for, knem_flags) is const and depends only on its
+/// arguments, so one Policy may be consulted from its owning rank's thread
+/// for the life of the Engine without synchronisation. The tuning table it
+/// references is owned by the World and outlives every Policy.
+///
+/// Placement semantics: cores are *logical* ids in the configured Topology
+/// (which may be synthetic, e.g. the e5345 preset). A core of -1 means "this
+/// rank is not bound"; pairs with any unknown core conservatively read the
+/// cross-socket tuning row — the same "assume no shared cache" default the
+/// formula policy uses. NUMA placement of the shared buffers themselves is
+/// decided one layer up (shm::choose_region_placement consumed by World);
+/// this class only picks thresholds and backends per message.
 class Policy {
  public:
   Policy(Topology topo, PolicyConfig cfg)
@@ -73,7 +91,7 @@ class Policy {
   [[nodiscard]] const tune::PlacementTuning& tuning_row(int sender_core,
                                                         int recv_core) const {
     PairPlacement p = PairPlacement::kDifferentSockets;
-    if (sender_core >= 0 && recv_core >= 0 && sender_core != recv_core)
+    if (cores_known(sender_core, recv_core))
       p = topo_.classify(sender_core, recv_core);
     return cfg_.tuning->for_placement(p);
   }
@@ -103,7 +121,7 @@ class Policy {
   [[nodiscard]] LmtKind choose_kind(std::size_t bytes, int sender_core,
                                     int recv_core) const {
     (void)bytes;
-    bool shared = sender_core >= 0 && recv_core >= 0 &&
+    bool shared = cores_known(sender_core, recv_core) &&
                   topo_.shared_cache(sender_core, recv_core).has_value();
     if (cfg_.tuning != nullptr) {
       switch (tuning_row(sender_core, recv_core).backend) {
@@ -132,6 +150,13 @@ class Policy {
   [[nodiscard]] const PolicyConfig& config() const { return cfg_; }
 
  private:
+  /// Cores usable for classification: valid ids in topo_, distinct. Ids
+  /// beyond the configured (possibly synthetic) topology count as unknown.
+  [[nodiscard]] bool cores_known(int a, int b) const {
+    return a >= 0 && a < topo_.num_cores && b >= 0 && b < topo_.num_cores &&
+           a != b;
+  }
+
   Topology topo_;
   PolicyConfig cfg_;
 };

@@ -1,11 +1,19 @@
 // A shared-memory arena: one fixed-size mapping holding every cross-rank data
-// structure (queues, cells, copy rings, KNEM cookie table, bootstrap state).
+// structure (queues, cells, copy rings, fastboxes, KNEM cookie table,
+// bootstrap state).
 //
 // All structures inside the arena are addressed by BYTE OFFSET, never by
 // pointer, and contain only trivially-copyable words accessed through
 // std::atomic_ref. That makes the identical layout usable from:
 //  - threads of one process  (anonymous MAP_SHARED mapping), and
 //  - forked processes        (the mapping is inherited, or shm_open'ed).
+//
+// NUMA placement: the arena itself is mapped without a memory policy
+// (first-touch). Regions whose reader/writer cores are known are carved with
+// alloc_pages() and then bound via shm::bind_to_node()/interleave() — see
+// shm/numa.hpp for the decision logic and the fallback contract. Binding a
+// region is always optional: every structure works identically (just
+// potentially slower) wherever its pages land.
 #pragma once
 
 #include <atomic>
@@ -28,17 +36,31 @@ std::atomic_ref<T> aref(T& word) {
   return std::atomic_ref<T>(word);
 }
 
+/// One shared mapping + a lock-free bump allocator over it.
+///
+/// Thread-safety: alloc()/alloc_as()/alloc_pages()/shared-state accessors are
+/// safe from any rank concurrently (the bump pointer is a CAS loop on a word
+/// inside the mapping itself, so forked processes contend correctly too).
+/// Construction, move, and destruction are single-owner operations: exactly
+/// one World constructs the arena before ranks spawn and destroys it after
+/// they join. at()/at_as()/offset_of() are pure address arithmetic and
+/// assert (always-on) that the offset/pointer lies inside the mapping.
 class Arena {
  public:
+  /// mmap/mbind granularity; alloc_pages() hands out multiples of this.
+  static constexpr std::size_t kPageBytes = 4096;
+
   /// Anonymous MAP_SHARED arena: shared with threads and with children
   /// forked *after* creation.
   static Arena create_anonymous(std::size_t bytes);
 
   /// POSIX shm_open-backed arena (O_CREAT | O_EXCL), for unrelated processes
   /// and for demonstrating the real deployment path. `name` must start '/'.
+  /// The creating Arena owns the name and unlinks it on destruction.
   static Arena create_shm(const std::string& name, std::size_t bytes);
 
-  /// Attach to an existing shm arena created by create_shm.
+  /// Attach to an existing shm arena created by create_shm. The attached
+  /// view does not own the name (no unlink on destruction).
   static Arena open_shm(const std::string& name);
 
   Arena() = default;
@@ -85,7 +107,16 @@ class Arena {
 
   /// Bump-allocate `bytes` aligned to `align` (power of two, >= 8).
   /// Thread-safe across ranks; memory is never freed individually.
+  /// Asserts (always-on) when the arena is exhausted — size it up front via
+  /// Config::arena_bytes rather than handling failure at every call site.
   std::uint64_t alloc(std::size_t bytes, std::size_t align = kCacheLine);
+
+  /// Bump-allocate a page-aligned, whole-page region: the shape mbind(2)
+  /// needs, so a later bind_to_node()/interleave() over exactly this range
+  /// cannot touch a neighbouring allocation's pages.
+  std::uint64_t alloc_pages(std::size_t bytes) {
+    return alloc(round_up(bytes, kPageBytes), kPageBytes);
+  }
 
   /// Allocate and return a typed pointer (arena-lifetime object).
   template <typename T>

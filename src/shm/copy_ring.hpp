@@ -43,17 +43,21 @@ class CopyRing {
   static constexpr std::uint32_t kDefaultBufs = 2;
 
   /// Allocate + initialise a ring in the arena; returns CopyRingState offset.
+  /// With `page_align_data`, the payload area is carved as whole pages so
+  /// the caller can mbind it (NUMA placement) without touching neighbours.
   static std::uint64_t create(Arena& arena,
                               std::uint32_t nbufs = kDefaultBufs,
-                              std::uint32_t buf_bytes = kDefaultBufBytes) {
+                              std::uint32_t buf_bytes = kDefaultBufBytes,
+                              bool page_align_data = false) {
     NEMO_ASSERT(nbufs >= 1 && buf_bytes >= kCacheLine);
     std::uint64_t st_off = arena.alloc(sizeof(CopyRingState), kCacheLine);
     auto* st = arena.at_as<CopyRingState>(st_off);
     st->nbufs = nbufs;
     st->buf_bytes = buf_bytes;
     st->slots_off = arena.alloc(sizeof(CopyRingSlot) * nbufs, kCacheLine);
-    st->data_off =
-        arena.alloc(static_cast<std::size_t>(nbufs) * buf_bytes, kCacheLine);
+    std::size_t data_bytes = static_cast<std::size_t>(nbufs) * buf_bytes;
+    st->data_off = page_align_data ? arena.alloc_pages(data_bytes)
+                                   : arena.alloc(data_bytes, kCacheLine);
     for (std::uint32_t i = 0; i < nbufs; ++i) {
       auto* slot = arena.at_as<CopyRingSlot>(st->slots_off +
                                              i * sizeof(CopyRingSlot));
@@ -69,6 +73,11 @@ class CopyRing {
 
   [[nodiscard]] std::uint32_t nbufs() const { return st_->nbufs; }
   [[nodiscard]] std::uint32_t buf_bytes() const { return st_->buf_bytes; }
+  /// Payload area [offset, bytes) — the range NUMA placement binds.
+  [[nodiscard]] std::uint64_t data_off() const { return st_->data_off; }
+  [[nodiscard]] std::size_t data_bytes() const {
+    return static_cast<std::size_t>(st_->nbufs) * st_->buf_bytes;
+  }
 
   CopyRingSlot* slot(std::uint32_t i) const {
     return arena_->at_as<CopyRingSlot>(st_->slots_off +

@@ -66,17 +66,20 @@ class Fastbox {
   static constexpr std::size_t kPayload =
       kDefaultSlotBytes - FastboxSlot::kHeaderBytes;
 
+  /// With `page_align`, the whole box is carved as whole pages so the
+  /// caller can mbind it (NUMA placement) without touching neighbours.
   static std::uint64_t create(Arena& arena,
                               std::uint32_t nslots = kDefaultSlots,
-                              std::uint32_t slot_bytes = kDefaultSlotBytes) {
+                              std::uint32_t slot_bytes = kDefaultSlotBytes,
+                              bool page_align = false) {
     NEMO_ASSERT(nslots >= 1);
     NEMO_ASSERT(slot_bytes > FastboxSlot::kHeaderBytes &&
                 slot_bytes <= kMaxSlotBytes &&
                 slot_bytes % kCacheLine == 0);
-    std::uint64_t off = arena.alloc(
-        sizeof(FastboxState) +
-            static_cast<std::size_t>(nslots) * slot_bytes,
-        kCacheLine);
+    std::size_t total = sizeof(FastboxState) +
+                        static_cast<std::size_t>(nslots) * slot_bytes;
+    std::uint64_t off = page_align ? arena.alloc_pages(total)
+                                   : arena.alloc(total, kCacheLine);
     auto* st = arena.at_as<FastboxState>(off);
     std::memset(st, 0, sizeof(FastboxState) +
                            static_cast<std::size_t>(nslots) * slot_bytes);

@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/options.hpp"
 #include "common/timing.hpp"
 #include "shm/nt_copy.hpp"
 #include "shm/process_runner.hpp"
@@ -220,6 +221,15 @@ TuningTable calibrate(const Topology& topo, const CalibrationOptions& opt) {
       static_cast<std::uint32_t>(round_up(cutoff, 1 * KiB));
   t.fastbox_max = t.fastbox_slot_bytes - 64;
   shm::restore_affinity(saved);
+
+  // Close the telemetry loop: the crossover probes above are pairwise; the
+  // feedback pass stresses every pair at once and reacts to the congestion
+  // counters (ring stalls, drain exhaustion, fastbox fallbacks).
+  if (opt.feedback && env_flag("NEMO_FEEDBACK", true)) {
+    FeedbackOptions fopt;
+    fopt.verbose = opt.verbose;
+    t = calibrate_feedback(topo, std::move(t), fopt);
+  }
   return t;
 }
 

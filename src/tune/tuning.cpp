@@ -54,6 +54,9 @@ std::string topology_fingerprint(const Topology& topo) {
   fnv1a(h, static_cast<std::uint64_t>(topo.num_cores));
   for (int s : topo.socket_of) fnv1a(h, static_cast<std::uint64_t>(s));
   for (int d : topo.die_of) fnv1a(h, static_cast<std::uint64_t>(d));
+  // The NUMA map participates: a table tuned under one node layout (ring
+  // geometry, placement-sensitive crossovers) is stale under another.
+  for (int n : topo.numa_of) fnv1a(h, static_cast<std::uint64_t>(n) + 1);
   for (const auto& c : topo.caches) {
     fnv1a(h, static_cast<std::uint64_t>(c.level));
     fnv1a(h, c.size_bytes);
@@ -126,6 +129,22 @@ TuningTable with_env_overrides(TuningTable t) {
   }
   long budget = env_long("NEMO_DRAIN_BUDGET", t.drain_budget);
   if (budget >= 1) t.drain_budget = static_cast<std::uint32_t>(budget);
+  // Ring geometry knobs apply to every placement row (they also reach the
+  // Config via apply_env, but a cached per-placement value must still lose
+  // to an explicit env knob).
+  if (env_str("NEMO_RING_BUFS")) {
+    long rb = env_long("NEMO_RING_BUFS", 0);
+    if (rb >= 1 && rb <= 1024)
+      for (auto& pt : t.place) pt.ring_bufs = static_cast<std::uint32_t>(rb);
+  }
+  if (env_str("NEMO_RING_BUF_BYTES")) {
+    std::size_t v = env_size("NEMO_RING_BUF_BYTES", 0);
+    if (v >= kCacheLine && v <= 1 * GiB)
+      for (auto& pt : t.place)
+        pt.ring_buf_bytes =
+            static_cast<std::uint32_t>(round_up(v, kCacheLine));
+  }
+  t.poll_hot = env_flag("NEMO_POLL_HOT", t.poll_hot);
   return t;
 }
 
@@ -147,6 +166,8 @@ std::string to_json(const TuningTable& t) {
     p.set("push_nt", pt.push_nt);
     p.set("lmt_activation", static_cast<std::uint64_t>(pt.lmt_activation));
     p.set("backend", std::string(to_string(pt.backend)));
+    p.set("ring_bufs", static_cast<std::uint64_t>(pt.ring_bufs));
+    p.set("ring_buf_bytes", static_cast<std::uint64_t>(pt.ring_buf_bytes));
     places.set(placement_key(i), std::move(p));
   }
   root.set("placements", std::move(places));
@@ -159,6 +180,7 @@ std::string to_json(const TuningTable& t) {
   root.set("fastbox_slot_bytes",
            static_cast<std::uint64_t>(t.fastbox_slot_bytes));
   root.set("drain_budget", static_cast<std::uint64_t>(t.drain_budget));
+  root.set("poll_hot", t.poll_hot);
   return root.dump() + "\n";
 }
 
@@ -185,6 +207,10 @@ std::optional<TuningTable> from_json(const std::string& text,
     pt.lmt_activation = p["lmt_activation"].as_uint(pt.lmt_activation);
     if (auto b = backend_from_string(p["backend"].as_string()))
       pt.backend = *b;
+    pt.ring_bufs =
+        static_cast<std::uint32_t>(p["ring_bufs"].as_uint(pt.ring_bufs));
+    pt.ring_buf_bytes = static_cast<std::uint32_t>(
+        p["ring_buf_bytes"].as_uint(pt.ring_buf_bytes));
   }
   t.dma_min = (*doc)["dma_min"].as_uint(t.dma_min);
   t.collective_activation =
@@ -196,14 +222,25 @@ std::optional<TuningTable> from_json(const std::string& text,
       (*doc)["fastbox_slot_bytes"].as_uint(t.fastbox_slot_bytes));
   t.drain_budget = static_cast<std::uint32_t>(
       (*doc)["drain_budget"].as_uint(t.drain_budget));
+  t.poll_hot = (*doc)["poll_hot"].as_bool(t.poll_hot);
   // A hand-edited or truncated cache must degrade to the formulas, not trip
   // always-compiled asserts in every program on the machine (the fastbox
-  // geometry feeds shm::Fastbox::create directly).
+  // geometry feeds shm::Fastbox::create directly, the ring geometry
+  // shm::CopyRing::create).
   if (t.fastbox_slots < 1 || t.fastbox_slots > 64 ||
       t.fastbox_slot_bytes <= 64 || t.fastbox_slot_bytes > 16 * KiB ||
       t.fastbox_slot_bytes % kCacheLine != 0 || t.drain_budget < 1) {
     if (err != nullptr) *err = "out-of-range tuning values";
     return std::nullopt;
+  }
+  for (const auto& pt : t.place) {
+    if (pt.ring_bufs > 1024 ||
+        (pt.ring_buf_bytes != 0 &&
+         (pt.ring_buf_bytes < kCacheLine || pt.ring_buf_bytes > 1 * GiB ||
+          pt.ring_buf_bytes % kCacheLine != 0))) {
+      if (err != nullptr) *err = "out-of-range ring geometry";
+      return std::nullopt;
+    }
   }
   return t;
 }

@@ -36,6 +36,12 @@ const char* to_string(Backend b);
 std::optional<Backend> backend_from_string(const std::string& s);
 
 /// Thresholds for one pair-placement class.
+///
+/// Contract: a PlacementTuning is plain data — producers (formulas,
+/// calibration, the feedback pass, the JSON cache) fill it, consumers
+/// (lmt::Policy, ShmCopyBackend, World) only read it. Zero values in the
+/// geometry fields mean "inherit the Config/env default", so a formula table
+/// stays byte-stable across Config changes.
 struct PlacementTuning {
   /// Minimum rendezvous size that switches ring copies to streaming
   /// (non-temporal) stores. SIZE_MAX = never.
@@ -48,9 +54,19 @@ struct PlacementTuning {
   std::size_t lmt_activation = 8 * KiB;
   /// Preferred rendezvous backend.
   Backend backend = Backend::kDefault;
+  /// Copy-ring geometry for pairs of this placement. 0 = inherit the
+  /// world-wide Config/env value. The feedback pass raises ring_bufs when
+  /// the telemetry shows senders stalling on full rings.
+  std::uint32_t ring_bufs = 0;
+  std::uint32_t ring_buf_bytes = 0;
 };
 
 /// The full per-machine tuning state the runtime consults.
+///
+/// Thread-safety: resolved once in the World constructor before ranks spawn
+/// and immutable afterwards; every Engine/Policy holds a const reference, so
+/// concurrent reads are safe without synchronisation. Mutation happens only
+/// in single-threaded tooling (nemo-tune, the calibrator, tests).
 struct TuningTable {
   static constexpr int kPlacements = 3;  ///< Indexed by PairPlacement.
 
@@ -73,6 +89,13 @@ struct TuningTable {
   /// send/recv state machines.
   std::uint32_t drain_budget = 256;
 
+  /// Hot-peer-first fastbox polling: the engine periodically re-sorts its
+  /// fastbox poll order by recent traffic instead of scanning ranks in
+  /// order. Off by default; the feedback pass enables it when fastbox
+  /// traffic dominates or senders report full boxes. NEMO_POLL_HOT
+  /// overrides.
+  bool poll_hot = false;
+
   [[nodiscard]] const PlacementTuning& for_placement(PairPlacement p) const {
     return place[static_cast<std::size_t>(p)];
   }
@@ -91,7 +114,10 @@ TuningTable formula_defaults(const Topology& topo);
 
 /// Apply env-knob overrides (NEMO_NT_MIN, NEMO_LMT_ACTIVATION,
 /// NEMO_FASTBOX_MAX, NEMO_FASTBOX_SLOTS, NEMO_FASTBOX_SLOT_BYTES,
-/// NEMO_DRAIN_BUDGET, NEMO_DMA_MIN, NEMO_BACKEND) on top of `t`.
+/// NEMO_DRAIN_BUDGET, NEMO_DMA_MIN, NEMO_BACKEND, NEMO_RING_BUFS,
+/// NEMO_RING_BUF_BYTES, NEMO_POLL_HOT) on top of `t` — the "env beats
+/// cache beats formula" precedence every entry point shares. See
+/// docs/TUNING.md for the authoritative knob table.
 TuningTable with_env_overrides(TuningTable t);
 
 // --- Serialization ---------------------------------------------------------

@@ -265,6 +265,7 @@ TEST(Calibrate, ProducesAPlausibleTableOnThisHost) {
   opt.repeats = 1;
   opt.max_size = 4 * MiB;  // Keep the test fast.
   opt.pin = false;
+  opt.feedback = false;  // The feedback pass is unit-tested separately.
   Topology topo = detect_host();
   TuningTable t = calibrate(topo, opt);
   EXPECT_EQ(t.source, "calibrated");
@@ -277,6 +278,117 @@ TEST(Calibrate, ProducesAPlausibleTableOnThisHost) {
   EXPECT_LE(t.fastbox_slot_bytes, 16 * KiB);
   EXPECT_LE(t.fastbox_max,
             t.fastbox_slot_bytes - shm::FastboxSlot::kHeaderBytes);
+}
+
+// --- Feedback pass on synthetic counter streams -----------------------------
+
+TEST(Feedback, CalmCountersLeaveTheTableUnchanged) {
+  TuningTable t = formula_defaults(xeon_e5345());
+  Counters c;
+  c.progress_passes = 10000;
+  c.ring_stalls = 10;        // 0.1%: below every threshold.
+  c.drain_exhausted = 10;
+  c.fastbox_hits = 1000;
+  c.fastbox_fallbacks = 10;
+  c.path_hist[0] = 5000;  // Rendezvous-dominated traffic.
+  c.path_hist[Counters::kPathFastbox] = 1000;
+
+  TuningTable out = apply_counter_feedback(t, c);
+  EXPECT_EQ(out.drain_budget, t.drain_budget);
+  EXPECT_EQ(out.fastbox_slots, t.fastbox_slots);
+  EXPECT_FALSE(out.poll_hot);
+  for (const auto& pt : out.place) EXPECT_EQ(pt.ring_bufs, 0u);
+}
+
+TEST(Feedback, DrainExhaustionDoublesTheDrainBudget) {
+  TuningTable t = formula_defaults(xeon_e5345());
+  t.drain_budget = 256;
+  Counters c;
+  c.progress_passes = 1000;
+  c.drain_exhausted = 200;  // 20% of passes hit the budget.
+  TuningTable out = apply_counter_feedback(t, c);
+  EXPECT_EQ(out.drain_budget, 512u);
+  // Applying again keeps doubling, up to the cap.
+  for (int i = 0; i < 10; ++i) out = apply_counter_feedback(out, c);
+  EXPECT_EQ(out.drain_budget, 4096u);
+}
+
+TEST(Feedback, RingStallsDeepenTheRingPerPlacement) {
+  TuningTable t = formula_defaults(xeon_e5345());
+  Counters c;
+  c.progress_passes = 1000;
+  c.ring_stalls = 100;  // 10% of passes stalled a push.
+  TuningTable out = apply_counter_feedback(t, c);
+  // Rows inheriting the Config default (4) materialise it doubled.
+  for (const auto& pt : out.place) EXPECT_EQ(pt.ring_bufs, 8u);
+  // A row that already names a depth doubles from there, capped at 32.
+  out.for_placement(PairPlacement::kDifferentSockets).ring_bufs = 20;
+  out = apply_counter_feedback(out, c);
+  EXPECT_EQ(out.for_placement(PairPlacement::kDifferentSockets).ring_bufs,
+            32u);
+  EXPECT_EQ(out.for_placement(PairPlacement::kSharedCache).ring_bufs, 16u);
+}
+
+TEST(Feedback, FastboxPressureGrowsSlotsAndEnablesHotPolling) {
+  TuningTable t = formula_defaults(xeon_e5345());
+  Counters c;
+  c.progress_passes = 1000;
+  c.fastbox_hits = 600;
+  c.fastbox_fallbacks = 400;  // 40% fallback rate.
+  TuningTable out = apply_counter_feedback(t, c);
+  EXPECT_EQ(out.fastbox_slots, t.fastbox_slots * 2);
+  EXPECT_TRUE(out.poll_hot);
+
+  // Fastbox-dominant traffic alone also flips polling order.
+  Counters d;
+  d.progress_passes = 1000;
+  d.path_hist[Counters::kPathFastbox] = 900;
+  d.path_hist[Counters::kPathEager] = 100;
+  out = apply_counter_feedback(t, d);
+  EXPECT_EQ(out.fastbox_slots, t.fastbox_slots);  // No fallbacks: keep size.
+  EXPECT_TRUE(out.poll_hot);
+}
+
+TEST(Feedback, NewFieldsSurviveTheJsonCache) {
+  TuningTable t = formula_defaults(xeon_e5345());
+  t.for_placement(PairPlacement::kDifferentSockets).ring_bufs = 16;
+  t.for_placement(PairPlacement::kDifferentSockets).ring_buf_bytes = 64 * KiB;
+  t.poll_hot = true;
+  auto r = from_json(to_json(t));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->for_placement(PairPlacement::kDifferentSockets).ring_bufs,
+            16u);
+  EXPECT_EQ(
+      r->for_placement(PairPlacement::kDifferentSockets).ring_buf_bytes,
+      64 * KiB);
+  EXPECT_TRUE(r->poll_hot);
+  EXPECT_EQ(r->for_placement(PairPlacement::kSharedCache).ring_bufs, 0u);
+
+  // Out-of-range ring geometry degrades to the formulas like every other
+  // hand-edited cache field.
+  TuningTable bad = t;
+  bad.for_placement(PairPlacement::kSharedCache).ring_buf_bytes = 3000;
+  EXPECT_FALSE(from_json(to_json(bad)).has_value());
+}
+
+TEST(Feedback, ProbeProducesCountersAndAppliesFeedback) {
+  // A real (tiny) probe world: deterministic assertions only on structure,
+  // not on timing-dependent counter magnitudes.
+  ::setenv("NEMO_TUNE", "0", 1);
+  Topology topo = detect_host();
+  TuningTable t = formula_defaults(topo);
+  FeedbackOptions fopt;
+  fopt.iters = 2;
+  fopt.rndv_bytes = 32 * KiB;
+  auto c = run_feedback_probe(topo, t, 2, fopt);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_GT(c->progress_passes, 0u);
+  std::uint64_t sends = 0;
+  for (int i = 0; i < Counters::kPaths; ++i)
+    sends += c->path_hist[static_cast<std::size_t>(i)];
+  // 2 ranks x 2 iters x (1 rendezvous + 1 eager) sends each.
+  EXPECT_EQ(sends, 8u);
+  ::unsetenv("NEMO_TUNE");
 }
 
 TEST(Counters, SizeClassesAndAccumulation) {
