@@ -1,0 +1,134 @@
+// Collective sweep: the shm collective arena vs the pt2pt algorithms, per
+// (op, rank count, size) — wall-clock from this host's real runtime plus
+// deterministic copy-volume / L2-miss accounting from the simulator's
+// E5345 replay. This is the bench behind bench/results/BENCH_coll.json:
+// the shm path must show both lower wall time and lower simulated copy
+// volume at the ISSUE's acceptance points (8-rank 256 KiB bcast, 4-rank
+// 64 KiB-per-pair alltoall).
+#include <algorithm>
+#include <cstring>
+
+#include "bench_common.hpp"
+#include "common/options.hpp"
+
+using namespace nemo;
+using namespace nemo::bench;
+
+namespace {
+
+/// Wall-clock microseconds per operation, median of `samples` timed bursts.
+/// Buffers are shared_alloc'd (arena-resident) so the shm path exercises
+/// its direct-read mode — the Nemesis single-copy ideal.
+double real_coll_us(coll::Mode mode, const char* op, int nranks,
+                    std::size_t bytes, int iters, int samples) {
+  // The mode IS the row being measured; pin the env knob so an ambient
+  // NEMO_COLL cannot silently redirect it (env beats Config::coll).
+  coll::ScopedForcedMode forced(mode);
+  core::Config cfg;
+  cfg.coll = mode;
+  cfg.nranks = nranks;
+  bool alltoall = std::strcmp(op, "alltoall") == 0;
+  std::size_t matrix =
+      alltoall ? bytes * static_cast<std::size_t>(nranks) : bytes;
+  // Every rank shared_allocs its buffers out of the one pool.
+  cfg.shared_pool_bytes =
+      2 * matrix * static_cast<std::size_t>(nranks) + 16 * MiB;
+  double result = 0;
+  core::run(cfg, [&](core::Comm& comm) {
+    std::byte* send = comm.shared_alloc(matrix);
+    std::byte* recv = alltoall ? comm.shared_alloc(matrix) : nullptr;
+    pattern_fill({send, matrix}, static_cast<std::uint64_t>(comm.rank()));
+    std::vector<double> us;
+    for (int s = 0; s < samples + 1; ++s) {  // First burst = warm-up.
+      comm.hard_barrier();
+      Timer t;
+      for (int i = 0; i < iters; ++i) {
+        if (alltoall)
+          comm.alltoall(send, bytes, recv);
+        else
+          comm.bcast(send, bytes, 0);
+      }
+      std::uint64_t ns = t.elapsed_ns();
+      if (comm.rank() == 0 && s > 0)
+        us.push_back(static_cast<double>(ns) / (1000.0 * iters));
+    }
+    if (comm.rank() == 0) {
+      std::sort(us.begin(), us.end());
+      result = us[us.size() / 2];
+    }
+  });
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt(argc, argv);
+  opt.declare("json", "write rows to this JSON file");
+  opt.declare("iters", "ops per timed burst (default 8)");
+  opt.declare("samples", "timed bursts per point, median kept (default 3)");
+  opt.declare("smoke", "few points / fewer iters (bench_smoke)");
+  opt.declare("skip-real", "only the simulator columns");
+  opt.finalize();
+  bool smoke = opt.get_flag("smoke");
+  int iters = static_cast<int>(opt.get_int("iters", smoke ? 4 : 8));
+  int samples = static_cast<int>(opt.get_int("samples", 3));
+  bool real = !opt.get_flag("skip-real");
+
+  std::vector<int> rank_counts = smoke ? std::vector<int>{4, 8}
+                                       : std::vector<int>{2, 4, 8};
+  std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{64 * KiB, 256 * KiB}
+            : std::vector<std::size_t>{1 * KiB,   4 * KiB,  16 * KiB,
+                                       64 * KiB,  256 * KiB, 1 * MiB,
+                                       4 * MiB};
+  const char* ops[] = {"bcast", "alltoall"};
+
+  if (real) warn_if_oversubscribed(rank_counts.back());
+  std::printf("# Collective sweep — p2p vs shm arena\n");
+  std::printf("%-9s %5s %9s %5s %12s %12s %14s %12s\n", "op", "ranks",
+              "bytes", "path", "wall_us", "sim_MiB/s", "sim_copy_B",
+              "sim_L2miss");
+
+  std::vector<std::string> rows;
+  for (const char* op : ops) {
+    bool alltoall = std::strcmp(op, "alltoall") == 0;
+    for (int nranks : rank_counts) {
+      std::vector<int> cores;
+      for (int i = 0; i < nranks; ++i) cores.push_back(i);
+      for (std::size_t bytes : sizes) {
+        // The per-size payload is the op's symmetric measure: bcast total
+        // bytes, alltoall per-pair block.
+        for (bool shm : {false, true}) {
+          sim::LmtModels m(sim::e5345_machine());
+          sim::LmtModels::CollOutcome sim_out =
+              alltoall ? m.alltoall_coll(shm, cores, bytes, 2)
+                       : m.bcast_coll(shm, cores, bytes, 2);
+          double wall_us =
+              real ? real_coll_us(shm ? coll::Mode::kShm : coll::Mode::kP2p,
+                                  op, nranks, bytes, iters, samples)
+                   : 0.0;
+          const char* path = shm ? "shm" : "p2p";
+          std::printf("%-9s %5d %9zu %5s %12.1f %12.0f %14llu %12llu\n", op,
+                      nranks, bytes, path, wall_us, sim_out.mibs,
+                      static_cast<unsigned long long>(sim_out.copy_bytes),
+                      static_cast<unsigned long long>(sim_out.l2_misses));
+          char row[512];
+          std::snprintf(
+              row, sizeof row,
+              "{\"op\": \"%s\", \"ranks\": %d, \"bytes\": %zu, "
+              "\"mode\": \"%s\", \"wall_us\": %.2f, \"sim_mibs\": %.1f, "
+              "\"sim_copy_bytes\": %llu, \"sim_l2_misses\": %llu}",
+              op, nranks, bytes, path, wall_us, sim_out.mibs,
+              static_cast<unsigned long long>(sim_out.copy_bytes),
+              static_cast<unsigned long long>(sim_out.l2_misses));
+          rows.emplace_back(row);
+        }
+      }
+    }
+  }
+
+  std::string json = opt.get("json", "");
+  if (!json.empty() && !write_json_rows(json, "coll_sweep", rows)) return 1;
+  return 0;
+}

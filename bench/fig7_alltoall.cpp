@@ -1,5 +1,7 @@
 // Figure 7: IMB Alltoall aggregated throughput between 8 local processes:
-// default vs vmsplice vs KNEM vs KNEM+I/OAT.
+// default vs vmsplice vs KNEM vs KNEM+I/OAT — plus this repo's shm
+// collective arena ("shm-coll"), which halves the copy volume by letting
+// every reader pull blocks straight from the writers' arena-resident rows.
 //
 // Paper's shape: KNEM up to ~5x default near 32 KiB; I/OAT ~2x at very large
 // sizes (and already attractive from ~200 KiB because 8 concurrent flows
@@ -10,17 +12,33 @@
 using namespace nemo;
 using namespace nemo::bench;
 
+namespace {
+
+void json_row(std::vector<std::string>& rows, const char* block,
+              const char* name, std::size_t bytes, double mibs) {
+  char row[256];
+  std::snprintf(row, sizeof row,
+                "{\"block\": \"%s\", \"row\": \"%s\", \"bytes\": %zu, "
+                "\"mibs\": %.1f}",
+                block, name, bytes, mibs);
+  rows.emplace_back(row);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   Options opt(argc, argv);
   opt.declare("ranks", "rank count for the real block (default 8)");
   opt.declare("iters", "real-mode rounds per size (default 8)");
   opt.declare("skip-real", "only print the simulator block");
+  opt.declare("json", "write all rows to this JSON file");
   opt.finalize();
   int nranks = static_cast<int>(opt.get_int("ranks", 8));
   int iters = static_cast<int>(opt.get_int("iters", 8));
 
   std::vector<std::size_t> sizes = alltoall_sizes();
   std::vector<int> cores{0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<std::string> rows;
 
   std::printf(
       "# Figure 7 — Alltoall aggregated throughput (MiB/s), 8 ranks\n");
@@ -40,8 +58,18 @@ int main(int argc, char** argv) {
     for (auto s : sizes) {
       sim::LmtModels m(sim::e5345_machine());
       vals.push_back(m.alltoall_mibs(row.s, cores, s, 2));
+      json_row(rows, "sim", row.name, s, vals.back());
     }
     print_row(row.name, vals);
+  }
+  {
+    std::vector<double> vals;
+    for (auto s : sizes) {
+      sim::LmtModels m(sim::e5345_machine());
+      vals.push_back(m.alltoall_coll(true, cores, s, 2).mibs);
+      json_row(rows, "sim", "shm-coll", s, vals.back());
+    }
+    print_row("shm-coll", vals);
   }
 
   if (!opt.get_flag("skip-real")) {
@@ -52,19 +80,38 @@ int main(int argc, char** argv) {
       const char* name;
       lmt::LmtKind kind;
       lmt::KnemMode mode;
+      coll::Mode coll;
     } real_rows[] = {
-        {"default", lmt::LmtKind::kDefaultShm, lmt::KnemMode::kSyncCopy},
-        {"vmsplice", lmt::LmtKind::kVmsplice, lmt::KnemMode::kSyncCopy},
-        {"knem", lmt::LmtKind::kKnem, lmt::KnemMode::kSyncCopy},
-        {"knem+ioat", lmt::LmtKind::kKnem, lmt::KnemMode::kAsyncDma},
+        // The LMT rows pin collectives to the pt2pt algorithms so they keep
+        // comparing rendezvous backends; the last row is the arena path.
+        {"default", lmt::LmtKind::kDefaultShm, lmt::KnemMode::kSyncCopy,
+         coll::Mode::kP2p},
+        {"vmsplice", lmt::LmtKind::kVmsplice, lmt::KnemMode::kSyncCopy,
+         coll::Mode::kP2p},
+        {"knem", lmt::LmtKind::kKnem, lmt::KnemMode::kSyncCopy,
+         coll::Mode::kP2p},
+        {"knem+ioat", lmt::LmtKind::kKnem, lmt::KnemMode::kAsyncDma,
+         coll::Mode::kP2p},
+        {"shm-coll", lmt::LmtKind::kDefaultShm, lmt::KnemMode::kSyncCopy,
+         coll::Mode::kShm},
     };
     for (const auto& row : real_rows) {
+      // Pin the env knob per row: the label claims a specific collective
+      // family, which an ambient NEMO_COLL would otherwise override.
+      coll::ScopedForcedMode forced(row.coll);
       std::vector<double> vals;
-      for (auto s : sizes)
-        vals.push_back(real_alltoall_mibs(cfg_for(row.kind, row.mode),
-                                          nranks, s, iters));
+      for (auto s : sizes) {
+        core::Config cfg = cfg_for(row.kind, row.mode);
+        cfg.coll = row.coll;
+        vals.push_back(real_alltoall_mibs(cfg, nranks, s, iters));
+        json_row(rows, "real", row.name, s, vals.back());
+      }
       print_row(row.name, vals);
     }
   }
+
+  std::string json = opt.get("json", "");
+  if (!json.empty() && !write_json_rows(json, "fig7_alltoall", rows))
+    return 1;
   return 0;
 }

@@ -17,6 +17,7 @@
 #include <cstdio>
 
 #include "../bench/bench_common.hpp"
+#include "coll/coll.hpp"
 #include "common/options.hpp"
 #include "shm/numa.hpp"
 #include "tune/calibrate.hpp"
@@ -59,6 +60,10 @@ void print_table(const tune::TuningTable& t) {
               t.fastbox_slots, format_size(t.fastbox_slot_bytes).c_str(),
               format_size(t.fastbox_max).c_str(), t.drain_budget,
               t.poll_hot ? 1 : 0);
+  std::printf("  coll: activation=%-8s slot=%s   (NEMO_COLL=%s)\n",
+              format_size(t.coll_activation).c_str(),
+              format_size(t.coll_slot_bytes).c_str(),
+              coll::to_string(coll::mode_from_env()));
 }
 
 /// Narrate the NUMA placement the runtime would apply per placement class:

@@ -1,0 +1,71 @@
+// Collective path selection and geometry helpers for the shared-memory
+// collective fast path (src/coll/coll_arena.hpp holds the data structure).
+//
+// The Nemesis-style insight (conf_icpp_BuntinasGGMM09): intranode collectives
+// should write each operand into shared memory ONCE and let every reader pull
+// it directly, instead of re-copying payloads through per-pair rings at every
+// tree hop. Whether that wins over the pt2pt algorithms depends on message
+// size (the arena path pays a flat synchronisation cost per operation), so
+// selection mirrors lmt::Policy: a per-machine `coll_activation` crossover in
+// the tuning table, overridable per run via NEMO_COLL=shm|p2p|auto.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/common.hpp"
+
+namespace nemo::coll {
+
+/// Which implementation family a collective uses.
+enum class Mode : std::uint32_t {
+  kAuto = 0,  ///< shm arena above the tuned coll_activation, pt2pt below.
+  kShm = 1,   ///< Force the arena path (falls back when geometry forbids).
+  kP2p = 2,   ///< Force the pt2pt algorithms (the correctness oracle).
+};
+
+const char* to_string(Mode m);
+std::optional<Mode> mode_from_string(const std::string& s);
+
+/// Resolve NEMO_COLL on top of a programmatic default. Throws on an unknown
+/// value (a typo silently falling back to auto would be unmeasurable).
+Mode mode_from_env(Mode def = Mode::kAuto);
+
+/// Per-destination chunk capacity inside one rank's slot for the staged
+/// alltoall(v) layout: the slot is split into (nranks - 1) equal per-dest
+/// strides, rounded down to cache lines. 0 = the slot cannot host this many
+/// destinations (callers fall back to pt2pt).
+std::size_t alltoall_chunk_capacity(std::size_t slot_bytes, int nranks);
+
+/// Should this operation take the shm arena path? `op_bytes` is the
+/// operation's symmetric size measure (bcast: total bytes; allgather /
+/// alltoall: per-rank block; reductions: operand bytes) — every rank must
+/// compute the same answer, so only world-level state and symmetric sizes
+/// participate. `chunk_capacity` is the op's slot capacity check (0 = the
+/// geometry cannot host the op and even a forced kShm falls back).
+bool use_shm(Mode mode, std::size_t op_bytes, std::size_t coll_activation,
+             int nranks, std::size_t chunk_capacity);
+
+/// RAII pin of the collective mode for Worlds constructed in scope.
+/// Setting Config::coll alone is not enough for tooling that must force a
+/// path: apply_env gives an ambient NEMO_COLL precedence over the Config
+/// (the repo-wide "env beats programmatic" rule), which would silently
+/// redirect a probe or bench row that claims to measure one family. This
+/// pins NEMO_COLL itself and restores the previous value on destruction.
+/// Single-threaded tooling only (setenv during concurrent World
+/// construction elsewhere is a race).
+class ScopedForcedMode {
+ public:
+  explicit ScopedForcedMode(Mode mode);
+  ~ScopedForcedMode();
+  ScopedForcedMode(const ScopedForcedMode&) = delete;
+  ScopedForcedMode& operator=(const ScopedForcedMode&) = delete;
+
+ private:
+  bool had_env_ = false;
+  std::string saved_;
+};
+
+}  // namespace nemo::coll

@@ -1,15 +1,38 @@
-// Collective operations layered on the pt2pt engine. Algorithms are the
-// classical shared-memory-friendly ones: dissemination barrier, binomial
-// bcast, linear reduce (small rank counts), ring allgather, and pairwise
-// alltoall(v) — the operation Figure 7 benchmarks.
+// Collective operations. Two implementation families per operation:
 //
-// Internal tags live in a reserved negative space, namespaced by a per-Comm
-// collective sequence number so back-to-back collectives cannot cross-match
-// (all ranks invoke collectives in the same order, per MPI semantics).
+//  - The pt2pt algorithms (classical shared-memory-friendly ones:
+//    dissemination barrier, binomial bcast, linear reduce, ring allgather,
+//    pairwise alltoall(v)) — the fallback below the tuned crossover and the
+//    correctness oracle the tests cross-check against.
+//
+//  - The shared-memory collective arena fast path (src/coll/): every
+//    operand is written into (or published from) shared memory ONCE and
+//    every reader pulls it directly, instead of re-copying payloads through
+//    the per-pair copy rings at each tree hop. A 256 KiB bcast over 8 ranks
+//    costs ~n slot copies instead of the binomial tree's 2·log n
+//    full-payload ring copies; alltoall halves its copy volume whenever the
+//    source matrix is arena-resident (readers pull straight from it).
+//
+// Selection mirrors lmt::Policy: NEMO_COLL=shm|p2p forces a family, auto
+// compares the op's symmetric size measure against the tuned
+// coll_activation crossover. Every rank computes the same decision from
+// world-level state only, so the families can never mix within one
+// operation.
+//
+// Deadlock note: every spin on an arena word keeps Engine::progress()
+// running — a rank parked in a collective must still serve rendezvous
+// traffic for peers that have not yet entered it.
+//
+// Internal pt2pt tags live in a reserved negative space, namespaced by a
+// per-Comm collective sequence number so back-to-back collectives cannot
+// cross-match. The same sequence number feeds the arena epoch tags.
+#include <algorithm>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "core/comm.hpp"
+#include "shm/nt_copy.hpp"
 
 namespace nemo::core {
 
@@ -18,17 +41,116 @@ namespace {
 constexpr int kCollTagBase = -(1 << 20);
 
 /// Distinct tag for (collective instance, phase).
-int coll_tag(std::uint32_t coll_seq, int phase) {
+int coll_tag(std::uint64_t coll_seq, int phase) {
   return kCollTagBase - static_cast<int>((coll_seq % 4096) * 16) - phase;
 }
 
-std::uint32_t next_coll_seq(Engine& eng) { return eng.bump_coll_seq(); }
+std::uint64_t next_coll_seq(Engine& eng) { return eng.bump_coll_seq(); }
+
+/// Arena epoch for collective instance `cs` (phase bits appended; +1 keeps
+/// epoch 0 reserved for "slot never used").
+std::uint64_t epoch_base(std::uint64_t cs) {
+  return (cs + 1) << 3;
+}
+
+/// Spin until `ready()` while keeping pt2pt progress flowing. Counts one
+/// epoch stall whenever the first probe missed (the telemetry the tuner
+/// reads as "readers arrive before writers publish").
+template <typename Pred>
+void spin_until(Engine& eng, Pred&& ready) {
+  if (ready()) return;
+  eng.counters().coll_epoch_stalls++;
+  std::uint32_t spins = 0;
+  while (!ready()) {
+    if ((++spins & 0x3F) == 0) {
+      eng.progress();
+      std::this_thread::yield();
+    }
+  }
+}
+
+/// Staged-bcast sub-buffer geometry: the slot splits into up to kBcastSubBufs
+/// cacheline-multiple chunks so readers pipeline behind the writer.
+struct SubGeom {
+  std::size_t sub;     ///< Chunk bytes.
+  std::uint64_t nsub;  ///< Pipeline depth (chunks resident at once).
+};
+
+SubGeom sub_geometry(std::size_t slot_bytes) {
+  std::size_t sub = std::max<std::size_t>(
+      slot_bytes / coll::WorldColl::kBcastSubBufs, kCacheLine);
+  sub -= sub % kCacheLine;
+  std::uint64_t nsub = std::max<std::uint64_t>(1, slot_bytes / sub);
+  nsub = std::min<std::uint64_t>(nsub, coll::WorldColl::kBcastSubBufs);
+  return {sub, nsub};
+}
+
+/// Writer w's per-destination stride index for dest d (self excluded).
+std::size_t dest_index(int w, int d) { return d < w ? d : d - 1; }
+
+std::uint64_t div_ceil(std::uint64_t a, std::uint64_t b) {
+  return b == 0 ? 0 : (a + b - 1) / b;
+}
+
+/// Would a staged bcast of `bytes` through this slot stay within the
+/// 24-bit epoch-tagged ack chunk budget? Only breachable by pathological
+/// geometry (a >1 GiB message through a 64 B slot), but the answer must be
+/// a p2p fallback, not the ack_value assert. World-symmetric (the direct
+/// path needs no chunks, but directness is writer-local, so the
+/// conservative staged bound decides for everyone).
+bool ack_budget_ok(std::size_t slot_bytes, std::size_t bytes) {
+  return div_ceil(bytes, sub_geometry(slot_bytes).sub) < (1ull << 24);
+}
 
 }  // namespace
 
-void Comm::barrier() {
+// ---------------------------------------------------------------------------
+// Path selection
+// ---------------------------------------------------------------------------
+
+bool Comm::use_shm_coll(std::size_t op_bytes, std::size_t slot_need) {
   Engine& eng = engine_;
-  std::uint32_t cs = next_coll_seq(eng);
+  World& w = eng.world();
+  tune::Counters& c = eng.counters();
+  if (!eng.coll_view().valid()) {
+    c.coll_p2p_ops++;
+    return false;
+  }
+  coll::Mode mode = w.coll_mode();
+  std::size_t cap = slot_need <= eng.coll_view().slot_bytes() ? slot_need : 0;
+  bool shm = coll::use_shm(mode, op_bytes, w.tuning().coll_activation, size(),
+                           cap);
+  if (shm) {
+    c.coll_shm_ops++;
+  } else {
+    c.coll_p2p_ops++;
+    if (mode == coll::Mode::kShm) c.coll_fallbacks++;
+  }
+  return shm;
+}
+
+// ---------------------------------------------------------------------------
+// Flat barrier (shm)
+// ---------------------------------------------------------------------------
+
+void Comm::flat_barrier() {
+  Engine& eng = engine_;
+  coll::WorldColl& cw = eng.coll_view();
+  int n = size(), r = rank();
+  std::uint64_t seq = eng.next_coll_barrier_seq();
+  cw.barrier_arrive(r, seq);
+  if (r == 0) {
+    for (int i = 1; i < n; ++i)
+      spin_until(eng, [&] { return cw.barrier_arrived(i, seq); });
+    cw.barrier_release(seq);
+  } else {
+    spin_until(eng, [&] { return cw.barrier_released(seq); });
+  }
+}
+
+void Comm::barrier_p2p() {
+  Engine& eng = engine_;
+  std::uint64_t cs = next_coll_seq(eng);
   int n = size(), r = rank();
   char token = 1;
   for (int k = 1, phase = 0; k < n; k <<= 1, ++phase) {
@@ -42,11 +164,26 @@ void Comm::barrier() {
   }
 }
 
-void Comm::bcast(void* buf, std::size_t bytes, int root) {
+void Comm::barrier() {
   Engine& eng = engine_;
-  std::uint32_t cs = next_coll_seq(eng);
+  if (size() > 1 && eng.coll_view().valid() &&
+      eng.world().coll_mode() != coll::Mode::kP2p) {
+    eng.counters().coll_shm_ops++;
+    flat_barrier();
+    return;
+  }
+  eng.counters().coll_p2p_ops++;
+  barrier_p2p();
+}
+
+// ---------------------------------------------------------------------------
+// Bcast
+// ---------------------------------------------------------------------------
+
+void Comm::bcast_p2p(void* buf, std::size_t bytes, int root) {
+  Engine& eng = engine_;
+  std::uint64_t cs = next_coll_seq(eng);
   int n = size(), r = rank();
-  if (n == 1) return;
   // Binomial tree rooted at `root`; relative ranks make the tree uniform.
   int vr = (r - root + n) % n;
   int tag = coll_tag(cs, 0);
@@ -68,9 +205,99 @@ void Comm::bcast(void* buf, std::size_t bytes, int root) {
   }
 }
 
+void Comm::bcast_shm(void* buf, std::size_t bytes, int root,
+                     std::uint64_t epoch) {
+  Engine& eng = engine_;
+  coll::WorldColl& cw = eng.coll_view();
+  shm::Arena& arena = cw.arena();
+  int n = size(), r = rank();
+  eng.counters().coll_shm_bytes += bytes;
+  std::size_t nt_min =
+      eng.world().tuning()
+          .for_placement(PairPlacement::kDifferentSockets)
+          .nt_min;
+  SubGeom g = sub_geometry(cw.slot_bytes());
+
+  if (r == root) {
+    if (bytes > 0 && arena.contains(buf, bytes)) {
+      // Direct: publish the source offset, every reader pulls straight from
+      // the user buffer — zero staging copies.
+      cw.begin_epoch(r, epoch, arena.offset_of(buf), bytes);
+      for (int i = 0; i < n; ++i)
+        if (i != r) spin_until(eng, [&] { return cw.acked(i, epoch, 1); });
+      return;
+    }
+    // Staged: NT-stream once into the slot, chunked over the sub-buffers
+    // with a doorbell so readers pipeline behind the writer; reader acks
+    // gate sub-buffer reuse for messages larger than the slot.
+    std::uint64_t nchunks = div_ceil(bytes, g.sub);
+    cw.begin_epoch(r, epoch, shm::kNil, bytes);
+    const std::byte* src = static_cast<const std::byte*>(buf);
+    bool nt = bytes >= nt_min;
+    for (std::uint64_t i = 0; i < nchunks; ++i) {
+      if (i >= g.nsub) {
+        std::uint64_t need = i - g.nsub + 1;
+        for (int k = 0; k < n; ++k)
+          if (k != r)
+            spin_until(eng, [&] { return cw.acked(k, epoch, need); });
+      }
+      std::size_t off = static_cast<std::size_t>(i) * g.sub;
+      std::size_t len = std::min(g.sub, bytes - off);
+      shm::copy_for(nt, cw.payload(r) + (i % g.nsub) * g.sub, src + off, len);
+      cw.publish_chunks(r, i + 1);
+    }
+    std::uint64_t fin = std::max<std::uint64_t>(nchunks, 1);
+    for (int k = 0; k < n; ++k)
+      if (k != r) spin_until(eng, [&] { return cw.acked(k, epoch, fin); });
+    return;
+  }
+
+  // Reader.
+  std::byte* dst = static_cast<std::byte*>(buf);
+  spin_until(eng, [&] { return cw.ready(root, epoch, 0); });
+  coll::SlotHeader* h = cw.header(root);
+  std::uint64_t src_off = h->src_off;
+  std::size_t total = h->bytes;
+  if (src_off != shm::kNil) {
+    shm::copy_for(total >= nt_min, dst, arena.at(src_off), total);
+    cw.set_ack(r, epoch, 1);
+    return;
+  }
+  std::uint64_t nchunks = div_ceil(total, g.sub);
+  for (std::uint64_t i = 0; i < nchunks; ++i) {
+    spin_until(eng, [&] { return cw.ready(root, epoch, i + 1); });
+    std::size_t off = static_cast<std::size_t>(i) * g.sub;
+    std::size_t len = std::min(g.sub, total - off);
+    shm::copy_for(total >= nt_min, dst + off,
+                  cw.payload(root) + (i % g.nsub) * g.sub, len);
+    cw.set_ack(r, epoch, i + 1);
+  }
+  if (nchunks == 0) cw.set_ack(r, epoch, 1);
+}
+
+void Comm::bcast(void* buf, std::size_t bytes, int root) {
+  if (size() == 1) return;
+  Engine& eng = engine_;
+  std::size_t need =
+      eng.coll_view().valid() &&
+              ack_budget_ok(eng.coll_view().slot_bytes(), bytes)
+          ? kCacheLine
+          : SIZE_MAX;  // Over budget: fail the slot check -> p2p.
+  if (use_shm_coll(bytes, need)) {
+    std::uint64_t cs = next_coll_seq(eng);
+    bcast_shm(buf, bytes, root, epoch_base(cs));
+    return;
+  }
+  bcast_p2p(buf, bytes, root);
+}
+
+// ---------------------------------------------------------------------------
+// Gather / scatter (pt2pt only; roots already touch every block once)
+// ---------------------------------------------------------------------------
+
 void Comm::gather(const void* sendbuf, std::size_t per_rank, void* recvbuf,
                   int root) {
-  std::uint32_t cs = next_coll_seq(engine_);
+  std::uint64_t cs = next_coll_seq(engine_);
   int n = size(), r = rank();
   int tag = coll_tag(cs, 0);
   if (r == root) {
@@ -92,7 +319,7 @@ void Comm::gather(const void* sendbuf, std::size_t per_rank, void* recvbuf,
 
 void Comm::scatter(const void* sendbuf, std::size_t per_rank, void* recvbuf,
                    int root) {
-  std::uint32_t cs = next_coll_seq(engine_);
+  std::uint64_t cs = next_coll_seq(engine_);
   int n = size(), r = rank();
   int tag = coll_tag(cs, 0);
   if (r == root) {
@@ -111,9 +338,14 @@ void Comm::scatter(const void* sendbuf, std::size_t per_rank, void* recvbuf,
   }
 }
 
-void Comm::allgather(const void* sendbuf, std::size_t per_rank,
-                     void* recvbuf) {
-  std::uint32_t cs = next_coll_seq(engine_);
+// ---------------------------------------------------------------------------
+// Allgather
+// ---------------------------------------------------------------------------
+
+void Comm::allgather_p2p(const void* sendbuf, std::size_t per_rank,
+                         void* recvbuf) {
+  Engine& eng = engine_;
+  std::uint64_t cs = next_coll_seq(eng);
   int n = size(), r = rank();
   auto* out = static_cast<std::byte*>(recvbuf);
   std::memcpy(out + static_cast<std::size_t>(r) * per_rank, sendbuf,
@@ -136,9 +368,93 @@ void Comm::allgather(const void* sendbuf, std::size_t per_rank,
   }
 }
 
-void Comm::alltoall(const void* sendbuf, std::size_t per_rank,
-                    void* recvbuf) {
-  std::uint32_t cs = next_coll_seq(engine_);
+void Comm::allgather_shm(const void* sendbuf, std::size_t per_rank,
+                         void* recvbuf, std::uint64_t epoch) {
+  Engine& eng = engine_;
+  coll::WorldColl& cw = eng.coll_view();
+  shm::Arena& arena = cw.arena();
+  int n = size(), r = rank();
+  std::size_t nt_min = eng.world()
+                           .tuning()
+                           .for_placement(PairPlacement::kDifferentSockets)
+                           .nt_min;
+  eng.counters().coll_shm_bytes += per_rank * static_cast<std::size_t>(n - 1);
+  const auto* in = static_cast<const std::byte*>(sendbuf);
+  auto* out = static_cast<std::byte*>(recvbuf);
+  std::size_t slot = cw.slot_bytes();
+
+  // Publish: direct offset when the block is arena-resident (readers pull
+  // straight from the user buffer), else the number of staged rounds.
+  bool direct = per_rank > 0 && arena.contains(in, per_rank);
+  std::uint64_t my_rounds = direct ? 0 : div_ceil(per_rank, slot);
+  cw.begin_epoch(r, epoch,
+                 direct ? arena.offset_of(in) : shm::kNil, my_rounds);
+  std::memcpy(out + static_cast<std::size_t>(r) * per_rank, in, per_rank);
+
+  // Everyone reads every header before round 0 so all ranks agree on the
+  // global round count (staged and direct writers may coexist).
+  std::uint64_t rounds = std::max<std::uint64_t>(my_rounds, 1);
+  for (int w = 0; w < n; ++w) {
+    if (w == r) continue;
+    spin_until(eng, [&] { return cw.ready(w, epoch, 0); });
+    rounds = std::max(rounds, cw.header(w)->bytes);
+  }
+
+  for (std::uint64_t t = 0; t < rounds; ++t) {
+    if (t < my_rounds) {
+      std::size_t off = static_cast<std::size_t>(t) * slot;
+      std::size_t len = std::min(slot, per_rank - off);
+      std::memcpy(cw.payload(r), in + off, len);
+      cw.publish_chunks(r, t + 1);
+    }
+    for (int w = 0; w < n; ++w) {
+      if (w == r) continue;
+      coll::SlotHeader* h = cw.header(w);
+      std::byte* dst = out + static_cast<std::size_t>(w) * per_rank;
+      if (h->src_off != shm::kNil) {
+        // Whole direct-read blocks can dwarf the LLC; stream past it like
+        // bcast does (staged chunks below stay cached — they are bounded
+        // by the slot and consumed immediately).
+        if (t == 0)
+          shm::copy_for(per_rank >= nt_min, dst, arena.at(h->src_off),
+                        per_rank);
+        continue;
+      }
+      if (t >= h->bytes) continue;  // This writer already finished.
+      spin_until(eng, [&] { return cw.ready(w, epoch, t + 1); });
+      std::size_t off = static_cast<std::size_t>(t) * slot;
+      std::size_t len = std::min(slot, per_rank - off);
+      std::memcpy(dst + off, cw.payload(w), len);
+    }
+    // Reuse gate: no writer may overwrite its slot (or return, freeing its
+    // direct-read buffer) before every reader finished the round.
+    flat_barrier();
+  }
+}
+
+void Comm::allgather(const void* sendbuf, std::size_t per_rank,
+                     void* recvbuf) {
+  if (size() == 1) {
+    std::memcpy(recvbuf, sendbuf, per_rank);
+    return;
+  }
+  Engine& eng = engine_;
+  if (use_shm_coll(per_rank, kCacheLine)) {
+    std::uint64_t cs = next_coll_seq(eng);
+    allgather_shm(sendbuf, per_rank, recvbuf, epoch_base(cs));
+    return;
+  }
+  allgather_p2p(sendbuf, per_rank, recvbuf);
+}
+
+// ---------------------------------------------------------------------------
+// Alltoall(v)
+// ---------------------------------------------------------------------------
+
+void Comm::alltoall_p2p(const void* sendbuf, std::size_t per_rank,
+                        void* recvbuf) {
+  Engine& eng = engine_;
+  std::uint64_t cs = next_coll_seq(eng);
   int n = size(), r = rank();
   const auto* in = static_cast<const std::byte*>(sendbuf);
   auto* out = static_cast<std::byte*>(recvbuf);
@@ -164,10 +480,50 @@ void Comm::alltoall(const void* sendbuf, std::size_t per_rank,
   }
 }
 
-void Comm::alltoallv(const void* sendbuf, const std::size_t* scounts,
-                     const std::size_t* sdispls, void* recvbuf,
-                     const std::size_t* rcounts, const std::size_t* rdispls) {
-  std::uint32_t cs = next_coll_seq(engine_);
+void Comm::alltoall_shm(const void* sendbuf, std::size_t per_rank,
+                        void* recvbuf, std::uint64_t epoch) {
+  // The uniform exchange is exactly alltoallv with constant counts and
+  // dense displacements; one shared implementation keeps the concurrent
+  // round schedule in a single place. Scratch is thread-local (one vector
+  // per rank thread, reused across calls) so the fast path stays free of
+  // steady-state heap traffic.
+  auto nsz = static_cast<std::size_t>(size());
+  static thread_local std::vector<std::size_t> meta;
+  meta.resize(2 * nsz);
+  std::size_t* counts = meta.data();
+  std::size_t* displs = meta.data() + nsz;
+  for (std::size_t d = 0; d < nsz; ++d) {
+    counts[d] = per_rank;
+    displs[d] = d * per_rank;
+  }
+  alltoallv_shm(sendbuf, counts, displs, recvbuf, counts, displs, epoch);
+}
+
+void Comm::alltoall(const void* sendbuf, std::size_t per_rank,
+                    void* recvbuf) {
+  if (size() == 1) {
+    std::memcpy(recvbuf, sendbuf, per_rank);
+    return;
+  }
+  Engine& eng = engine_;
+  if (use_shm_coll(per_rank,
+                   coll::alltoall_chunk_capacity(
+                       eng.coll_view().valid() ? eng.coll_view().slot_bytes()
+                                               : 0,
+                       size()))) {
+    std::uint64_t cs = next_coll_seq(eng);
+    alltoall_shm(sendbuf, per_rank, recvbuf, epoch_base(cs));
+    return;
+  }
+  alltoall_p2p(sendbuf, per_rank, recvbuf);
+}
+
+void Comm::alltoallv_p2p(const void* sendbuf, const std::size_t* scounts,
+                         const std::size_t* sdispls, void* recvbuf,
+                         const std::size_t* rcounts,
+                         const std::size_t* rdispls) {
+  Engine& eng = engine_;
+  std::uint64_t cs = next_coll_seq(eng);
   int n = size(), r = rank();
   const auto* in = static_cast<const std::byte*>(sendbuf);
   auto* out = static_cast<std::byte*>(recvbuf);
@@ -190,6 +546,121 @@ void Comm::alltoallv(const void* sendbuf, const std::size_t* scounts,
     if (sq) wait(sq);
     if (rq) wait(rq);
   }
+}
+
+void Comm::alltoallv_shm(const void* sendbuf, const std::size_t* scounts,
+                         const std::size_t* sdispls, void* recvbuf,
+                         const std::size_t* rcounts,
+                         const std::size_t* rdispls, std::uint64_t epoch) {
+  Engine& eng = engine_;
+  coll::WorldColl& cw = eng.coll_view();
+  shm::Arena& arena = cw.arena();
+  int n = size(), r = rank();
+  std::size_t nt_min = eng.world()
+                           .tuning()
+                           .for_placement(PairPlacement::kDifferentSockets)
+                           .nt_min;
+  const auto* in = static_cast<const std::byte*>(sendbuf);
+  auto* out = static_cast<std::byte*>(recvbuf);
+  std::size_t cap = coll::alltoall_chunk_capacity(cw.slot_bytes(), n);
+
+  // Direct when the whole send span is arena-resident; the per-dest table
+  // then carries absolute (offset, len) entries. Staged writers chunk each
+  // destination block through their per-dest stride; header.bytes carries
+  // the writer's round count so mixed modes agree on the schedule.
+  std::size_t span = 0, send_max = 0, my_bytes = 0;
+  for (int d = 0; d < n; ++d) {
+    span = std::max(span, sdispls[d] + scounts[d]);
+    if (d != r) {
+      send_max = std::max(send_max, scounts[d]);
+      my_bytes += scounts[d];
+    }
+  }
+  eng.counters().coll_shm_bytes += my_bytes;
+  bool direct = span > 0 && arena.contains(in, span);
+  std::uint64_t my_rounds = direct ? 0 : div_ceil(send_max, cap);
+  std::uint64_t* tab = cw.table(r);
+  if (direct) {
+    std::uint64_t base = arena.offset_of(in);
+    for (int d = 0; d < n; ++d) {
+      tab[2 * d] = base + sdispls[d];
+      tab[2 * d + 1] = scounts[d];
+    }
+  }
+  cw.begin_epoch(r, epoch, direct ? arena.offset_of(in) : shm::kNil,
+                 my_rounds);
+  std::memcpy(out + rdispls[r], in + sdispls[r], scounts[r]);
+
+  std::uint64_t rounds = std::max<std::uint64_t>(my_rounds, 1);
+  for (int w = 0; w < n; ++w) {
+    if (w == r) continue;
+    spin_until(eng, [&] { return cw.ready(w, epoch, 0); });
+    rounds = std::max(rounds, cw.header(w)->bytes);
+  }
+
+  for (std::uint64_t t = 0; t < rounds; ++t) {
+    if (t < my_rounds) {
+      std::size_t off = static_cast<std::size_t>(t) * cap;
+      for (int d = 0; d < n; ++d) {
+        if (d == r || off >= scounts[d]) continue;
+        std::size_t len = std::min(cap, scounts[d] - off);
+        std::memcpy(cw.payload(r) + dest_index(r, d) * cap,
+                    in + sdispls[d] + off, len);
+      }
+      cw.publish_chunks(r, t + 1);
+    }
+    for (int w = 0; w < n; ++w) {
+      if (w == r) continue;
+      coll::SlotHeader* h = cw.header(w);
+      std::byte* dst = out + rdispls[w];
+      if (h->src_off != shm::kNil) {
+        if (t == 0) {
+          const std::uint64_t* wt = cw.table(w);
+          std::uint64_t len = wt[2 * r + 1];
+          NEMO_ASSERT(len == rcounts[w]);
+          // Whole direct-read blocks stream past the cache above nt_min,
+          // like bcast; staged chunks stay cached (slot-bounded).
+          if (len > 0)
+            shm::copy_for(len >= nt_min, dst, arena.at(wt[2 * r]), len);
+        }
+        continue;
+      }
+      if (t >= h->bytes) continue;
+      spin_until(eng, [&] { return cw.ready(w, epoch, t + 1); });
+      std::size_t off = static_cast<std::size_t>(t) * cap;
+      if (off >= rcounts[w]) continue;
+      std::size_t len = std::min(cap, rcounts[w] - off);
+      std::memcpy(dst + off, cw.payload(w) + dest_index(w, r) * cap, len);
+    }
+    flat_barrier();
+  }
+}
+
+void Comm::alltoallv(const void* sendbuf, const std::size_t* scounts,
+                     const std::size_t* sdispls, void* recvbuf,
+                     const std::size_t* rcounts, const std::size_t* rdispls) {
+  if (size() == 1) {
+    std::memcpy(static_cast<std::byte*>(recvbuf) + rdispls[0],
+                static_cast<const std::byte*>(sendbuf) + sdispls[0],
+                scounts[0]);
+    return;
+  }
+  Engine& eng = engine_;
+  // Per-rank counts are asymmetric, so the path decision may only consume
+  // world-level state: forced modes obey NEMO_COLL, auto stays on the arena
+  // (its chunked rounds handle any count mix; SIZE_MAX makes use_shm's size
+  // test always pass).
+  if (use_shm_coll(SIZE_MAX,
+                   coll::alltoall_chunk_capacity(
+                       eng.coll_view().valid() ? eng.coll_view().slot_bytes()
+                                               : 0,
+                       size()))) {
+    std::uint64_t cs = next_coll_seq(eng);
+    alltoallv_shm(sendbuf, scounts, sdispls, recvbuf, rcounts, rdispls,
+                  epoch_base(cs));
+    return;
+  }
+  alltoallv_p2p(sendbuf, scounts, sdispls, recvbuf, rcounts, rdispls);
 }
 
 // --- Reductions ---------------------------------------------------------------
@@ -215,7 +686,120 @@ template <typename T, typename OpFn>
 void Comm::allreduce_impl(const T* in, T* out, std::size_t n, OpFn op,
                           int tag) {
   reduce_impl<T>(in, out, n, op, 0, tag);
-  bcast(out, n * sizeof(T), 0);
+  // Distribute via the p2p tree directly: the dispatcher already chose the
+  // p2p family for this operation (re-dispatching through bcast() would
+  // also double-count the op in the coll telemetry).
+  bcast_p2p(out, n * sizeof(T), 0);
+}
+
+/// Leader-based shm reduction: every rank deposits its operand (direct
+/// offset when arena-resident, else slot-staged rounds), the root combines
+/// with a vectorizable loop, consumption is signalled through the root's
+/// own doorbell. The root folds the SAME per-round element slice of every
+/// operand in ascending rank order — direct operands are sliced too, even
+/// though they are fully available from round 0 — so the combination order
+/// matches the pt2pt algorithm bit-for-bit regardless of how deposit modes
+/// mix, and the cross-check tests can compare exactly.
+template <typename T, typename OpFn>
+void Comm::reduce_shm(const T* in, T* out, std::size_t n, OpFn op, int root,
+                      bool all, std::uint64_t epoch) {
+  Engine& eng = engine_;
+  coll::WorldColl& cw = eng.coll_view();
+  shm::Arena& arena = cw.arena();
+  int p = size(), r = rank();
+  std::size_t bytes = n * sizeof(T);
+  eng.counters().coll_shm_bytes += bytes;
+  std::size_t elems_per = (cw.slot_bytes() / sizeof(T));
+  NEMO_ASSERT(elems_per > 0);
+  // Every operand spans the same element count, so the round schedule is
+  // one world-symmetric value for every rank and both deposit modes.
+  std::uint64_t rounds = std::max<std::uint64_t>(1, div_ceil(n, elems_per));
+
+  if (r != root) {
+    bool direct = bytes > 0 && arena.contains(in, bytes);
+    std::uint64_t my_rounds = direct ? 0 : div_ceil(n, elems_per);
+    cw.begin_epoch(r, epoch, direct ? arena.offset_of(in) : shm::kNil,
+                   my_rounds);
+    for (std::uint64_t t = 0; t < my_rounds; ++t) {
+      // Overwrite gate: the root consumed round t-1 of every slot before
+      // publishing its doorbell at t.
+      if (t > 0) spin_until(eng, [&] { return cw.ready(root, epoch, t); });
+      std::size_t first = static_cast<std::size_t>(t) * elems_per;
+      std::size_t cnt = std::min(elems_per, n - first);
+      std::memcpy(cw.payload(r), in + first, cnt * sizeof(T));
+      cw.publish_chunks(r, t + 1);
+    }
+    // Wait until the root folded the LAST round (a direct operand is read
+    // round by round, so the buffer stays live until then), then ack so
+    // the root can safely reuse its own slot for the next collective.
+    spin_until(eng, [&] { return cw.ready(root, epoch, rounds); });
+    cw.set_ack(r, epoch, 1);
+  } else {
+    std::memcpy(out, in, bytes);
+    // Snapshot every writer's direct-read offset during the gather: a
+    // writer that deposited nothing (direct mode) still exits only after
+    // the final doorbell, but its header may be reopened for the NEXT
+    // collective the moment it does — never re-read it mid-loop.
+    std::vector<std::uint64_t> src_offs(static_cast<std::size_t>(p),
+                                        shm::kNil);
+    for (int w = 0; w < p; ++w) {
+      if (w == r) continue;
+      spin_until(eng, [&] { return cw.ready(w, epoch, 0); });
+      src_offs[static_cast<std::size_t>(w)] = cw.header(w)->src_off;
+    }
+    cw.begin_epoch(r, epoch, shm::kNil, 0);
+    for (std::uint64_t t = 0; t < rounds; ++t) {
+      std::size_t first = static_cast<std::size_t>(t) * elems_per;
+      std::size_t cnt = first < n ? std::min(elems_per, n - first) : 0;
+      for (int w = 0; w < p && cnt > 0; ++w) {
+        if (w == r) continue;
+        std::uint64_t src_off = src_offs[static_cast<std::size_t>(w)];
+        const T* src;
+        if (src_off != shm::kNil) {
+          src = reinterpret_cast<const T*>(arena.at(src_off)) + first;
+        } else {
+          spin_until(eng, [&] { return cw.ready(w, epoch, t + 1); });
+          src = reinterpret_cast<const T*>(cw.payload(w));
+        }
+        T* dst = out + first;
+        for (std::size_t i = 0; i < cnt; ++i) dst[i] = op(dst[i], src[i]);
+      }
+      cw.publish_chunks(r, t + 1);  // Round t consumed everywhere.
+    }
+    for (int w = 0; w < p; ++w)
+      if (w != r) spin_until(eng, [&] { return cw.acked(w, epoch, 1); });
+  }
+
+  // Result distribution rides the shm bcast protocol under its own phase
+  // bit (fresh doorbells on the same epoch family).
+  if (all) bcast_shm(out, bytes, root, epoch | 1);
+}
+
+template <typename T, typename OpFn>
+void Comm::reduce_dispatch(const T* in, T* out, std::size_t n, OpFn op,
+                           int root, bool all) {
+  if (size() == 1) {
+    std::memcpy(out, in, n * sizeof(T));
+    return;
+  }
+  Engine& eng = engine_;
+  // Allreduce distributes the result over the staged-bcast protocol, so
+  // its ack chunk budget gates the shm path the same way bcast's does.
+  std::size_t need =
+      eng.coll_view().valid() &&
+              (!all ||
+               ack_budget_ok(eng.coll_view().slot_bytes(), n * sizeof(T)))
+          ? kCacheLine
+          : SIZE_MAX;
+  std::uint64_t cs = next_coll_seq(eng);
+  if (use_shm_coll(n * sizeof(T), need)) {
+    reduce_shm<T>(in, out, n, op, root, all, epoch_base(cs));
+    return;
+  }
+  if (all)
+    allreduce_impl<T>(in, out, n, op, coll_tag(cs, 1));
+  else
+    reduce_impl<T>(in, out, n, op, root, coll_tag(cs, 1));
 }
 
 namespace {
@@ -234,36 +818,32 @@ T apply_op(Comm::ReduceOp op, T a, T b) {
 
 void Comm::reduce_f64(const double* in, double* out, std::size_t n,
                       ReduceOp op, int root) {
-  std::uint32_t cs = next_coll_seq(engine_);
-  reduce_impl<double>(
+  reduce_dispatch<double>(
       in, out, n, [op](double a, double b) { return apply_op(op, a, b); },
-      root, coll_tag(cs, 1));
+      root, /*all=*/false);
 }
 
 void Comm::allreduce_f64(const double* in, double* out, std::size_t n,
                          ReduceOp op) {
-  std::uint32_t cs = next_coll_seq(engine_);
-  allreduce_impl<double>(
+  reduce_dispatch<double>(
       in, out, n, [op](double a, double b) { return apply_op(op, a, b); },
-      coll_tag(cs, 1));
+      0, /*all=*/true);
 }
 
 void Comm::reduce_i64(const std::int64_t* in, std::int64_t* out,
                       std::size_t n, ReduceOp op, int root) {
-  std::uint32_t cs = next_coll_seq(engine_);
-  reduce_impl<std::int64_t>(
+  reduce_dispatch<std::int64_t>(
       in, out, n,
       [op](std::int64_t a, std::int64_t b) { return apply_op(op, a, b); },
-      root, coll_tag(cs, 1));
+      root, /*all=*/false);
 }
 
 void Comm::allreduce_i64(const std::int64_t* in, std::int64_t* out,
                          std::size_t n, ReduceOp op) {
-  std::uint32_t cs = next_coll_seq(engine_);
-  allreduce_impl<std::int64_t>(
+  reduce_dispatch<std::int64_t>(
       in, out, n,
       [op](std::int64_t a, std::int64_t b) { return apply_op(op, a, b); },
-      coll_tag(cs, 1));
+      0, /*all=*/true);
 }
 
 }  // namespace nemo::core

@@ -51,6 +51,18 @@ std::pair<std::uint32_t, std::uint32_t> ring_geometry(
   return {bufs, buf_bytes};
 }
 
+/// Per-rank collective slot capacity: programmatic Config beats the tuned /
+/// cached value; NEMO_COLL_SLOT_BYTES beats both (apply_env writes it into
+/// the Config, with_env_overrides into the table).
+std::uint32_t effective_coll_slot_bytes(const Config& cfg,
+                                        const tune::TuningTable& tuning) {
+  std::size_t v =
+      cfg.coll_slot_bytes != 0 ? cfg.coll_slot_bytes : tuning.coll_slot_bytes;
+  v = round_up(std::clamp(v, tune::kCollSlotMin, tune::kCollSlotMax),
+               kCacheLine);
+  return static_cast<std::uint32_t>(std::min(v, tune::kCollSlotMax));
+}
+
 std::size_t auto_arena_bytes(const Config& cfg,
                              const tune::TuningTable& tuning) {
   std::size_t n = static_cast<std::size_t>(cfg.nranks);
@@ -77,8 +89,13 @@ std::size_t auto_arena_bytes(const Config& cfg,
   std::size_t knem = sizeof(knem::DeviceState) +
                      256 * sizeof(knem::CookieSlot) +
                      256 * sizeof(knem::SegBlock) + 64 * KiB;
+  std::size_t coll =
+      cfg.nranks > 1
+          ? coll::WorldColl::footprint(cfg.nranks,
+                                       effective_coll_slot_bytes(cfg, tuning))
+          : 0;
   return 1 * MiB + n * per_rank + pairs * (per_ring + per_fastbox) + knem +
-         cfg.shared_pool_bytes;
+         coll + cfg.shared_pool_bytes;
 }
 
 /// Environment knobs override the programmatic Config so any entry point
@@ -97,6 +114,8 @@ Config apply_env(Config cfg) {
   cfg.use_fastbox = env_flag("NEMO_FASTBOX", cfg.use_fastbox);
   if (env_str("NEMO_NT_MIN")) cfg.nt_min = env_size("NEMO_NT_MIN", 0);
   cfg.numa_placement = shm::numa_placement_from_env(cfg.numa_placement);
+  cfg.coll = coll::mode_from_env(cfg.coll);
+  if (auto v = tune::coll_slot_bytes_from_env()) cfg.coll_slot_bytes = *v;
   return cfg;
 }
 
@@ -183,6 +202,18 @@ World::World(Config cfg)
       }
     }
 
+  // The collective arena: every rank reads every slot, so under the
+  // interleaving NUMA modes its pages are spread across nodes like the
+  // other many-reader bootstrap state below.
+  if (cfg_.nranks > 1) {
+    std::uint32_t coll_slot = effective_coll_slot_bytes(cfg_, tuning_);
+    coll_off_ = coll::WorldColl::create(arena_, cfg_.nranks, coll_slot);
+    if (numa_mode_ == shm::NumaPlacement::kAuto ||
+        numa_mode_ == shm::NumaPlacement::kInterleave)
+      shm::interleave(arena_.at(coll_off_),
+                      coll::WorldColl::region_bytes(cfg_.nranks, coll_slot));
+  }
+
   std::uint64_t shared_state_begin = arena_.alloc(8, kCacheLine);
   knem_off_ = knem::Device::create(arena_);
 
@@ -267,6 +298,9 @@ Engine::Engine(World& world, int rank)
       next_seq_(static_cast<std::size_t>(world.nranks()), 1),
       expected_seq_(static_cast<std::size_t>(world.nranks()), 1) {
   world.register_pid(rank, ::getpid());
+  matcher_.set_counters(&counters_);
+  if (world.coll_off() != shm::kNil)
+    coll_ = coll::WorldColl(world.arena(), world.coll_off());
   const tune::TuningTable& tuning = world.tuning();
   fastbox_max_ =
       std::min<std::size_t>(tuning.fastbox_max,
@@ -567,6 +601,7 @@ Request Engine::start_recv(SegmentList segs, int src, int tag, int context) {
 
   if (um->is_rndv) {
     start_lmt_recv(um->src, um->tag, um->seq, um->rts, pr);
+    matcher_.recycle(std::move(um));
     return req;
   }
 
@@ -590,6 +625,9 @@ Request Engine::start_recv(SegmentList segs, int src, int tag, int context) {
     be.tag = um->tag;
     bound_eager_[{um->src, um->seq}] = std::move(be);
   }
+  // Payload (or its arrived prefix) is consumed either way; continuation
+  // chunks land in the bound user buffer, so the pooled buffer is free.
+  matcher_.recycle(std::move(um));
   return req;
 }
 
@@ -654,15 +692,15 @@ void Engine::deliver_eager_first(int src, int tag, int context,
     }
     return;
   }
-  // Unexpected: buffer it.
-  auto um = std::make_unique<UnexpectedMsg>();
+  // Unexpected: buffer it (pooled — no per-message heap allocation in
+  // steady state).
+  std::unique_ptr<UnexpectedMsg> um = matcher_.acquire_unexpected(total);
   um->src = src;
   um->tag = tag;
   um->context = context;
   um->seq = seq;
   um->is_rndv = false;
   um->total = total;
-  um->data.resize(total);
   std::memcpy(um->data.data(), data, len);
   um->bytes_arrived = len;
   matcher_.add_unexpected(std::move(um));
@@ -761,7 +799,7 @@ void Engine::handle_rts(Cell* cell) {
     start_lmt_recv(src, cell->tag, cell->msg_seq, rts, *pr);
     return;
   }
-  auto um = std::make_unique<UnexpectedMsg>();
+  std::unique_ptr<UnexpectedMsg> um = matcher_.acquire_unexpected(0);
   um->src = src;
   um->tag = cell->tag;
   um->context = static_cast<int>(cell->flags);

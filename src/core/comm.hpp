@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "coll/coll.hpp"
+#include "coll/coll_arena.hpp"
 #include "common/common.hpp"
 #include "common/iovec.hpp"
 #include "common/topology.hpp"
@@ -89,6 +91,14 @@ struct Config {
   /// is single-node or mbind is unavailable (decisions stay recorded).
   shm::NumaPlacement numa_placement = shm::NumaPlacement::kAuto;
 
+  /// Collective path selection: kAuto takes the shared-memory collective
+  /// arena at/above the tuned coll_activation and the pt2pt algorithms
+  /// below it. NEMO_COLL=shm|p2p|auto overrides.
+  coll::Mode coll = coll::Mode::kAuto;
+  /// Per-rank collective-arena slot capacity. 0 = the tuning table's
+  /// coll_slot_bytes (NEMO_COLL_SLOT_BYTES overrides either).
+  std::size_t coll_slot_bytes = 0;
+
   /// Model I/OAT presence (the software DMA channel).
   bool dma_available = true;
 
@@ -155,6 +165,11 @@ class World {
   }
   [[nodiscard]] std::uint64_t knem_off() const { return knem_off_; }
 
+  /// The collective arena (kNil for 1-rank worlds).
+  [[nodiscard]] std::uint64_t coll_off() const { return coll_off_; }
+  /// Effective collective path mode after env resolution.
+  [[nodiscard]] coll::Mode coll_mode() const { return cfg_.coll; }
+
   /// Effective NUMA placement mode after env resolution.
   [[nodiscard]] shm::NumaPlacement numa_mode() const { return numa_mode_; }
   /// The placement decision applied to pair (src, dst)'s ring/fastbox.
@@ -197,6 +212,7 @@ class World {
   std::vector<std::uint64_t> fastbox_offs_;
   shm::NumaPlacement numa_mode_ = shm::NumaPlacement::kFirstTouch;
   std::vector<RingPlacement> ring_place_;
+  std::uint64_t coll_off_ = shm::kNil;
   std::uint64_t knem_off_ = 0;
   std::uint64_t pid_table_off_ = 0;
   std::uint64_t barrier_off_ = 0;
@@ -251,8 +267,19 @@ class Engine {
   [[nodiscard]] tune::Counters& counters() { return counters_; }
   [[nodiscard]] const tune::Counters& counters() const { return counters_; }
 
-  /// Monotonic collective-instance counter (tag namespacing).
-  std::uint32_t bump_coll_seq() { return coll_seq_++; }
+  /// Monotonic collective-instance counter (tag namespacing / arena
+  /// epochs). 64-bit: a u32 would wrap within hours under a tight barrier
+  /// loop, and epoch-tag monotonicity (coll_arena.hpp) must hold for the
+  /// life of the world.
+  std::uint64_t bump_coll_seq() { return coll_seq_++; }
+
+  /// This rank's view of the world's collective arena (invalid placeholder
+  /// in 1-rank worlds, where every collective is a local no-op).
+  [[nodiscard]] coll::WorldColl& coll_view() { return coll_; }
+  /// Next flat-barrier sequence. Monotonic and lock-step across ranks:
+  /// every rank runs the same collective schedule, and each shm collective
+  /// issues the same number of flat barriers on every rank.
+  std::uint64_t next_coll_barrier_seq() { return ++coll_bar_seq_; }
 
   /// Resolve the LMT kind for a message (exposed for tests/benches).
   lmt::LmtKind resolve_kind(std::size_t bytes, int dst, bool collective);
@@ -373,13 +400,15 @@ class Engine {
   std::deque<PendingCtrl> pending_ctrl_;
   EngineStats stats_;
   tune::Counters counters_;
+  coll::WorldColl coll_;  ///< View of the world's collective arena.
+  std::uint64_t coll_bar_seq_ = 0;  ///< Flat-barrier sequence issued so far.
   /// Largest eager message routed through the pair fastboxes (tuned cutoff
   /// clamped to the slot payload).
   std::size_t fastbox_max_ = 0;
   /// Recv-queue cells drained per progress() pass (tuned / env override).
   std::uint32_t drain_budget_ = 256;
   bool in_progress_ = false;
-  std::uint32_t coll_seq_ = 0;
+  std::uint64_t coll_seq_ = 0;
 };
 
 /// Public communicator handle for one rank.
@@ -449,12 +478,50 @@ class Comm {
   void hard_barrier() { engine_.world().hard_barrier(); }
 
  private:
+  /// Does this operation take the shm collective arena? `op_bytes` is the
+  /// op's symmetric size measure, `slot_need` the per-slot capacity the op
+  /// requires (0 capacity forces pt2pt even under NEMO_COLL=shm).
+  bool use_shm_coll(std::size_t op_bytes, std::size_t slot_need);
+
+  /// One flat-barrier round over the collective arena (keeps pt2pt
+  /// progress flowing while spinning).
+  void flat_barrier();
+
+  // pt2pt algorithms: the fallback below coll_activation and the
+  // correctness oracle the tests cross-check against.
+  void barrier_p2p();
+  void bcast_p2p(void* buf, std::size_t bytes, int root);
+  void allgather_p2p(const void* sendbuf, std::size_t per_rank,
+                     void* recvbuf);
+  void alltoall_p2p(const void* sendbuf, std::size_t per_rank,
+                    void* recvbuf);
+  void alltoallv_p2p(const void* sendbuf, const std::size_t* scounts,
+                     const std::size_t* sdispls, void* recvbuf,
+                     const std::size_t* rcounts, const std::size_t* rdispls);
+
+  // Shared-memory collective arena algorithms (src/coll/).
+  void bcast_shm(void* buf, std::size_t bytes, int root, std::uint64_t epoch);
+  void allgather_shm(const void* sendbuf, std::size_t per_rank,
+                     void* recvbuf, std::uint64_t epoch);
+  void alltoall_shm(const void* sendbuf, std::size_t per_rank, void* recvbuf,
+                    std::uint64_t epoch);
+  void alltoallv_shm(const void* sendbuf, const std::size_t* scounts,
+                     const std::size_t* sdispls, void* recvbuf,
+                     const std::size_t* rcounts, const std::size_t* rdispls,
+                     std::uint64_t epoch);
+  template <typename T, typename OpFn>
+  void reduce_shm(const T* in, T* out, std::size_t n, OpFn op, int root,
+                  bool all, std::uint64_t epoch);
+
   template <typename T, typename OpFn>
   void reduce_impl(const T* in, T* out, std::size_t n, OpFn op, int root,
                    int tag_base);
   template <typename T, typename OpFn>
   void allreduce_impl(const T* in, T* out, std::size_t n, OpFn op,
                       int tag_base);
+  template <typename T, typename OpFn>
+  void reduce_dispatch(const T* in, T* out, std::size_t n, OpFn op, int root,
+                       bool all);
 
   Engine engine_;
 };

@@ -31,6 +31,38 @@ void MatchEngine::add_unexpected(std::unique_ptr<UnexpectedMsg> um) {
   unexpected_.push_back(std::move(um));
 }
 
+std::unique_ptr<UnexpectedMsg> MatchEngine::acquire_unexpected(
+    std::size_t payload_bytes) {
+  std::unique_ptr<UnexpectedMsg> um;
+  if (!pool_.empty()) {
+    um = std::move(pool_.back());
+    pool_.pop_back();
+    bool fits = um->data.capacity() >= payload_bytes;
+    if (counters_ != nullptr)
+      (fits ? counters_->um_pool_hits : counters_->um_pool_misses)++;
+    // Reset the node by hand so the buffer's capacity survives.
+    um->src = -1;
+    um->tag = -1;
+    um->context = 0;
+    um->seq = 0;
+    um->is_rndv = false;
+    um->bytes_arrived = 0;
+    um->total = 0;
+    um->rts = lmt::RtsWire{};
+  } else {
+    if (counters_ != nullptr) counters_->um_pool_misses++;
+    um = std::make_unique<UnexpectedMsg>();
+  }
+  um->data.resize(payload_bytes);
+  return um;
+}
+
+void MatchEngine::recycle(std::unique_ptr<UnexpectedMsg> um) {
+  if (um == nullptr || pool_.size() >= kPoolCap) return;
+  um->data.clear();  // Keeps capacity: the next acquire reuses it.
+  pool_.push_back(std::move(um));
+}
+
 UnexpectedMsg* MatchEngine::find_partial(int src, std::uint32_t seq) {
   for (auto& um : unexpected_) {
     if (!um->is_rndv && um->src == src && um->seq == seq &&

@@ -11,6 +11,7 @@
 
 #include "common/iovec.hpp"
 #include "lmt/lmt.hpp"
+#include "tune/counters.hpp"
 
 namespace nemo::core {
 
@@ -60,14 +61,28 @@ struct UnexpectedMsg {
 
 class MatchEngine {
  public:
+  /// Recycled UnexpectedMsg nodes kept around; beyond this they free.
+  static constexpr std::size_t kPoolCap = 64;
+
   /// Post a receive: first scan unexpected (oldest first); if found, the
-  /// unexpected entry is removed and returned and `pr` is left untouched.
-  /// Otherwise `pr` is consumed (queued).
+  /// unexpected entry is removed and returned and `pr` is left untouched
+  /// (recycle() the entry once its payload is consumed). Otherwise `pr` is
+  /// consumed (queued).
   std::unique_ptr<UnexpectedMsg> post_recv(PostedRecv& pr);
 
   /// An incoming envelope (eager-first or RTS): match against posted recvs
   /// (oldest first). Returns the posted recv if matched.
   std::unique_ptr<PostedRecv> match_incoming(int src, int tag, int context);
+
+  /// A blank UnexpectedMsg with `data` sized to `payload_bytes`, reusing a
+  /// pooled node/buffer when one is large enough — the unexpected-receive
+  /// hot path used to pay a heap allocation per message here. Pool traffic
+  /// is counted on the attached tune::Counters (um_pool_hits/misses).
+  std::unique_ptr<UnexpectedMsg> acquire_unexpected(std::size_t payload_bytes);
+
+  /// Return a fully-consumed unexpected message to the pool (buffer
+  /// capacity is kept; contents are dead).
+  void recycle(std::unique_ptr<UnexpectedMsg> um);
 
   /// Queue an unexpected message.
   void add_unexpected(std::unique_ptr<UnexpectedMsg> um);
@@ -75,14 +90,20 @@ class MatchEngine {
   /// Find an unexpected eager message still being reassembled.
   UnexpectedMsg* find_partial(int src, std::uint32_t seq);
 
+  /// Telemetry sink for the pool counters (not owned; may be null).
+  void set_counters(tune::Counters* c) { counters_ = c; }
+
   [[nodiscard]] std::size_t posted_count() const { return posted_.size(); }
   [[nodiscard]] std::size_t unexpected_count() const {
     return unexpected_.size();
   }
+  [[nodiscard]] std::size_t pooled_count() const { return pool_.size(); }
 
  private:
   std::deque<std::unique_ptr<PostedRecv>> posted_;
   std::deque<std::unique_ptr<UnexpectedMsg>> unexpected_;
+  std::vector<std::unique_ptr<UnexpectedMsg>> pool_;
+  tune::Counters* counters_ = nullptr;
 };
 
 }  // namespace nemo::core

@@ -81,6 +81,21 @@ class LmtModels {
   std::uint64_t alltoall_l2_misses(Strategy s, const std::vector<int>& cores,
                                    std::size_t per_pair, int iters = 10);
 
+  /// Collective replay accounting (fig7 / coll_sweep): one operation's
+  /// throughput, bytes memcpy'd, and steady-state L2 misses — the pt2pt
+  /// algorithm (binomial bcast / pairwise exchange over the default copy
+  /// ring, 2 copies per hop) against the shared-memory collective arena
+  /// (write once, every reader pulls directly).
+  struct CollOutcome {
+    double mibs = 0;               ///< Steady-state throughput.
+    std::uint64_t copy_bytes = 0;  ///< Bytes memcpy'd per operation.
+    std::uint64_t l2_misses = 0;   ///< Per operation, steady state.
+  };
+  CollOutcome bcast_coll(bool shm, const std::vector<int>& cores,
+                         std::size_t bytes, int iters = 3);
+  CollOutcome alltoall_coll(bool shm, const std::vector<int>& cores,
+                            std::size_t per_pair, int iters = 3);
+
   /// NAS-IS-like run (Table 2 last row): `total_keys` 4-byte keys bucket-
   /// sorted across ranks for `iters` iterations. Returns {seconds, misses}.
   struct IsOutcome {

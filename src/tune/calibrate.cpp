@@ -222,6 +222,20 @@ TuningTable calibrate(const Topology& topo, const CalibrationOptions& opt) {
   t.fastbox_max = t.fastbox_slot_bytes - 64;
   shm::restore_affinity(saved);
 
+  // The shm-vs-pt2pt collective crossover (bcast worlds, NEMO_COLL forced
+  // each way). A host that cannot run ranks in parallel keeps the formula.
+  if (opt.coll) {
+    if (auto ca = measure_coll_crossover(topo, t, opt)) {
+      t.coll_activation = *ca;
+      if (opt.verbose)
+        std::printf("  coll_activation: %s (measured)\n",
+                    format_size(*ca).c_str());
+    } else if (opt.verbose) {
+      std::printf("  coll_activation: %s (formula; probe unavailable)\n",
+                  format_size(t.coll_activation).c_str());
+    }
+  }
+
   // Close the telemetry loop: the crossover probes above are pairwise; the
   // feedback pass stresses every pair at once and reacts to the congestion
   // counters (ring stalls, drain exhaustion, fastbox fallbacks).

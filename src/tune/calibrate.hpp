@@ -49,6 +49,10 @@ struct CalibrationOptions {
   /// alltoall worlds at feedback.rank_counts; see FeedbackOptions). Also
   /// gated by NEMO_FEEDBACK (default on).
   bool feedback = true;
+  /// Measure the shm-vs-pt2pt collective crossover (short bcast worlds;
+  /// skipped, keeping the formula default, when the host cannot run ranks
+  /// in parallel).
+  bool coll = true;
 };
 
 /// Measure this machine and return a table with source == "calibrated".
@@ -141,5 +145,14 @@ std::optional<std::size_t> measure_activation_crossover(
 /// the pair cannot be pinned or timed.
 std::optional<double> measure_pair_latency_ns(int core_a, int core_b,
                                               const CalibrationOptions& opt);
+
+/// Crossover where the shm collective arena starts beating the pt2pt
+/// algorithms, measured as wall-clock bcast cost in short real worlds
+/// (NEMO_COLL forced each way; src/tune/coll_probe.cpp). nullopt when the
+/// host exposes <2 cores — time-sliced ranks would measure the scheduler —
+/// or when the arena path never wins on the probed range.
+std::optional<std::size_t> measure_coll_crossover(
+    const Topology& topo, const TuningTable& t,
+    const CalibrationOptions& opt);
 
 }  // namespace nemo::tune

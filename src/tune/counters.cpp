@@ -18,6 +18,13 @@ Counters& Counters::operator+=(const Counters& o) {
   ring_stalls += o.ring_stalls;
   drain_exhausted += o.drain_exhausted;
   progress_passes += o.progress_passes;
+  coll_shm_ops += o.coll_shm_ops;
+  coll_p2p_ops += o.coll_p2p_ops;
+  coll_shm_bytes += o.coll_shm_bytes;
+  coll_fallbacks += o.coll_fallbacks;
+  coll_epoch_stalls += o.coll_epoch_stalls;
+  um_pool_hits += o.um_pool_hits;
+  um_pool_misses += o.um_pool_misses;
   return *this;
 }
 
@@ -65,6 +72,17 @@ Json counters_to_json(const Counters& c, int rank) {
   j.set("ring_stalls", c.ring_stalls);
   j.set("drain_exhausted", c.drain_exhausted);
   j.set("progress_passes", c.progress_passes);
+
+  Json coll = Json::object();
+  coll.set("shm_ops", c.coll_shm_ops);
+  coll.set("p2p_ops", c.coll_p2p_ops);
+  coll.set("shm_bytes", c.coll_shm_bytes);
+  coll.set("fallbacks", c.coll_fallbacks);
+  coll.set("epoch_stalls", c.coll_epoch_stalls);
+  j.set("coll", std::move(coll));
+
+  j.set("um_pool_hits", c.um_pool_hits);
+  j.set("um_pool_misses", c.um_pool_misses);
   return j;
 }
 

@@ -32,6 +32,19 @@ struct Counters {
   std::uint64_t drain_exhausted = 0;    ///< progress() hit the drain budget.
   std::uint64_t progress_passes = 0;
 
+  // Collective path telemetry (the shm arena fast path vs the pt2pt
+  // fallback; see src/coll/).
+  std::uint64_t coll_shm_ops = 0;   ///< Collectives that took the arena.
+  std::uint64_t coll_p2p_ops = 0;   ///< Collectives on the pt2pt algorithms.
+  std::uint64_t coll_shm_bytes = 0; ///< Payload bytes this rank moved via it.
+  std::uint64_t coll_fallbacks = 0; ///< shm wanted but geometry forbade it.
+  std::uint64_t coll_epoch_stalls = 0;  ///< Waits on a not-yet-published
+                                        ///< epoch/doorbell/ack/barrier word.
+
+  // Unexpected-receive buffer pool (match.hpp freelist).
+  std::uint64_t um_pool_hits = 0;    ///< Reused a pooled buffer, no alloc.
+  std::uint64_t um_pool_misses = 0;  ///< Pool empty or buffer too small.
+
   static int size_class(std::size_t bytes) {
     int c = 0;
     while (bytes > 1 && c < kSizeClasses - 1) {

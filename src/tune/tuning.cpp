@@ -145,7 +145,21 @@ TuningTable with_env_overrides(TuningTable t) {
             static_cast<std::uint32_t>(round_up(v, kCacheLine));
   }
   t.poll_hot = env_flag("NEMO_POLL_HOT", t.poll_hot);
+  if (env_str("NEMO_COLL_ACTIVATION"))
+    t.coll_activation = env_size("NEMO_COLL_ACTIVATION", t.coll_activation);
+  if (auto v = coll_slot_bytes_from_env())
+    t.coll_slot_bytes = static_cast<std::uint32_t>(*v);
   return t;
+}
+
+std::optional<std::size_t> coll_slot_bytes_from_env() {
+  if (!env_str("NEMO_COLL_SLOT_BYTES")) return std::nullopt;
+  std::size_t v =
+      round_up(env_size("NEMO_COLL_SLOT_BYTES", 0), kCacheLine);
+  if (!coll_slot_in_range(v))
+    throw std::invalid_argument(
+        "NEMO_COLL_SLOT_BYTES: out of range (64B..16MiB)");
+  return v;
 }
 
 // ---------------------------------------------------------------------------
@@ -154,7 +168,10 @@ TuningTable with_env_overrides(TuningTable t) {
 
 std::string to_json(const TuningTable& t) {
   Json root = Json::object();
-  root.set("schema", std::string("nemo-tune/1"));
+  // Schema 2 added the coll_* fields. from_json still accepts schema 1
+  // (missing fields keep their formula defaults) so a pre-existing cache
+  // degrades to "coll fields uncalibrated", not a parse error.
+  root.set("schema", std::string("nemo-tune/2"));
   root.set("fingerprint", t.fingerprint);
   root.set("source", t.source);
 
@@ -181,6 +198,9 @@ std::string to_json(const TuningTable& t) {
            static_cast<std::uint64_t>(t.fastbox_slot_bytes));
   root.set("drain_budget", static_cast<std::uint64_t>(t.drain_budget));
   root.set("poll_hot", t.poll_hot);
+  root.set("coll_activation", static_cast<std::uint64_t>(t.coll_activation));
+  root.set("coll_slot_bytes",
+           static_cast<std::uint64_t>(t.coll_slot_bytes));
   return root.dump() + "\n";
 }
 
@@ -188,7 +208,8 @@ std::optional<TuningTable> from_json(const std::string& text,
                                      std::string* err) {
   auto doc = Json::parse(text, err);
   if (!doc) return std::nullopt;
-  if ((*doc)["schema"].as_string() != "nemo-tune/1") {
+  std::string schema = (*doc)["schema"].as_string();
+  if (schema != "nemo-tune/1" && schema != "nemo-tune/2") {
     if (err != nullptr) *err = "unknown schema";
     return std::nullopt;
   }
@@ -223,13 +244,18 @@ std::optional<TuningTable> from_json(const std::string& text,
   t.drain_budget = static_cast<std::uint32_t>(
       (*doc)["drain_budget"].as_uint(t.drain_budget));
   t.poll_hot = (*doc)["poll_hot"].as_bool(t.poll_hot);
+  t.coll_activation =
+      (*doc)["coll_activation"].as_uint(t.coll_activation);
+  t.coll_slot_bytes = static_cast<std::uint32_t>(
+      (*doc)["coll_slot_bytes"].as_uint(t.coll_slot_bytes));
   // A hand-edited or truncated cache must degrade to the formulas, not trip
   // always-compiled asserts in every program on the machine (the fastbox
   // geometry feeds shm::Fastbox::create directly, the ring geometry
-  // shm::CopyRing::create).
+  // shm::CopyRing::create, the coll geometry coll::WorldColl::create).
   if (t.fastbox_slots < 1 || t.fastbox_slots > 64 ||
       t.fastbox_slot_bytes <= 64 || t.fastbox_slot_bytes > 16 * KiB ||
-      t.fastbox_slot_bytes % kCacheLine != 0 || t.drain_budget < 1) {
+      t.fastbox_slot_bytes % kCacheLine != 0 || t.drain_budget < 1 ||
+      !coll_slot_in_range(t.coll_slot_bytes)) {
     if (err != nullptr) *err = "out-of-range tuning values";
     return std::nullopt;
   }

@@ -80,6 +80,16 @@ struct TuningTable {
   /// Lower activation used inside collectives (§4.4).
   std::size_t collective_activation = 4 * KiB;
 
+  /// Shm-collective crossover: operations whose symmetric size measure
+  /// (bcast bytes, per-rank block, operand bytes) reaches this take the
+  /// collective-arena path under NEMO_COLL=auto; below it the pt2pt
+  /// algorithms win on their lower per-op synchronisation cost. Measured by
+  /// the coll probe in tune::calibrate; NEMO_COLL_ACTIVATION overrides.
+  std::size_t coll_activation = 16 * KiB;
+  /// Per-rank collective-arena slot capacity (staging + doorbell
+  /// pipelining granularity). NEMO_COLL_SLOT_BYTES overrides.
+  std::uint32_t coll_slot_bytes = 256 * KiB;
+
   /// Eager messages at or below this ride the per-pair fastbox ring.
   std::size_t fastbox_max = 2 * KiB - 64;
   std::uint32_t fastbox_slots = 4;
@@ -104,6 +114,24 @@ struct TuningTable {
   }
 };
 
+/// Legal collective-arena slot range, shared by every resolver (env
+/// override, cache validation, Config clamp) so the bounds cannot drift
+/// apart. Values must also be cache-line multiples.
+inline constexpr std::size_t kCollSlotMin = kCacheLine;
+inline constexpr std::size_t kCollSlotMax = 16 * MiB;
+
+/// Is `v` a legal coll_slot_bytes value as-is (range + alignment)?
+inline bool coll_slot_in_range(std::size_t v) {
+  return v >= kCollSlotMin && v <= kCollSlotMax && v % kCacheLine == 0;
+}
+
+/// Parse NEMO_COLL_SLOT_BYTES (rounded up to a cache line). nullopt when
+/// unset; throws std::invalid_argument on an out-of-range value — a
+/// silently ignored knob would make slot-size experiments unmeasurable.
+/// Shared by every resolver (Config apply_env, with_env_overrides) so the
+/// accepted range cannot drift between them.
+std::optional<std::size_t> coll_slot_bytes_from_env();
+
 /// Stable fingerprint of a topology (FNV-1a over the logical layout), e.g.
 /// "host-8c-a1b2c3d4e5f67890". Cache entries are valid only on a machine
 /// with an identical fingerprint.
@@ -115,7 +143,8 @@ TuningTable formula_defaults(const Topology& topo);
 /// Apply env-knob overrides (NEMO_NT_MIN, NEMO_LMT_ACTIVATION,
 /// NEMO_FASTBOX_MAX, NEMO_FASTBOX_SLOTS, NEMO_FASTBOX_SLOT_BYTES,
 /// NEMO_DRAIN_BUDGET, NEMO_DMA_MIN, NEMO_BACKEND, NEMO_RING_BUFS,
-/// NEMO_RING_BUF_BYTES, NEMO_POLL_HOT) on top of `t` — the "env beats
+/// NEMO_RING_BUF_BYTES, NEMO_POLL_HOT, NEMO_COLL_ACTIVATION,
+/// NEMO_COLL_SLOT_BYTES) on top of `t` — the "env beats
 /// cache beats formula" precedence every entry point shares. See
 /// docs/TUNING.md for the authoritative knob table.
 TuningTable with_env_overrides(TuningTable t);

@@ -2,7 +2,10 @@
 // worlds and the large-message alltoall(v) paths Figure 7 depends on.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <numeric>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "common/checksum.hpp"
@@ -203,6 +206,349 @@ INSTANTIATE_TEST_SUITE_P(
         if (c == '-') c = '_';
       return s;
     });
+
+// ---------------------------------------------------------------------------
+// Cross-check matrix: every op runs under NEMO_COLL forced both ways (the
+// pt2pt family is the correctness oracle for the shm arena family), over
+// odd / non-power-of-two rank counts and sizes straddling the slot size
+// (so both the direct single-round and the chunked multi-round arena
+// schedules execute).
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kTestSlot = 16 * KiB;
+
+struct CrossParam {
+  int nranks;
+  coll::Mode mode;
+};
+
+class CollCross : public ::testing::TestWithParam<CrossParam> {
+ protected:
+  // The param IS the family under test; pin NEMO_COLL so an outer value
+  // (e.g. CI's forced runs) cannot silently redirect it.
+  void SetUp() override { forced_.emplace(GetParam().mode); }
+  void TearDown() override { forced_.reset(); }
+
+  Config config() const {
+    Config cfg;
+    cfg.nranks = GetParam().nranks;
+    cfg.coll = GetParam().mode;
+    cfg.coll_slot_bytes = kTestSlot;  // Small slot: multi-round paths cheap.
+    cfg.shared_pool_bytes = 64 * MiB;
+    return cfg;
+  }
+  /// Below / at / just above / laps-beyond the slot (and, for alltoall at
+  /// 8 ranks, many laps beyond the per-dest chunk capacity).
+  static std::vector<std::size_t> sizes() {
+    return {512, kTestSlot / 2, kTestSlot, 2 * kTestSlot + 192};
+  }
+
+ private:
+  std::optional<coll::ScopedForcedMode> forced_;
+};
+
+TEST_P(CollCross, BcastEveryRootAllSizes) {
+  run(config(), [&](Comm& comm) {
+    for (std::size_t bytes : sizes()) {
+      for (int root : {0, comm.size() - 1}) {
+        std::vector<std::byte> buf(bytes);
+        if (comm.rank() == root) pattern_fill(buf, 31 + bytes + static_cast<std::size_t>(root));
+        comm.bcast(buf.data(), bytes, root);
+        EXPECT_EQ(pattern_check(buf, 31 + bytes + static_cast<std::size_t>(root)),
+                  kPatternOk)
+            << bytes << " from root " << root;
+      }
+    }
+  });
+}
+
+TEST_P(CollCross, BcastDirectFromArenaBuffer) {
+  run(config(), [&](Comm& comm) {
+    // shared_alloc'd source: the shm path publishes the offset and readers
+    // pull straight from it (direct-read mode).
+    const std::size_t bytes = 48 * KiB;
+    std::byte* buf = comm.shared_alloc(bytes);
+    if (comm.rank() == 1 % comm.size())
+      pattern_fill({buf, bytes}, 777);
+    comm.bcast(buf, bytes, 1 % comm.size());
+    EXPECT_EQ(pattern_check({buf, bytes}, 777), kPatternOk);
+  });
+}
+
+TEST_P(CollCross, AllgatherAllSizes) {
+  run(config(), [&](Comm& comm) {
+    int n = comm.size();
+    for (std::size_t per : sizes()) {
+      std::vector<std::byte> mine(per);
+      pattern_fill(mine, 5u + static_cast<std::uint64_t>(comm.rank()));
+      std::vector<std::byte> all(per * static_cast<std::size_t>(n));
+      comm.allgather(mine.data(), per, all.data());
+      for (int r = 0; r < n; ++r)
+        EXPECT_EQ(pattern_check(
+                      std::span<const std::byte>(
+                          all.data() + static_cast<std::size_t>(r) * per, per),
+                      5u + static_cast<std::uint64_t>(r)),
+                  kPatternOk)
+            << per << " block " << r;
+    }
+  });
+}
+
+TEST_P(CollCross, AlltoallAllSizes) {
+  run(config(), [&](Comm& comm) {
+    int n = comm.size();
+    for (std::size_t per : sizes()) {
+      std::vector<std::byte> send(per * static_cast<std::size_t>(n)),
+          recv(per * static_cast<std::size_t>(n));
+      for (int d = 0; d < n; ++d)
+        pattern_fill(
+            std::span<std::byte>(
+                send.data() + static_cast<std::size_t>(d) * per, per),
+            static_cast<std::uint64_t>(comm.rank()) * 131 +
+                static_cast<std::uint64_t>(d));
+      comm.alltoall(send.data(), per, recv.data());
+      for (int s = 0; s < n; ++s)
+        EXPECT_EQ(pattern_check(
+                      std::span<const std::byte>(
+                          recv.data() + static_cast<std::size_t>(s) * per, per),
+                      static_cast<std::uint64_t>(s) * 131 +
+                          static_cast<std::uint64_t>(comm.rank())),
+                  kPatternOk)
+            << per << " from " << s;
+    }
+  });
+}
+
+TEST_P(CollCross, AlltoallDirectFromArenaMatrix) {
+  run(config(), [&](Comm& comm) {
+    int n = comm.size();
+    const std::size_t per = 24 * KiB;
+    std::size_t matrix = per * static_cast<std::size_t>(n);
+    std::byte* send = comm.shared_alloc(matrix);
+    std::byte* recv = comm.shared_alloc(matrix);
+    for (int d = 0; d < n; ++d)
+      pattern_fill(std::span<std::byte>(
+                       send + static_cast<std::size_t>(d) * per, per),
+                   static_cast<std::uint64_t>(comm.rank()) * 17 +
+                       static_cast<std::uint64_t>(d));
+    comm.alltoall(send, per, recv);
+    for (int s = 0; s < n; ++s)
+      EXPECT_EQ(pattern_check(std::span<const std::byte>(
+                                  recv + static_cast<std::size_t>(s) * per,
+                                  per),
+                              static_cast<std::uint64_t>(s) * 17 +
+                                  static_cast<std::uint64_t>(comm.rank())),
+                kPatternOk);
+  });
+}
+
+TEST_P(CollCross, AlltoallvRaggedWithZeros) {
+  run(config(), [&](Comm& comm) {
+    int n = comm.size();
+    int me = comm.rank();
+    auto nsz = static_cast<std::size_t>(n);
+    // Ragged rows spanning well past the per-dest chunk capacity, with one
+    // zero-count destination per sender.
+    std::vector<std::size_t> scounts(nsz), sdispls(nsz), rcounts(nsz),
+        rdispls(nsz);
+    auto count_for = [&](int s, int d) -> std::size_t {
+      if (n > 1 && d == (s + 1) % n) return 0;
+      return (static_cast<std::size_t>(s) + 1) * 3 * KiB +
+             static_cast<std::size_t>(d) * 128 + kTestSlot / 2;
+    };
+    for (int d = 0; d < n; ++d)
+      scounts[static_cast<std::size_t>(d)] = count_for(me, d);
+    std::partial_sum(scounts.begin(), scounts.end() - 1, sdispls.begin() + 1);
+    for (int s = 0; s < n; ++s)
+      rcounts[static_cast<std::size_t>(s)] = count_for(s, me);
+    std::partial_sum(rcounts.begin(), rcounts.end() - 1, rdispls.begin() + 1);
+
+    std::vector<std::byte> send(sdispls[nsz - 1] + scounts[nsz - 1]);
+    std::vector<std::byte> recv(rdispls[nsz - 1] + rcounts[nsz - 1]);
+    for (int d = 0; d < n; ++d) {
+      auto dz = static_cast<std::size_t>(d);
+      pattern_fill(
+          std::span<std::byte>(send.data() + sdispls[dz], scounts[dz]),
+          static_cast<std::uint64_t>(me) * 311 + static_cast<std::uint64_t>(d));
+    }
+    comm.alltoallv(send.data(), scounts.data(), sdispls.data(), recv.data(),
+                   rcounts.data(), rdispls.data());
+    for (int s = 0; s < n; ++s) {
+      auto sz = static_cast<std::size_t>(s);
+      EXPECT_EQ(pattern_check(std::span<const std::byte>(
+                                  recv.data() + rdispls[sz], rcounts[sz]),
+                              static_cast<std::uint64_t>(s) * 311 +
+                                  static_cast<std::uint64_t>(me)),
+                kPatternOk)
+          << "from " << s;
+    }
+  });
+}
+
+TEST_P(CollCross, ReduceAllreduceAllSizes) {
+  run(config(), [&](Comm& comm) {
+    int n = comm.size();
+    // Element counts straddling the slot (doubles: slot holds 2K elems).
+    for (std::size_t kN : {31u, 2048u, 5000u}) {
+      std::vector<double> in(kN), out(kN, -1);
+      for (std::size_t i = 0; i < kN; ++i)
+        in[i] = static_cast<double>(comm.rank()) + static_cast<double>(i);
+      comm.reduce_f64(in.data(), out.data(), kN, Comm::ReduceOp::kSum,
+                      n - 1);
+      if (comm.rank() == n - 1) {
+        for (std::size_t i = 0; i < kN; ++i)
+          EXPECT_DOUBLE_EQ(out[i], n * (n - 1) / 2.0 +
+                                       static_cast<double>(n) *
+                                           static_cast<double>(i));
+      }
+      std::vector<double> amax(kN);
+      comm.allreduce_f64(in.data(), amax.data(), kN, Comm::ReduceOp::kMax);
+      for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_DOUBLE_EQ(amax[i],
+                         static_cast<double>(n - 1) + static_cast<double>(i));
+    }
+    std::int64_t one = comm.rank() + 1, sum = 0;
+    comm.allreduce_i64(&one, &sum, 1, Comm::ReduceOp::kSum);
+    EXPECT_EQ(sum, static_cast<std::int64_t>(n) * (n + 1) / 2);
+  });
+}
+
+TEST_P(CollCross, EpochReuseStress) {
+  // Many back-to-back arena collectives: sequence/sense bugs in the epoch
+  // or flat-barrier protocol show up as hangs or cross-epoch corruption.
+  run(config(), [&](Comm& comm) {
+    int n = comm.size();
+    for (int it = 0; it < 150; ++it) {
+      comm.barrier();
+      std::uint32_t word = 0;
+      if (comm.rank() == it % n)
+        word = 0xC0FFEE00u + static_cast<std::uint32_t>(it);
+      comm.bcast(&word, sizeof word, it % n);
+      ASSERT_EQ(word, 0xC0FFEE00u + static_cast<std::uint32_t>(it)) << it;
+      std::int64_t v = it + comm.rank(), mx = -1;
+      comm.allreduce_i64(&v, &mx, 1, Comm::ReduceOp::kMax);
+      ASSERT_EQ(mx, it + n - 1) << it;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndWorlds, CollCross,
+    ::testing::Values(CrossParam{2, coll::Mode::kShm},
+                      CrossParam{3, coll::Mode::kShm},
+                      CrossParam{5, coll::Mode::kShm},
+                      CrossParam{8, coll::Mode::kShm},
+                      CrossParam{2, coll::Mode::kP2p},
+                      CrossParam{3, coll::Mode::kP2p},
+                      CrossParam{5, coll::Mode::kP2p},
+                      CrossParam{8, coll::Mode::kP2p}),
+    [](const auto& info) {
+      return std::to_string(info.param.nranks) + "ranks_" +
+             coll::to_string(info.param.mode);
+    });
+
+// Auto mode routes by the tuned coll_activation crossover: sizes straddling
+// it take different families (observable in the coll telemetry), and both
+// produce correct results.
+TEST(CollAuto, ActivationBoundaryRoutesAndWorks) {
+  // The routing under test; beats any outer env.
+  coll::ScopedForcedMode forced(coll::Mode::kAuto);
+  Config cfg;
+  cfg.nranks = 4;
+  cfg.coll = coll::Mode::kAuto;
+  tune::TuningTable t = tune::formula_defaults(detect_host());
+  t.coll_activation = 4 * KiB;
+  cfg.tuning = t;
+  run(cfg, [&](Comm& comm) {
+    std::vector<std::byte> small(1 * KiB), big(64 * KiB);
+    if (comm.rank() == 0) {
+      pattern_fill(small, 1);
+      pattern_fill(big, 2);
+    }
+    std::uint64_t shm_before = comm.engine().counters().coll_shm_ops;
+    std::uint64_t p2p_before = comm.engine().counters().coll_p2p_ops;
+    comm.bcast(small.data(), small.size(), 0);
+    EXPECT_EQ(comm.engine().counters().coll_p2p_ops, p2p_before + 1);
+    comm.bcast(big.data(), big.size(), 0);
+    EXPECT_EQ(comm.engine().counters().coll_shm_ops, shm_before + 1);
+    EXPECT_EQ(pattern_check(small, 1), kPatternOk);
+    EXPECT_EQ(pattern_check(big, 2), kPatternOk);
+  });
+}
+
+// Regression: a reduce whose writers finish at different times (one
+// direct-mode arena-resident operand consumed in round 0, others staged
+// over several rounds) immediately followed by more arena collectives. The
+// early-exiting writer opens the next epoch on its slot while the root is
+// still combining — the root must work from its header snapshot, not
+// re-read the live slot (which used to deadlock the world).
+TEST(CollAuto, ReduceMixedDirectAndStagedWritersBackToBack) {
+  coll::ScopedForcedMode forced(coll::Mode::kShm);
+  Config cfg;
+  cfg.nranks = 4;
+  cfg.coll = coll::Mode::kShm;
+  cfg.coll_slot_bytes = 16 * KiB;  // Doubles: 2048 elems/round.
+  cfg.shared_pool_bytes = 32 * MiB;
+  run(cfg, [&](Comm& comm) {
+    int n = comm.size();
+    const std::size_t kN = 5000;  // 3 staged rounds.
+    bool direct = comm.rank() == 1;
+    std::vector<double> heap(direct ? 0 : kN);
+    double* in = direct
+                     ? reinterpret_cast<double*>(comm.shared_alloc(
+                           kN * sizeof(double), alignof(double)))
+                     : heap.data();
+    for (int it = 0; it < 20; ++it) {
+      for (std::size_t i = 0; i < kN; ++i)
+        in[i] = static_cast<double>(comm.rank() + it) +
+                static_cast<double>(i);
+      std::vector<double> out(kN, -1);
+      comm.reduce_f64(in, out.data(), kN, Comm::ReduceOp::kSum, 0);
+      // No intervening barrier: the next collective reuses the arena as
+      // soon as each rank's part of the reduce completes.
+      std::uint32_t word = comm.rank() == 2 ? 99u + static_cast<std::uint32_t>(it) : 0u;
+      comm.bcast(&word, sizeof word, 2);
+      ASSERT_EQ(word, 99u + static_cast<std::uint32_t>(it)) << it;
+      if (comm.rank() == 0) {
+        for (std::size_t i = 0; i < kN; i += 997)
+          ASSERT_DOUBLE_EQ(out[i],
+                           n * (n - 1) / 2.0 +
+                               static_cast<double>(n) *
+                                   (static_cast<double>(i) + it))
+              << it;
+      }
+    }
+  });
+}
+
+// A forced-shm world whose geometry cannot host the op (slot too small for
+// the per-dest stride) must fall back to pt2pt, counted as a fallback.
+TEST(CollAuto, GeometryFallbackCounts) {
+  coll::ScopedForcedMode forced(coll::Mode::kShm);
+  Config cfg;
+  cfg.nranks = 4;
+  cfg.coll = coll::Mode::kShm;
+  cfg.coll_slot_bytes = 64;  // < 64 * (nranks-1): alltoall cannot fit.
+  run(cfg, [&](Comm& comm) {
+    int n = comm.size();
+    const std::size_t per = 4 * KiB;
+    std::vector<std::byte> send(per * static_cast<std::size_t>(n)),
+        recv(per * static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d)
+      pattern_fill(std::span<std::byte>(
+                       send.data() + static_cast<std::size_t>(d) * per, per),
+                   static_cast<std::uint64_t>(comm.rank() * 7 + d));
+    std::uint64_t fb = comm.engine().counters().coll_fallbacks;
+    comm.alltoall(send.data(), per, recv.data());
+    EXPECT_EQ(comm.engine().counters().coll_fallbacks, fb + 1);
+    for (int s = 0; s < n; ++s)
+      EXPECT_EQ(pattern_check(std::span<const std::byte>(
+                                  recv.data() + static_cast<std::size_t>(s) * per,
+                                  per),
+                              static_cast<std::uint64_t>(s * 7 + comm.rank())),
+                kPatternOk);
+  });
+}
 
 }  // namespace
 }  // namespace nemo::core

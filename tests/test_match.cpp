@@ -147,5 +147,46 @@ TEST(Match, RndvUnexpectedCarriesWire) {
   EXPECT_EQ(got->rts.knem_cookie, 77u);
 }
 
+TEST(MatchPool, RecycledBuffersAreReusedAndCounted) {
+  MatchEngine m;
+  tune::Counters c;
+  m.set_counters(&c);
+
+  // Cold: nothing pooled yet — a miss and a fresh allocation.
+  auto um = m.acquire_unexpected(4 * KiB);
+  EXPECT_EQ(c.um_pool_misses, 1u);
+  EXPECT_EQ(um->data.size(), 4 * KiB);
+  um->src = 1;
+  um->bytes_arrived = 4 * KiB;
+  const std::byte* payload = um->data.data();
+  m.recycle(std::move(um));
+  EXPECT_EQ(m.pooled_count(), 1u);
+
+  // Warm: same-or-smaller payload reuses the node and its capacity.
+  auto again = m.acquire_unexpected(1 * KiB);
+  EXPECT_EQ(c.um_pool_hits, 1u);
+  EXPECT_EQ(again->data.data(), payload);
+  EXPECT_EQ(again->data.size(), 1 * KiB);
+  // The node comes back blank (no stale header fields).
+  EXPECT_EQ(again->src, -1);
+  EXPECT_EQ(again->bytes_arrived, 0u);
+  EXPECT_FALSE(again->is_rndv);
+
+  // A larger payload still reuses the node but counts the buffer miss.
+  m.recycle(std::move(again));
+  auto big = m.acquire_unexpected(64 * KiB);
+  EXPECT_EQ(c.um_pool_misses, 2u);
+  EXPECT_EQ(big->data.size(), 64 * KiB);
+}
+
+TEST(MatchPool, PoolIsBounded) {
+  MatchEngine m;
+  std::vector<std::unique_ptr<UnexpectedMsg>> live;
+  for (std::size_t i = 0; i < 2 * MatchEngine::kPoolCap; ++i)
+    live.push_back(m.acquire_unexpected(128));
+  for (auto& um : live) m.recycle(std::move(um));
+  EXPECT_EQ(m.pooled_count(), MatchEngine::kPoolCap);
+}
+
 }  // namespace
 }  // namespace nemo::core

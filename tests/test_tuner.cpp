@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "common/checksum.hpp"
@@ -133,6 +134,55 @@ TEST(TuningTable, JsonRoundTripPreservesEveryField) {
   EXPECT_EQ(r->fastbox_slots, 8u);
   EXPECT_EQ(r->fastbox_slot_bytes, 4 * KiB);
   EXPECT_EQ(r->drain_budget, 512u);
+}
+
+TEST(TuningTable, CollFieldsRoundTripInSchema2) {
+  TuningTable t = formula_defaults(xeon_e5345());
+  t.coll_activation = 48 * KiB;
+  t.coll_slot_bytes = 128 * KiB;
+  std::string body = to_json(t);
+  EXPECT_NE(body.find("nemo-tune/2"), std::string::npos);
+  auto r = from_json(body);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->coll_activation, 48 * KiB);
+  EXPECT_EQ(r->coll_slot_bytes, 128 * KiB);
+  // Out-of-range coll geometry degrades to "invalid" like the fastbox
+  // fields (it feeds coll::WorldColl::create directly).
+  TuningTable bad = t;
+  bad.coll_slot_bytes = 100;  // Not a cacheline multiple.
+  EXPECT_FALSE(from_json(to_json(bad)).has_value());
+}
+
+TEST(TuningTable, Schema1CachesStillLoadWithCollDefaults) {
+  // A pre-coll cache (schema 1, no coll_* keys) must load gracefully: the
+  // old fields apply and the coll fields keep their formula defaults, so
+  // old machines re-calibrate instead of erroring out.
+  TuningTable t = formula_defaults(xeon_e5345());
+  t.drain_budget = 333;
+  std::string body = to_json(t);
+  auto at = body.find("nemo-tune/2");
+  ASSERT_NE(at, std::string::npos);
+  body.replace(at, std::strlen("nemo-tune/2"), "nemo-tune/1");
+  // Strip the coll keys as an old writer would never have emitted them
+  // (erasing from the preceding comma keeps the JSON well-formed even for
+  // the object's last member).
+  auto strip = [&body](const std::string& key) {
+    auto p = body.find("\"" + key + "\"");
+    ASSERT_NE(p, std::string::npos);
+    auto c = body.rfind(',', p);
+    ASSERT_NE(c, std::string::npos);
+    auto q = body.find_first_of(",}", p);
+    ASSERT_NE(q, std::string::npos);
+    body.erase(c, q - c);
+  };
+  strip("coll_activation");
+  strip("coll_slot_bytes");
+  auto r = from_json(body);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->drain_budget, 333u);
+  TuningTable fresh;
+  EXPECT_EQ(r->coll_activation, fresh.coll_activation);
+  EXPECT_EQ(r->coll_slot_bytes, fresh.coll_slot_bytes);
 }
 
 TEST(TuningCache, RoundTripAndFingerprintMismatchInvalidation) {
