@@ -4,12 +4,15 @@
 // E5345 replay. This is the bench behind bench/results/BENCH_coll.json:
 // the shm path must show both lower wall time and lower simulated copy
 // volume at the ISSUE's acceptance points (8-rank 256 KiB bcast, 4-rank
-// 64 KiB-per-pair alltoall).
+// 64 KiB-per-pair alltoall, 8-rank 256 KiB allreduce), and the barrier
+// section races the flat gather against the k-ary tree schedule.
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 
 #include "bench_common.hpp"
 #include "common/options.hpp"
+#include "sim/lmt_models.hpp"
 
 using namespace nemo;
 using namespace nemo::bench;
@@ -28,6 +31,7 @@ double real_coll_us(coll::Mode mode, const char* op, int nranks,
   cfg.coll = mode;
   cfg.nranks = nranks;
   bool alltoall = std::strcmp(op, "alltoall") == 0;
+  bool allreduce = std::strcmp(op, "allreduce") == 0;
   std::size_t matrix =
       alltoall ? bytes * static_cast<std::size_t>(nranks) : bytes;
   // Every rank shared_allocs its buffers out of the one pool.
@@ -36,8 +40,10 @@ double real_coll_us(coll::Mode mode, const char* op, int nranks,
   double result = 0;
   core::run(cfg, [&](core::Comm& comm) {
     std::byte* send = comm.shared_alloc(matrix);
-    std::byte* recv = alltoall ? comm.shared_alloc(matrix) : nullptr;
+    std::byte* recv = (alltoall || allreduce) ? comm.shared_alloc(matrix)
+                                              : nullptr;
     pattern_fill({send, matrix}, static_cast<std::uint64_t>(comm.rank()));
+    std::size_t elems = bytes / sizeof(double);
     std::vector<double> us;
     for (int s = 0; s < samples + 1; ++s) {  // First burst = warm-up.
       comm.hard_barrier();
@@ -45,9 +51,42 @@ double real_coll_us(coll::Mode mode, const char* op, int nranks,
       for (int i = 0; i < iters; ++i) {
         if (alltoall)
           comm.alltoall(send, bytes, recv);
+        else if (allreduce)
+          comm.allreduce_f64(reinterpret_cast<const double*>(send),
+                             reinterpret_cast<double*>(recv), elems,
+                             core::Comm::ReduceOp::kSum);
         else
           comm.bcast(send, bytes, 0);
       }
+      std::uint64_t ns = t.elapsed_ns();
+      if (comm.rank() == 0 && s > 0)
+        us.push_back(static_cast<double>(ns) / (1000.0 * iters));
+    }
+    if (comm.rank() == 0) {
+      std::sort(us.begin(), us.end());
+      result = us[us.size() / 2];
+    }
+  });
+  return result;
+}
+
+/// Microseconds per barrier round under the given schedule (shm arena path
+/// forced; the schedule knob picks flat vs tree).
+double real_barrier_us(bool tree, int nranks, int iters, int samples) {
+  coll::ScopedForcedMode forced(coll::Mode::kShm);
+  // The schedule IS the row being measured: an ambient NEMO_BARRIER_TREE
+  // must not redirect it.
+  ScopedEnv sched("NEMO_BARRIER_TREE", tree ? "on" : "off");
+  core::Config cfg;
+  cfg.coll = coll::Mode::kShm;
+  cfg.nranks = nranks;
+  double result = 0;
+  core::run(cfg, [&](core::Comm& comm) {
+    std::vector<double> us;
+    for (int s = 0; s < samples + 1; ++s) {
+      comm.hard_barrier();
+      Timer t;
+      for (int i = 0; i < iters; ++i) comm.barrier();
       std::uint64_t ns = t.elapsed_ns();
       if (comm.rank() == 0 && s > 0)
         us.push_back(static_cast<double>(ns) / (1000.0 * iters));
@@ -82,7 +121,7 @@ int main(int argc, char** argv) {
             : std::vector<std::size_t>{1 * KiB,   4 * KiB,  16 * KiB,
                                        64 * KiB,  256 * KiB, 1 * MiB,
                                        4 * MiB};
-  const char* ops[] = {"bcast", "alltoall"};
+  const char* ops[] = {"bcast", "alltoall", "allreduce"};
 
   if (real) warn_if_oversubscribed(rank_counts.back());
   std::printf("# Collective sweep — p2p vs shm arena\n");
@@ -93,17 +132,19 @@ int main(int argc, char** argv) {
   std::vector<std::string> rows;
   for (const char* op : ops) {
     bool alltoall = std::strcmp(op, "alltoall") == 0;
+    bool allreduce = std::strcmp(op, "allreduce") == 0;
     for (int nranks : rank_counts) {
       std::vector<int> cores;
       for (int i = 0; i < nranks; ++i) cores.push_back(i);
       for (std::size_t bytes : sizes) {
         // The per-size payload is the op's symmetric measure: bcast total
-        // bytes, alltoall per-pair block.
+        // bytes, alltoall per-pair block, allreduce operand bytes.
         for (bool shm : {false, true}) {
           sim::LmtModels m(sim::e5345_machine());
           sim::LmtModels::CollOutcome sim_out =
-              alltoall ? m.alltoall_coll(shm, cores, bytes, 2)
-                       : m.bcast_coll(shm, cores, bytes, 2);
+              alltoall    ? m.alltoall_coll(shm, cores, bytes, 2)
+              : allreduce ? m.allreduce_coll(shm, cores, bytes, 2)
+                          : m.bcast_coll(shm, cores, bytes, 2);
           double wall_us =
               real ? real_coll_us(shm ? coll::Mode::kShm : coll::Mode::kP2p,
                                   op, nranks, bytes, iters, samples)
@@ -125,6 +166,29 @@ int main(int argc, char** argv) {
           rows.emplace_back(row);
         }
       }
+    }
+  }
+
+  // Barrier microbench: flat vs k-ary tree arrival schedule, per rank
+  // count. `bytes` is 0 (a barrier moves no payload); the sim column is the
+  // modelled critical-path nanoseconds per round.
+  std::printf("# Barrier — flat vs tree arrival schedule\n");
+  int bar_iters = smoke ? 50 : 200;
+  for (int nranks : rank_counts) {
+    for (bool tree : {false, true}) {
+      sim::LmtModels m(sim::e5345_machine());
+      double sim_ns = m.barrier_coll_ns(tree, nranks, 4);
+      double wall_us =
+          real ? real_barrier_us(tree, nranks, bar_iters, samples) : 0.0;
+      const char* path = tree ? "tree" : "flat";
+      std::printf("%-9s %5d %9d %5s %12.2f %12.0f %14d %12d\n", "barrier",
+                  nranks, 0, path, wall_us, sim_ns, 0, 0);
+      char row[512];
+      std::snprintf(row, sizeof row,
+                    "{\"op\": \"barrier\", \"ranks\": %d, \"bytes\": 0, "
+                    "\"mode\": \"%s\", \"wall_us\": %.3f, \"sim_ns\": %.1f}",
+                    nranks, path, wall_us, sim_ns);
+      rows.emplace_back(row);
     }
   }
 

@@ -64,6 +64,11 @@ void print_table(const tune::TuningTable& t) {
               format_size(t.coll_activation).c_str(),
               format_size(t.coll_slot_bytes).c_str(),
               coll::to_string(coll::mode_from_env()));
+  if (t.barrier_tree_ranks == UINT32_MAX)
+    std::printf("  barrier: flat always (tree off)\n");
+  else
+    std::printf("  barrier: %u-ary tree from %u ranks, flat below\n",
+                t.barrier_tree_k, t.barrier_tree_ranks);
 }
 
 /// Narrate the NUMA placement the runtime would apply per placement class:

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Unit tests for the bench-gate comparator (run via
+``python3 -m unittest discover -s scripts`` or directly)."""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import check_bench_regression as cbr
+
+
+def coll_row(op, ranks, size, mode, wall_us):
+    return {"op": op, "ranks": ranks, "bytes": size, "mode": mode,
+            "wall_us": wall_us, "sim_mibs": 1.0, "sim_copy_bytes": 1,
+            "sim_l2_misses": 0}
+
+
+def pp_row(strategy, size, mibs):
+    return {"strategy": strategy, "bytes": size, "mibs": mibs}
+
+
+class CompareTest(unittest.TestCase):
+    def test_identical_rows_pass(self):
+        base = [coll_row("bcast", 8, 262144, "shm", 70.0),
+                pp_row("default", 65536, 1900.0)]
+        violations, checked, skipped = cbr.compare(base, base, 2.5)
+        self.assertEqual(violations, [])
+        self.assertEqual(len(checked), 2)
+        self.assertEqual(skipped, [])
+
+    def test_doctored_10x_slower_fails(self):
+        base = [coll_row("bcast", 8, 262144, "shm", 70.0)]
+        fresh = [coll_row("bcast", 8, 262144, "shm", 700.0)]
+        violations, _, _ = cbr.compare(base, fresh, 2.5)
+        self.assertEqual(len(violations), 1)
+        self.assertEqual(violations[0]["metric"], "wall_us")
+        self.assertAlmostEqual(violations[0]["ratio"], 10.0)
+
+    def test_10x_throughput_drop_fails(self):
+        base = [pp_row("default", 65536, 2000.0)]
+        fresh = [pp_row("default", 65536, 200.0)]
+        violations, _, _ = cbr.compare(base, fresh, 2.5)
+        self.assertEqual(len(violations), 1)
+        self.assertEqual(violations[0]["metric"], "mibs")
+
+    def test_within_tolerance_passes_both_directions(self):
+        base = [coll_row("alltoall", 4, 65536, "p2p", 100.0),
+                pp_row("default", 65536, 1000.0)]
+        fresh = [coll_row("alltoall", 4, 65536, "p2p", 240.0),  # 2.4x < 2.5x
+                 pp_row("default", 65536, 450.0)]               # /2.2 < /2.5
+        violations, checked, _ = cbr.compare(base, fresh, 2.5)
+        self.assertEqual(violations, [])
+        self.assertEqual(len(checked), 2)
+
+    def test_improvement_never_fails(self):
+        base = [coll_row("allreduce", 8, 262144, "shm", 1200.0)]
+        fresh = [coll_row("allreduce", 8, 262144, "shm", 70.0)]
+        violations, _, _ = cbr.compare(base, fresh, 2.5)
+        self.assertEqual(violations, [])
+
+    def test_missing_fresh_row_is_skipped_not_failed(self):
+        base = [coll_row("bcast", 8, 262144, "shm", 70.0),
+                coll_row("bcast", 8, 1048576, "shm", 300.0)]
+        fresh = [coll_row("bcast", 8, 262144, "shm", 71.0)]
+        violations, checked, skipped = cbr.compare(base, fresh, 2.5)
+        self.assertEqual(violations, [])
+        self.assertEqual(len(checked), 1)
+        self.assertEqual(len(skipped), 1)
+
+    def test_nonpositive_values_are_skipped(self):
+        # --skip-real runs write wall_us 0; those rows must not trip the gate.
+        base = [coll_row("bcast", 8, 262144, "shm", 0.0)]
+        fresh = [coll_row("bcast", 8, 262144, "shm", 50.0)]
+        violations, checked, skipped = cbr.compare(base, fresh, 2.5)
+        self.assertEqual(violations, [])
+        self.assertEqual(checked, [])
+        self.assertEqual(len(skipped), 1)
+
+    def test_key_ignores_sim_columns(self):
+        base = [coll_row("bcast", 8, 262144, "shm", 70.0)]
+        fresh = [dict(coll_row("bcast", 8, 262144, "shm", 71.0),
+                      sim_mibs=999.0, sim_copy_bytes=12345)]
+        violations, checked, _ = cbr.compare(base, fresh, 2.5)
+        self.assertEqual(violations, [])
+        self.assertEqual(len(checked), 1)
+
+    def test_bad_tolerance_rejected(self):
+        with self.assertRaises(ValueError):
+            cbr.compare([], [], 1.0)
+
+
+class MainTest(unittest.TestCase):
+    def _write(self, rows):
+        f = tempfile.NamedTemporaryFile("w", suffix=".json", delete=False)
+        json.dump({"bench": "t", "rows": rows}, f)
+        f.close()
+        self.addCleanup(os.unlink, f.name)
+        return f.name
+
+    def test_end_to_end_failure_and_diff_artifact(self):
+        base = self._write([coll_row("bcast", 8, 262144, "shm", 70.0)])
+        fresh = self._write([coll_row("bcast", 8, 262144, "shm", 700.0)])
+        diff = tempfile.NamedTemporaryFile(suffix=".json", delete=False)
+        diff.close()
+        self.addCleanup(os.unlink, diff.name)
+        rc = cbr.main(["--baseline", base, "--fresh", fresh,
+                       "--diff", diff.name])
+        self.assertEqual(rc, 1)
+        with open(diff.name, encoding="utf-8") as f:
+            doc = json.load(f)
+        self.assertEqual(len(doc["violations"]), 1)
+        self.assertEqual(doc["violations"][0]["key"]["op"], "bcast")
+
+    def test_end_to_end_pass(self):
+        base = self._write([coll_row("bcast", 8, 262144, "shm", 70.0)])
+        fresh = self._write([coll_row("bcast", 8, 262144, "shm", 75.0)])
+        self.assertEqual(cbr.main(["--baseline", base, "--fresh", fresh]), 0)
+
+    def test_malformed_input_is_a_distinct_error(self):
+        bad = tempfile.NamedTemporaryFile("w", suffix=".json", delete=False)
+        bad.write("not json")
+        bad.close()
+        self.addCleanup(os.unlink, bad.name)
+        good = self._write([])
+        self.assertEqual(
+            cbr.main(["--baseline", bad.name, "--fresh", good]), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,6 +1,8 @@
 #include "coll/coll.hpp"
 
+#include <algorithm>
 #include <cstdlib>
+#include <map>
 #include <stdexcept>
 
 #include "common/options.hpp"
@@ -50,19 +52,44 @@ bool use_shm(Mode mode, std::size_t op_bytes, std::size_t coll_activation,
   return false;
 }
 
-ScopedForcedMode::ScopedForcedMode(Mode mode) {
-  if (const char* old = std::getenv("NEMO_COLL")) {
-    had_env_ = true;
-    saved_ = old;
-  }
-  ::setenv("NEMO_COLL", to_string(mode), 1);
+int choose_leader(const std::vector<int>& node_of_rank) {
+  // Count ranks per known node; plurality wins, ties to the lower node id.
+  std::map<int, int> per_node;
+  for (int node : node_of_rank)
+    if (node >= 0) per_node[node]++;
+  if (per_node.empty()) return 0;
+  int best_node = -1, best_count = 0;
+  for (const auto& [node, count] : per_node)
+    if (count > best_count) {  // First-wins on ties: map iterates ascending.
+      best_node = node;
+      best_count = count;
+    }
+  if (per_node.size() == 1) return 0;  // Single node: rank 0, as pre-v2.
+  for (std::size_t r = 0; r < node_of_rank.size(); ++r)
+    if (node_of_rank[r] == best_node) return static_cast<int>(r);
+  return 0;
 }
 
-ScopedForcedMode::~ScopedForcedMode() {
-  if (had_env_)
-    ::setenv("NEMO_COLL", saved_.c_str(), 1);
-  else
-    ::unsetenv("NEMO_COLL");
+int leader_from_env(int def, int nranks) {
+  auto v = env_str("NEMO_COLL_LEADER");
+  if (!v) return def;
+  char* end = nullptr;
+  long r = std::strtol(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0' || r < 0 || r >= nranks)
+    throw std::invalid_argument("NEMO_COLL_LEADER: '" + *v +
+                                "' is not a rank in [0, " +
+                                std::to_string(nranks) + ")");
+  return static_cast<int>(r);
 }
+
+std::uint32_t default_barrier_tree_k(const Topology& topo) {
+  if (topo.num_cores < 1) return 4;
+  unsigned sharers = topo.cores_sharing_largest_cache(0);
+  if (sharers < 2) return 4;
+  return std::clamp<std::uint32_t>(sharers, 2, 8);
+}
+
+ScopedForcedMode::ScopedForcedMode(Mode mode)
+    : env_("NEMO_COLL", to_string(mode)) {}
 
 }  // namespace nemo::coll

@@ -14,8 +14,11 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/common.hpp"
+#include "common/options.hpp"
+#include "common/topology.hpp"
 
 namespace nemo::coll {
 
@@ -48,24 +51,39 @@ std::size_t alltoall_chunk_capacity(std::size_t slot_bytes, int nranks);
 bool use_shm(Mode mode, std::size_t op_bytes, std::size_t coll_activation,
              int nranks, std::size_t chunk_capacity);
 
+/// NUMA-aware reduction-leader choice: the rank whose NUMA node backs the
+/// plurality of ranks (operand buffers and poll traffic are node-local to
+/// their writers, so the fold should run where most operands live). Ties go
+/// to the lower node id; the leader is the lowest rank on the winning node.
+/// `node_of_rank[r]` is rank r's backing node, -1 = unknown. Single-node
+/// and all-unknown maps fall back to rank 0 (the pre-v2 combiner).
+int choose_leader(const std::vector<int>& node_of_rank);
+
+/// Resolve NEMO_COLL_LEADER on top of a programmatic default (-1 = auto /
+/// NUMA-derived). Throws on a non-integer or out-of-range rank — a silently
+/// ignored pin would make leader experiments unmeasurable.
+int leader_from_env(int def, int nranks);
+
+/// Formula fan-in for the k-ary tree barrier on `topo`: the number of cores
+/// sharing a last-level cache (arrivals within one LLC domain are cheap, so
+/// one parent can gather a whole domain), clamped to [2, 8]; hosts with
+/// private LLCs get 4 (gather cost is uniform, so a shallow-ish tree wins).
+std::uint32_t default_barrier_tree_k(const Topology& topo);
+
 /// RAII pin of the collective mode for Worlds constructed in scope.
 /// Setting Config::coll alone is not enough for tooling that must force a
 /// path: apply_env gives an ambient NEMO_COLL precedence over the Config
 /// (the repo-wide "env beats programmatic" rule), which would silently
 /// redirect a probe or bench row that claims to measure one family. This
-/// pins NEMO_COLL itself and restores the previous value on destruction.
-/// Single-threaded tooling only (setenv during concurrent World
-/// construction elsewhere is a race).
+/// pins NEMO_COLL itself (via nemo::ScopedEnv) and restores the previous
+/// value on destruction. Single-threaded tooling only (setenv during
+/// concurrent World construction elsewhere is a race).
 class ScopedForcedMode {
  public:
   explicit ScopedForcedMode(Mode mode);
-  ~ScopedForcedMode();
-  ScopedForcedMode(const ScopedForcedMode&) = delete;
-  ScopedForcedMode& operator=(const ScopedForcedMode&) = delete;
 
  private:
-  bool had_env_ = false;
-  std::string saved_;
+  ScopedEnv env_;
 };
 
 }  // namespace nemo::coll

@@ -9,6 +9,8 @@
 //   CollState                      geometry + the barrier release word
 //   BarrierCell[nranks]            per-rank arrival flags (padded)
 //   AckCell[nranks]                per-rank consumption counters (padded)
+//   ProbeCell[2 * nranks]          per-rank seq-tagged count-probe cells
+//                                  (parity double-buffered, see below)
 //   nranks x slot:
 //     SlotHeader                   epoch / doorbell / direct-read offset
 //     table[2 * nranks] u64        per-dest (offset, len) for alltoallv
@@ -42,7 +44,24 @@
 //    flag, rank 0 gathers all flags and RELEASE-stores the global release
 //    word, everyone else spins on that single word. O(1) cache lines per
 //    rank per barrier instead of the O(log n) cell-queue messages of the
-//    pt2pt dissemination barrier.
+//    pt2pt dissemination barrier. Past the tuned `barrier_tree_ranks` the
+//    arrival phase instead combines up a k-ary tree over the same cells: a
+//    parent publishes its flag only after its children's flags, so rank 0
+//    gathers k flags instead of n-1 (the release stays the single word —
+//    one line every spinner reads). The cells are agnostic to which
+//    schedule runs; core/collectives.cpp picks flat vs tree world-
+//    symmetrically from the tuning table.
+//
+//  - Count probes. Auto-mode alltoallv needs a rank-consistent size proxy
+//    before it can choose a family, but its counts are asymmetric — so the
+//    ranks exchange one u64 (their total row bytes) through seq-tagged
+//    ProbeCells next to the alltoallv count tables. Cells are
+//    double-buffered by sequence parity: every rank reads every rank's
+//    value each instance, so a writer can run at most one instance ahead
+//    of the slowest reader, and the parity buffer it then overwrites is
+//    one every reader has already consumed. (A single cell would race: a
+//    rank whose next alltoallv exchanges zero bytes with a straggler can
+//    overwrite its cell before that straggler read it.)
 #pragma once
 
 #include <cstdint>
@@ -75,6 +94,15 @@ struct AckCell {
 };
 static_assert(sizeof(AckCell) == kCacheLine);
 
+/// One parity buffer of a rank's count-probe cell: `value` is published
+/// first, then `seq` with RELEASE; readers ACQUIRE-poll seq for an exact
+/// match (monotonic per parity, so the spin always terminates).
+struct ProbeCell {
+  alignas(kCacheLine) std::uint64_t seq;
+  std::uint64_t value;
+};
+static_assert(sizeof(ProbeCell) == kCacheLine);
+
 /// Shared header of the whole region.
 struct CollState {
   alignas(kCacheLine) std::uint32_t nranks;
@@ -106,7 +134,7 @@ class WorldColl {
   static std::size_t region_bytes(int nranks, std::uint32_t slot_bytes) {
     std::uint64_t n = static_cast<std::uint64_t>(nranks);
     return round_up(sizeof(CollState) + n * sizeof(BarrierCell) +
-                        n * sizeof(AckCell) +
+                        n * sizeof(AckCell) + 2 * n * sizeof(ProbeCell) +
                         n * slot_stride(nranks, slot_bytes),
                     shm::Arena::kPageBytes);
   }
@@ -124,7 +152,7 @@ class WorldColl {
     NEMO_ASSERT(slot_bytes >= kCacheLine && slot_bytes % kCacheLine == 0);
     std::uint64_t n = static_cast<std::uint64_t>(nranks);
     std::size_t total = sizeof(CollState) + n * sizeof(BarrierCell) +
-                        n * sizeof(AckCell) +
+                        n * sizeof(AckCell) + 2 * n * sizeof(ProbeCell) +
                         n * slot_stride(nranks, slot_bytes);
     std::uint64_t off = arena.alloc_pages(total);
     std::memset(arena.at(off), 0, total);
@@ -141,7 +169,8 @@ class WorldColl {
     std::byte* base = reinterpret_cast<std::byte*>(st_);
     barrier_ = reinterpret_cast<BarrierCell*>(base + sizeof(CollState));
     acks_ = reinterpret_cast<AckCell*>(barrier_ + st_->nranks);
-    slots_ = reinterpret_cast<std::byte*>(acks_ + st_->nranks);
+    probes_ = reinterpret_cast<ProbeCell*>(acks_ + st_->nranks);
+    slots_ = reinterpret_cast<std::byte*>(probes_ + 2 * st_->nranks);
   }
 
   [[nodiscard]] bool valid() const { return st_ != nullptr; }
@@ -209,6 +238,28 @@ class WorldColl {
            ack_value(e, consumed);
   }
 
+  // --- Count probes (auto-mode alltoallv's symmetric size proxy) -----------
+
+  /// Publish rank r's probe value for instance `seq` (parity-selected
+  /// buffer; value first, seq RELEASE-last).
+  void probe_publish(int r, std::uint64_t seq, std::uint64_t value) const {
+    ProbeCell& c = probe_cell(r, seq);
+    shm::aref(c.value).store(value, std::memory_order_relaxed);
+    shm::aref(c.seq).store(seq, std::memory_order_release);
+  }
+  /// Has rank r published instance `seq`? Exact match: the same-parity
+  /// buffer only ever holds seq-2 (stale, keep spinning) or seq — a writer
+  /// cannot reach seq+2 before every rank consumed seq (all-read-all).
+  [[nodiscard]] bool probe_ready(int r, std::uint64_t seq) const {
+    return shm::aref(probe_cell(r, seq).seq)
+               .load(std::memory_order_acquire) == seq;
+  }
+  /// The value behind a successful probe_ready (ordered by its acquire).
+  [[nodiscard]] std::uint64_t probe_value(int r, std::uint64_t seq) const {
+    return shm::aref(probe_cell(r, seq).value)
+        .load(std::memory_order_relaxed);
+  }
+
   // --- Flat barrier primitives (the spin loops live with the engine so
   // they can keep pt2pt progress flowing) ----------------------------------
 
@@ -231,11 +282,16 @@ class WorldColl {
     NEMO_ASSERT(r >= 0 && r < nranks());
     return slots_ + static_cast<std::uint64_t>(r) * st_->slot_stride;
   }
+  [[nodiscard]] ProbeCell& probe_cell(int r, std::uint64_t seq) const {
+    NEMO_ASSERT(r >= 0 && r < nranks());
+    return probes_[2 * static_cast<std::uint64_t>(r) + (seq & 1)];
+  }
 
   shm::Arena* arena_ = nullptr;
   CollState* st_ = nullptr;
   BarrierCell* barrier_ = nullptr;
   AckCell* acks_ = nullptr;
+  ProbeCell* probes_ = nullptr;
   std::byte* slots_ = nullptr;
 };
 

@@ -1,6 +1,7 @@
 #include "common/options.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace nemo {
@@ -107,6 +108,22 @@ void Options::finalize() const {
       std::fprintf(stderr, "  --%-20s %s\n", dk.c_str(), dh.c_str());
     throw std::invalid_argument("unknown options");
   }
+}
+
+ScopedEnv::ScopedEnv(const char* name, const std::string& value)
+    : name_(name) {
+  if (const char* old = std::getenv(name)) {
+    had_env_ = true;
+    saved_ = old;
+  }
+  ::setenv(name, value.c_str(), 1);
+}
+
+ScopedEnv::~ScopedEnv() {
+  if (had_env_)
+    ::setenv(name_.c_str(), saved_.c_str(), 1);
+  else
+    ::unsetenv(name_.c_str());
 }
 
 }  // namespace nemo

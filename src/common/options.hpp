@@ -60,4 +60,22 @@ long env_long(const char* name, long def);
 /// Boolean knob: "0", "false", "off", "no" are false; anything else true.
 bool env_flag(const char* name, bool def);
 
+/// RAII env pin with save/restore — for tooling, benches and tests that
+/// must force a knob for a scope and put the ambient value back (setenv
+/// during concurrent World construction elsewhere is a race, so
+/// single-threaded phases only). One shared implementation so restore
+/// semantics cannot drift between copies.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value);
+  ~ScopedEnv();
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_;
+  bool had_env_ = false;
+  std::string saved_;
+};
+
 }  // namespace nemo

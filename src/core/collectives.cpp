@@ -69,6 +69,21 @@ void spin_until(Engine& eng, Pred&& ready) {
   }
 }
 
+/// spin_until without the stall telemetry — for waits that are not part of
+/// an arena op's data path (the alltoallv count probe runs even when the
+/// decision lands on p2p, so its misses must not feed the epoch-stall rate
+/// the feedback pass divides by coll_shm_ops).
+template <typename Pred>
+void spin_until_quiet(Engine& eng, Pred&& ready) {
+  std::uint32_t spins = 0;
+  while (!ready()) {
+    if ((++spins & 0x3F) == 0) {
+      eng.progress();
+      std::this_thread::yield();
+    }
+  }
+}
+
 /// Staged-bcast sub-buffer geometry: the slot splits into up to kBcastSubBufs
 /// cacheline-multiple chunks so readers pipeline behind the writer.
 struct SubGeom {
@@ -130,7 +145,11 @@ bool Comm::use_shm_coll(std::size_t op_bytes, std::size_t slot_need) {
 }
 
 // ---------------------------------------------------------------------------
-// Flat barrier (shm)
+// Arena barrier (shm): flat below the tuned barrier_tree_ranks, k-ary tree
+// at/above it. Both schedules share the same cells and the same release
+// word, so the choice is pure scheduling — but it must be world-symmetric
+// (every rank reads the same tuning table), or ranks would wait on arrival
+// flags nobody publishes.
 // ---------------------------------------------------------------------------
 
 void Comm::flat_barrier() {
@@ -145,6 +164,38 @@ void Comm::flat_barrier() {
     cw.barrier_release(seq);
   } else {
     spin_until(eng, [&] { return cw.barrier_released(seq); });
+  }
+}
+
+void Comm::tree_barrier() {
+  Engine& eng = engine_;
+  coll::WorldColl& cw = eng.coll_view();
+  int n = size(), r = rank();
+  long k = static_cast<long>(eng.barrier_tree_k());
+  std::uint64_t seq = eng.next_coll_barrier_seq();
+  // Gather up the k-ary tree: a parent's flag asserts its whole subtree
+  // arrived, so rank 0 polls k lines instead of n-1.
+  long first_child = k * r + 1;
+  for (long c = first_child; c < first_child + k && c < n; ++c) {
+    int child = static_cast<int>(c);
+    spin_until(eng, [&] { return cw.barrier_arrived(child, seq); });
+  }
+  if (r == 0) {
+    cw.barrier_release(seq);
+  } else {
+    cw.barrier_arrive(r, seq);
+    spin_until(eng, [&] { return cw.barrier_released(seq); });
+  }
+}
+
+void Comm::shm_barrier() {
+  Engine& eng = engine_;
+  if (static_cast<std::uint32_t>(size()) >= eng.barrier_tree_ranks()) {
+    eng.counters().coll_barrier_tree++;
+    tree_barrier();
+  } else {
+    eng.counters().coll_barrier_flat++;
+    flat_barrier();
   }
 }
 
@@ -169,7 +220,7 @@ void Comm::barrier() {
   if (size() > 1 && eng.coll_view().valid() &&
       eng.world().coll_mode() != coll::Mode::kP2p) {
     eng.counters().coll_shm_ops++;
-    flat_barrier();
+    shm_barrier();
     return;
   }
   eng.counters().coll_p2p_ops++;
@@ -428,7 +479,7 @@ void Comm::allgather_shm(const void* sendbuf, std::size_t per_rank,
     }
     // Reuse gate: no writer may overwrite its slot (or return, freeing its
     // direct-read buffer) before every reader finished the round.
-    flat_barrier();
+    shm_barrier();
   }
 }
 
@@ -632,8 +683,28 @@ void Comm::alltoallv_shm(const void* sendbuf, const std::size_t* scounts,
       std::size_t len = std::min(cap, rcounts[w] - off);
       std::memcpy(dst + off, cw.payload(w) + dest_index(w, r) * cap, len);
     }
-    flat_barrier();
+    shm_barrier();
   }
+}
+
+std::size_t Comm::alltoallv_min_row_bytes(const std::size_t* scounts) {
+  Engine& eng = engine_;
+  coll::WorldColl& cw = eng.coll_view();
+  int n = size(), r = rank();
+  std::uint64_t my = 0;
+  for (int d = 0; d < n; ++d)
+    if (d != r) my += scounts[d];
+  // One u64 per rank through the parity-double-buffered probe cells (see
+  // coll_arena.hpp for why the exchange needs no completion handshake).
+  std::uint64_t seq = eng.next_coll_probe_seq();
+  cw.probe_publish(r, seq, my);
+  std::uint64_t mn = my;
+  for (int w = 0; w < n; ++w) {
+    if (w == r) continue;
+    spin_until_quiet(eng, [&] { return cw.probe_ready(w, seq); });
+    mn = std::min(mn, cw.probe_value(w, seq));
+  }
+  return mn;
 }
 
 void Comm::alltoallv(const void* sendbuf, const std::size_t* scounts,
@@ -646,15 +717,21 @@ void Comm::alltoallv(const void* sendbuf, const std::size_t* scounts,
     return;
   }
   Engine& eng = engine_;
-  // Per-rank counts are asymmetric, so the path decision may only consume
-  // world-level state: forced modes obey NEMO_COLL, auto stays on the arena
-  // (its chunked rounds handle any count mix; SIZE_MAX makes use_shm's size
-  // test always pass).
-  if (use_shm_coll(SIZE_MAX,
-                   coll::alltoall_chunk_capacity(
-                       eng.coll_view().valid() ? eng.coll_view().slot_bytes()
-                                               : 0,
-                       size()))) {
+  // Per-rank counts are asymmetric, so no local size test is
+  // rank-consistent. Auto mode exchanges each rank's total row bytes
+  // through the arena's count-probe cells and gates on the MINIMUM across
+  // ranks: a tiny-row participant pays the arena's full per-op
+  // synchronisation for almost no payload, so it anchors the crossover
+  // (worth ~0.6 us/op at 2 ranks, the gating PR 4 gave up). Forced modes
+  // and arenaless worlds skip the probe — the conditions below are all
+  // world-symmetric, so every rank agrees on whether it runs.
+  std::size_t cap = coll::alltoall_chunk_capacity(
+      eng.coll_view().valid() ? eng.coll_view().slot_bytes() : 0, size());
+  std::size_t proxy = SIZE_MAX;
+  if (eng.coll_view().valid() && cap > 0 &&
+      eng.world().coll_mode() == coll::Mode::kAuto)
+    proxy = alltoallv_min_row_bytes(scounts);
+  if (use_shm_coll(proxy, cap)) {
     std::uint64_t cs = next_coll_seq(eng);
     alltoallv_shm(sendbuf, scounts, sdispls, recvbuf, rcounts, rdispls,
                   epoch_base(cs));
@@ -692,14 +769,32 @@ void Comm::allreduce_impl(const T* in, T* out, std::size_t n, OpFn op,
   bcast_p2p(out, n * sizeof(T), 0);
 }
 
-/// Leader-based shm reduction: every rank deposits its operand (direct
-/// offset when arena-resident, else slot-staged rounds), the root combines
-/// with a vectorizable loop, consumption is signalled through the root's
-/// own doorbell. The root folds the SAME per-round element slice of every
-/// operand in ascending rank order — direct operands are sliced too, even
-/// though they are fully available from round 0 — so the combination order
-/// matches the pt2pt algorithm bit-for-bit regardless of how deposit modes
-/// mix, and the cross-check tests can compare exactly.
+/// Leader-based pipelined shm reduction (arena v2). Every non-leader rank
+/// deposits its operand (direct offset when arena-resident, else sub-buffer
+/// staged chunks, exactly the bcast geometry) and the leader folds each
+/// sub-chunk AS SOON AS every writer's doorbell for it fires — PR 4 instead
+/// serialized whole-slot rounds on the leader's doorbell. Folded chunks are
+/// published through the leader's own slot, where the result readers (the
+/// root for reduce, everyone for allreduce) pipeline behind the fold; for
+/// allreduce this fuses what used to be a separate full bcast phase into
+/// the fold itself. The leader is the NUMA-chosen World::coll_leader (the
+/// node owning the plurality of operand buffers), decoupled from the user
+/// root.
+///
+/// Fold order: the p2p oracle seeds with the ROOT's operand and then folds
+/// ranks 0..p-1 in ascending order, skipping the root. The leader
+/// reproduces exactly that element-wise order per chunk — direct operands
+/// are sliced too, even though they are fully available from chunk 0 — so
+/// the result matches the oracle bit-for-bit regardless of deposit modes,
+/// leader choice, or chunk size, and the cross-check tests can compare
+/// exactly.
+///
+/// Deadlock shape to respect: in allreduce every rank is writer AND reader.
+/// The leader's result sub-buffers recycle on reader acks, and writer
+/// deposits recycle on the leader's fold doorbell — if writers finished all
+/// deposits before consuming any result chunk, both gates could starve
+/// each other. Non-leader ranks therefore run deposit and result
+/// consumption as one interleaved loop, advancing whichever side is ready.
 template <typename T, typename OpFn>
 void Comm::reduce_shm(const T* in, T* out, std::size_t n, OpFn op, int root,
                       bool all, std::uint64_t epoch) {
@@ -707,72 +802,132 @@ void Comm::reduce_shm(const T* in, T* out, std::size_t n, OpFn op, int root,
   coll::WorldColl& cw = eng.coll_view();
   shm::Arena& arena = cw.arena();
   int p = size(), r = rank();
+  int leader = eng.world().coll_leader();
+  NEMO_ASSERT(leader >= 0 && leader < p);
   std::size_t bytes = n * sizeof(T);
   eng.counters().coll_shm_bytes += bytes;
-  std::size_t elems_per = (cw.slot_bytes() / sizeof(T));
-  NEMO_ASSERT(elems_per > 0);
-  // Every operand spans the same element count, so the round schedule is
+  SubGeom g = sub_geometry(cw.slot_bytes());
+  std::size_t chunk_elems = g.sub / sizeof(T);
+  NEMO_ASSERT(chunk_elems > 0);
+  // Every operand spans the same element count, so the chunk schedule is
   // one world-symmetric value for every rank and both deposit modes.
-  std::uint64_t rounds = std::max<std::uint64_t>(1, div_ceil(n, elems_per));
+  std::uint64_t nchunks = div_ceil(n, chunk_elems);
+  std::uint64_t rounds = std::max<std::uint64_t>(1, nchunks);
+  bool reads_result = all || r == root;
 
-  if (r != root) {
+  if (r != leader) {
     bool direct = bytes > 0 && arena.contains(in, bytes);
-    std::uint64_t my_rounds = direct ? 0 : div_ceil(n, elems_per);
+    std::uint64_t my_chunks = direct ? 0 : nchunks;
     cw.begin_epoch(r, epoch, direct ? arena.offset_of(in) : shm::kNil,
-                   my_rounds);
-    for (std::uint64_t t = 0; t < my_rounds; ++t) {
-      // Overwrite gate: the root consumed round t-1 of every slot before
-      // publishing its doorbell at t.
-      if (t > 0) spin_until(eng, [&] { return cw.ready(root, epoch, t); });
-      std::size_t first = static_cast<std::size_t>(t) * elems_per;
-      std::size_t cnt = std::min(elems_per, n - first);
-      std::memcpy(cw.payload(r), in + first, cnt * sizeof(T));
-      cw.publish_chunks(r, t + 1);
-    }
-    // Wait until the root folded the LAST round (a direct operand is read
-    // round by round, so the buffer stays live until then), then ack so
-    // the root can safely reuse its own slot for the next collective.
-    spin_until(eng, [&] { return cw.ready(root, epoch, rounds); });
-    cw.set_ack(r, epoch, 1);
-  } else {
-    std::memcpy(out, in, bytes);
-    // Snapshot every writer's direct-read offset during the gather: a
-    // writer that deposited nothing (direct mode) still exits only after
-    // the final doorbell, but its header may be reopened for the NEXT
-    // collective the moment it does — never re-read it mid-loop.
-    std::vector<std::uint64_t> src_offs(static_cast<std::size_t>(p),
-                                        shm::kNil);
-    for (int w = 0; w < p; ++w) {
-      if (w == r) continue;
-      spin_until(eng, [&] { return cw.ready(w, epoch, 0); });
-      src_offs[static_cast<std::size_t>(w)] = cw.header(w)->src_off;
-    }
-    cw.begin_epoch(r, epoch, shm::kNil, 0);
-    for (std::uint64_t t = 0; t < rounds; ++t) {
-      std::size_t first = static_cast<std::size_t>(t) * elems_per;
-      std::size_t cnt = first < n ? std::min(elems_per, n - first) : 0;
-      for (int w = 0; w < p && cnt > 0; ++w) {
-        if (w == r) continue;
-        std::uint64_t src_off = src_offs[static_cast<std::size_t>(w)];
-        const T* src;
-        if (src_off != shm::kNil) {
-          src = reinterpret_cast<const T*>(arena.at(src_off)) + first;
-        } else {
-          spin_until(eng, [&] { return cw.ready(w, epoch, t + 1); });
-          src = reinterpret_cast<const T*>(cw.payload(w));
-        }
-        T* dst = out + first;
-        for (std::size_t i = 0; i < cnt; ++i) dst[i] = op(dst[i], src[i]);
+                   my_chunks);
+    std::uint64_t dep = 0, got = 0;
+    std::uint32_t spins = 0;
+    bool stalled = false;
+    while (dep < my_chunks || (reads_result && got < rounds)) {
+      bool advanced = false;
+      // Deposit side. Sub-buffer reuse gate: the leader's doorbell at
+      // dep-nsub+1 proves it folded chunk dep-nsub out of every slot.
+      if (dep < my_chunks &&
+          (dep < g.nsub || cw.ready(leader, epoch, dep - g.nsub + 1))) {
+        std::size_t first = static_cast<std::size_t>(dep) * chunk_elems;
+        std::size_t cnt = std::min(chunk_elems, n - first);
+        std::memcpy(cw.payload(r) + (dep % g.nsub) * g.sub, in + first,
+                    cnt * sizeof(T));
+        cw.publish_chunks(r, ++dep);
+        advanced = true;
       }
-      cw.publish_chunks(r, t + 1);  // Round t consumed everywhere.
+      // Result side: consume folded chunks as the leader publishes them.
+      if (reads_result && got < rounds && cw.ready(leader, epoch, got + 1)) {
+        std::size_t first = static_cast<std::size_t>(got) * chunk_elems;
+        std::size_t cnt = first < n ? std::min(chunk_elems, n - first) : 0;
+        if (cnt > 0)
+          std::memcpy(out + first,
+                      cw.payload(leader) + (got % g.nsub) * g.sub,
+                      cnt * sizeof(T));
+        cw.set_ack(r, epoch, ++got);
+        advanced = true;
+      }
+      if (!advanced) {
+        if (!stalled) {
+          eng.counters().coll_epoch_stalls++;
+          stalled = true;
+        }
+        if ((++spins & 0x3F) == 0) {
+          eng.progress();
+          std::this_thread::yield();
+        }
+      }
     }
-    for (int w = 0; w < p; ++w)
-      if (w != r) spin_until(eng, [&] { return cw.acked(w, epoch, 1); });
+    if (!reads_result) {
+      // Pure writer: a direct operand is read chunk by chunk, so the
+      // buffer stays live until the fold's LAST doorbell; ack so the
+      // leader can return (and its slot be reused by the next collective).
+      spin_until(eng, [&] { return cw.ready(leader, epoch, rounds); });
+      cw.set_ack(r, epoch, rounds);
+    }
+    return;
   }
 
-  // Result distribution rides the shm bcast protocol under its own phase
-  // bit (fresh doorbells on the same epoch family).
-  if (all) bcast_shm(out, bytes, root, epoch | 1);
+  // Leader. Snapshot every writer's direct-read offset during the gather: a
+  // writer that deposited nothing (direct mode) still exits only after the
+  // final doorbell + ack, but its header may be reopened for the NEXT
+  // collective the moment it does — never re-read it mid-fold.
+  std::vector<std::uint64_t> src_offs(static_cast<std::size_t>(p), shm::kNil);
+  for (int w = 0; w < p; ++w) {
+    if (w == r) continue;
+    spin_until(eng, [&] { return cw.ready(w, epoch, 0); });
+    src_offs[static_cast<std::size_t>(w)] = cw.header(w)->src_off;
+  }
+  bool stage_result = all || r != root;  // Someone reads from our slot.
+  bool want_result = all || r == root;   // Our own `out` is significant.
+  cw.begin_epoch(r, epoch, shm::kNil, 0);
+  for (std::uint64_t t = 0; t < rounds; ++t) {
+    std::size_t first = static_cast<std::size_t>(t) * chunk_elems;
+    std::size_t cnt = first < n ? std::min(chunk_elems, n - first) : 0;
+    if (cnt > 0) {
+      T* dst;
+      if (stage_result) {
+        // Result sub-buffer reuse gate: every reader acked the chunk that
+        // previously occupied this sub-buffer.
+        if (t >= g.nsub) {
+          std::uint64_t need = t - g.nsub + 1;
+          for (int k = 0; k < p; ++k)
+            if (k != r && (all || k == root))
+              spin_until(eng, [&] { return cw.acked(k, epoch, need); });
+        }
+        dst = reinterpret_cast<T*>(cw.payload(r) + (t % g.nsub) * g.sub);
+      } else {
+        dst = out + first;
+      }
+      // Seed with the root's slice, then fold 0..p-1 ascending skipping
+      // the root: the exact element-wise order of the p2p oracle,
+      // independent of who leads.
+      auto slice_of = [&](int w) -> const T* {
+        if (w == r) return in + first;
+        if (src_offs[static_cast<std::size_t>(w)] != shm::kNil)
+          return reinterpret_cast<const T*>(
+                     arena.at(src_offs[static_cast<std::size_t>(w)])) +
+                 first;
+        spin_until(eng, [&] { return cw.ready(w, epoch, t + 1); });
+        return reinterpret_cast<const T*>(cw.payload(w) +
+                                          (t % g.nsub) * g.sub);
+      };
+      std::memcpy(dst, slice_of(root), cnt * sizeof(T));
+      for (int w = 0; w < p; ++w) {
+        if (w == root) continue;
+        const T* src = slice_of(w);
+        for (std::size_t i = 0; i < cnt; ++i) dst[i] = op(dst[i], src[i]);
+      }
+      if (stage_result && want_result)
+        std::memcpy(out + first, dst, cnt * sizeof(T));
+    }
+    cw.publish_chunks(r, t + 1);  // Chunk t folded (and published).
+  }
+  // Final handshake: readers consumed the last result chunk, pure writers
+  // saw the final doorbell — every direct operand and our own slot are now
+  // dead for this epoch.
+  for (int w = 0; w < p; ++w)
+    if (w != r) spin_until(eng, [&] { return cw.acked(w, epoch, rounds); });
 }
 
 template <typename T, typename OpFn>
@@ -783,12 +938,12 @@ void Comm::reduce_dispatch(const T* in, T* out, std::size_t n, OpFn op,
     return;
   }
   Engine& eng = engine_;
-  // Allreduce distributes the result over the staged-bcast protocol, so
-  // its ack chunk budget gates the shm path the same way bcast's does.
+  // The pipelined fold tags reader acks per sub-chunk (and pure writers ack
+  // the final chunk count), so the staged-bcast ack chunk budget gates the
+  // shm path for reduce exactly as it does for bcast.
   std::size_t need =
       eng.coll_view().valid() &&
-              (!all ||
-               ack_budget_ok(eng.coll_view().slot_bytes(), n * sizeof(T)))
+              ack_budget_ok(eng.coll_view().slot_bytes(), n * sizeof(T))
           ? kCacheLine
           : SIZE_MAX;
   std::uint64_t cs = next_coll_seq(eng);

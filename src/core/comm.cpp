@@ -116,6 +116,7 @@ Config apply_env(Config cfg) {
   cfg.numa_placement = shm::numa_placement_from_env(cfg.numa_placement);
   cfg.coll = coll::mode_from_env(cfg.coll);
   if (auto v = tune::coll_slot_bytes_from_env()) cfg.coll_slot_bytes = *v;
+  cfg.coll_leader = coll::leader_from_env(cfg.coll_leader, cfg.nranks);
   return cfg;
 }
 
@@ -214,6 +215,26 @@ World::World(Config cfg)
                       coll::WorldColl::region_bytes(cfg_.nranks, coll_slot));
   }
 
+  // Reduction leader: the rank whose NUMA node backs the plurality of
+  // ranks. Each rank's node comes from its pinned core when bound; unbound
+  // ranks fall back to the recorded ring-placement decision for one of
+  // their pairs (computed even when mbind never ran, so the choice stays
+  // deterministic and testable on single-node hosts).
+  if (cfg_.coll_leader >= 0) {
+    coll_leader_ = cfg_.coll_leader;
+  } else if (cfg_.nranks > 1) {
+    std::vector<int> node_of_rank(static_cast<std::size_t>(cfg_.nranks), -1);
+    for (int r = 0; r < cfg_.nranks; ++r) {
+      int core = core_of(r);
+      if (core >= 0 && core < topo_.num_cores)
+        node_of_rank[static_cast<std::size_t>(r)] = topo_.numa_node_of(core);
+      else
+        node_of_rank[static_cast<std::size_t>(r)] =
+            ring_placement(r, (r + 1) % cfg_.nranks).node;
+    }
+    coll_leader_ = coll::choose_leader(node_of_rank);
+  }
+
   std::uint64_t shared_state_begin = arena_.alloc(8, kCacheLine);
   knem_off_ = knem::Device::create(arena_);
 
@@ -308,6 +329,8 @@ Engine::Engine(World& world, int rank)
                                 shm::FastboxSlot::kHeaderBytes);
   drain_budget_ = std::max<std::uint32_t>(1, tuning.drain_budget);
   poll_hot_ = tuning.poll_hot;
+  barrier_tree_ranks_ = std::max<std::uint32_t>(2, tuning.barrier_tree_ranks);
+  barrier_tree_k_ = std::max<std::uint32_t>(2, tuning.barrier_tree_k);
   backends_.resize(4);
   int n = world.nranks();
   peer_recv_q_.reserve(static_cast<std::size_t>(n));

@@ -98,6 +98,11 @@ struct Config {
   /// Per-rank collective-arena slot capacity. 0 = the tuning table's
   /// coll_slot_bytes (NEMO_COLL_SLOT_BYTES overrides either).
   std::size_t coll_slot_bytes = 0;
+  /// Combining leader for shm reduce/allreduce. -1 = auto: the rank on the
+  /// NUMA node backing the plurality of ranks (coll::choose_leader over the
+  /// core binding / recorded ring placements; rank 0 on single-node hosts).
+  /// NEMO_COLL_LEADER overrides.
+  int coll_leader = -1;
 
   /// Model I/OAT presence (the software DMA channel).
   bool dma_available = true;
@@ -169,6 +174,9 @@ class World {
   [[nodiscard]] std::uint64_t coll_off() const { return coll_off_; }
   /// Effective collective path mode after env resolution.
   [[nodiscard]] coll::Mode coll_mode() const { return cfg_.coll; }
+  /// The shm reduce/allreduce combining leader (env > Config > NUMA-derived;
+  /// see Config::coll_leader).
+  [[nodiscard]] int coll_leader() const { return coll_leader_; }
 
   /// Effective NUMA placement mode after env resolution.
   [[nodiscard]] shm::NumaPlacement numa_mode() const { return numa_mode_; }
@@ -213,6 +221,7 @@ class World {
   shm::NumaPlacement numa_mode_ = shm::NumaPlacement::kFirstTouch;
   std::vector<RingPlacement> ring_place_;
   std::uint64_t coll_off_ = shm::kNil;
+  int coll_leader_ = 0;
   std::uint64_t knem_off_ = 0;
   std::uint64_t pid_table_off_ = 0;
   std::uint64_t barrier_off_ = 0;
@@ -276,10 +285,22 @@ class Engine {
   /// This rank's view of the world's collective arena (invalid placeholder
   /// in 1-rank worlds, where every collective is a local no-op).
   [[nodiscard]] coll::WorldColl& coll_view() { return coll_; }
-  /// Next flat-barrier sequence. Monotonic and lock-step across ranks:
+  /// Next arena-barrier sequence. Monotonic and lock-step across ranks:
   /// every rank runs the same collective schedule, and each shm collective
-  /// issues the same number of flat barriers on every rank.
+  /// issues the same number of arena barriers on every rank.
   std::uint64_t next_coll_barrier_seq() { return ++coll_bar_seq_; }
+  /// Next count-probe sequence (auto-mode alltoallv's size proxy); lock-step
+  /// across ranks for the same reason.
+  std::uint64_t next_coll_probe_seq() { return ++coll_probe_seq_; }
+  /// World size at/above which the arena barrier runs the k-ary tree
+  /// schedule (cached from the tuning table at construction).
+  [[nodiscard]] std::uint32_t barrier_tree_ranks() const {
+    return barrier_tree_ranks_;
+  }
+  /// Tree fan-in (cached, clamped >= 2).
+  [[nodiscard]] std::uint32_t barrier_tree_k() const {
+    return barrier_tree_k_;
+  }
 
   /// Resolve the LMT kind for a message (exposed for tests/benches).
   lmt::LmtKind resolve_kind(std::size_t bytes, int dst, bool collective);
@@ -401,7 +422,10 @@ class Engine {
   EngineStats stats_;
   tune::Counters counters_;
   coll::WorldColl coll_;  ///< View of the world's collective arena.
-  std::uint64_t coll_bar_seq_ = 0;  ///< Flat-barrier sequence issued so far.
+  std::uint64_t coll_bar_seq_ = 0;    ///< Arena-barrier sequence issued.
+  std::uint64_t coll_probe_seq_ = 0;  ///< Count-probe sequence issued.
+  std::uint32_t barrier_tree_ranks_ = UINT32_MAX;  ///< Tuned tree threshold.
+  std::uint32_t barrier_tree_k_ = 4;               ///< Tuned tree fan-in.
   /// Largest eager message routed through the pair fastboxes (tuned cutoff
   /// clamped to the slot payload).
   std::size_t fastbox_max_ = 0;
@@ -483,9 +507,18 @@ class Comm {
   /// requires (0 capacity forces pt2pt even under NEMO_COLL=shm).
   bool use_shm_coll(std::size_t op_bytes, std::size_t slot_need);
 
-  /// One flat-barrier round over the collective arena (keeps pt2pt
-  /// progress flowing while spinning).
+  /// One arena-barrier round: the k-ary tree schedule at/above the tuned
+  /// barrier_tree_ranks, flat below it (both keep pt2pt progress flowing
+  /// while spinning).
+  void shm_barrier();
   void flat_barrier();
+  void tree_barrier();
+
+  /// Auto-mode alltoallv's rank-consistent size proxy: exchange each
+  /// rank's total row bytes through the arena's count-probe cells and
+  /// return the minimum — every rank computes the same value, so the
+  /// family decision cannot diverge even though counts are asymmetric.
+  std::size_t alltoallv_min_row_bytes(const std::size_t* scounts);
 
   // pt2pt algorithms: the fallback below coll_activation and the
   // correctness oracle the tests cross-check against.

@@ -493,6 +493,123 @@ LmtModels::CollOutcome LmtModels::bcast_coll(bool shm,
   return out;
 }
 
+LmtModels::CollOutcome LmtModels::allreduce_coll(bool shm,
+                                                 const std::vector<int>& cores,
+                                                 std::size_t bytes, int iters,
+                                                 std::size_t slot_bytes) {
+  int n = static_cast<int>(cores.size());
+  NEMO_ASSERT(n >= 2);
+  reset();
+  std::vector<std::uint64_t> in, out;
+  for (int i = 0; i < n; ++i) {
+    in.push_back(alloc_.alloc(bytes));
+    out.push_back(alloc_.alloc(bytes));
+  }
+  std::uint64_t slot = alloc_.alloc(slot_bytes);  // Leader staging region.
+
+  CollOutcome out_c;
+  double round_ns = 0;
+  auto one_round = [&](bool count_copies) {
+    round_ns = 0;
+    if (!shm) {
+      // Linear gather-fold at rank 0 (each operand crosses the pair ring:
+      // 2 copies) followed by a binomial result bcast.
+      double gather_ns = 0;
+      for (int w = 1; w < n; ++w) {
+        XferOutcome x =
+            transfer(Strategy::kDefault, cores[static_cast<std::size_t>(w)],
+                     cores[0], in[static_cast<std::size_t>(w)],
+                     out[0], bytes);
+        Cost fold = mem_.touch(cores[0], out[0], bytes);
+        gather_ns += x.fixed_ns + x.cache_ns + x.mem_ns + fold.total();
+        if (count_copies) out_c.copy_bytes += 2 * bytes;
+      }
+      double bcast_ns = 0;
+      for (int k = 1; k < n; k <<= 1) {
+        double step_ns = 0;
+        for (int src = 0; src < k && src + k < n; ++src) {
+          int dst = src + k;
+          XferOutcome x = transfer(Strategy::kDefault,
+                                   cores[static_cast<std::size_t>(src)],
+                                   cores[static_cast<std::size_t>(dst)],
+                                   out[static_cast<std::size_t>(src)],
+                                   out[static_cast<std::size_t>(dst)], bytes);
+          step_ns = std::max(step_ns, x.total());
+          if (count_copies) out_c.copy_bytes += 2 * bytes;
+        }
+        bcast_ns += step_ns;
+      }
+      round_ns = gather_ns + bcast_ns;
+      return;
+    }
+    // Arena v2 pipelined fold: writers deposit sub-chunks concurrently
+    // (contended), the leader combines every operand in ascending rank
+    // order, readers stream the folded chunks out behind the fold. Deposit,
+    // fold, and read-back overlap chunk-wise, so the round costs
+    // max(deposit, fold, read) plus one sub-chunk of fill latency at each
+    // pipeline boundary — not their sum (PR 4's serialized-fold model).
+    std::size_t sub = std::max<std::size_t>(slot_bytes / 4, 64);
+    double contention =
+        1.0 + opt_.contention_per_flow * (static_cast<double>(n - 1) - 1.0);
+    double deposit_ns = 0;
+    for (int w = 1; w < n; ++w) {
+      Cost c = mem_.copy(cores[static_cast<std::size_t>(w)], slot,
+                         in[static_cast<std::size_t>(w)], bytes);
+      deposit_ns = std::max(deposit_ns, c.cache_ns + c.mem_ns * contention);
+      if (count_copies) out_c.copy_bytes += bytes;
+    }
+    double fold_ns = 0;
+    for (int w = 0; w < n; ++w) {
+      Cost c = mem_.copy(cores[0], out[0], w == 0 ? in[0] : slot, bytes);
+      fold_ns += c.total();
+    }
+    if (count_copies) out_c.copy_bytes += bytes;  // Leader's result chunks.
+    double read_ns = 0;
+    for (int i = 1; i < n; ++i) {
+      Cost c = mem_.copy(cores[static_cast<std::size_t>(i)],
+                         out[static_cast<std::size_t>(i)], slot, bytes);
+      read_ns = std::max(read_ns, c.cache_ns + c.mem_ns * contention);
+      if (count_copies) out_c.copy_bytes += bytes;
+    }
+    double chunk_ns =
+        (deposit_ns + fold_ns + read_ns) *
+        (static_cast<double>(sub) / static_cast<double>(std::max(bytes, sub)));
+    round_ns = std::max({deposit_ns, fold_ns, read_ns}) + 2 * chunk_ns;
+  };
+
+  one_round(true);
+  mem_.caches().reset_stats();
+  for (int it = 0; it < iters; ++it) one_round(false);
+  out_c.l2_misses =
+      mem_.caches().l2_misses() / static_cast<std::uint64_t>(iters);
+  out_c.mibs = round_ns > 0
+                   ? (static_cast<double>(bytes) / (1024.0 * 1024.0)) /
+                         (round_ns * 1e-9)
+                   : 0;
+  return out_c;
+}
+
+double LmtModels::barrier_coll_ns(bool tree, int nranks, int k) {
+  NEMO_ASSERT(nranks >= 1 && k >= 2);
+  // An arrival flag is one cache line bouncing between a spinner and the
+  // publisher: charge one cache-to-cache transfer per polled flag (the
+  // line always misses — another core just wrote it).
+  double line_ns = machine_.timing.c2c_ns;
+  if (!tree || nranks < 2)
+    return static_cast<double>(nranks - 1) * line_ns + line_ns;
+  // Parents at each level poll their <= k children sequentially; levels
+  // telescope (a subtree's arrival folds into one flag), so the critical
+  // path is depth * k line transfers plus the release line.
+  int depth = 0;
+  long reach = 1;
+  while (reach < nranks) {
+    reach = reach * k + 1;
+    ++depth;
+  }
+  return static_cast<double>(depth) * static_cast<double>(k) * line_ns +
+         line_ns;
+}
+
 LmtModels::CollOutcome LmtModels::alltoall_coll(bool shm,
                                                 const std::vector<int>& cores,
                                                 std::size_t per_pair,

@@ -95,6 +95,20 @@ class LmtModels {
                          std::size_t bytes, int iters = 3);
   CollOutcome alltoall_coll(bool shm, const std::vector<int>& cores,
                             std::size_t per_pair, int iters = 3);
+  /// Allreduce replay: the p2p family is the linear gather-fold at rank 0
+  /// plus a binomial result bcast; the shm family is the arena-v2 pipelined
+  /// fold (concurrent sub-chunk deposits overlapped with the leader's
+  /// ascending-rank combine, result chunks streamed to the readers behind
+  /// the fold — modelled as max(deposit, fold) + one sub-chunk of fill
+  /// latency each side rather than their sum).
+  CollOutcome allreduce_coll(bool shm, const std::vector<int>& cores,
+                             std::size_t bytes, int iters = 3,
+                             std::size_t slot_bytes = 256 * KiB);
+  /// Barrier replay in nanoseconds per round: flat = the root polls n-1
+  /// remote arrival lines sequentially + one release line; tree = each
+  /// level's parents poll k child lines concurrently, depth ceil(log_k n)
+  /// levels, + the release line.
+  double barrier_coll_ns(bool tree, int nranks, int k);
 
   /// NAS-IS-like run (Table 2 last row): `total_keys` 4-byte keys bucket-
   /// sorted across ranks for `iters` iterations. Returns {seconds, misses}.

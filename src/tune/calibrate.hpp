@@ -97,6 +97,11 @@ struct FeedbackOptions {
   double drain_hi = 0.05;     ///< drain_exhausted per progress pass.
   double fallback_hi = 0.25;  ///< fastbox_fallbacks per fastbox attempt.
   double fastbox_dominant = 0.5;  ///< Fastbox share of sends -> poll_hot.
+  /// coll_epoch_stalls per shm collective op. A high rate means the arena
+  /// ops spend their time parked on unpublished doorbells/acks — the
+  /// per-op synchronisation dominates the payload, so the crossover was
+  /// set too low; the reaction doubles coll_activation (cap 1 MiB).
+  double coll_stall_hi = 4.0;
 };
 
 /// The pure policy step: derive a new table from a counter aggregate.
@@ -107,7 +112,9 @@ struct FeedbackOptions {
 ///    (materialising the Config default 4 when the row inherits; cap 32);
 ///  - fastbox fallback rate high -> double fastbox_slots (cap 64) and turn
 ///    on hot-peer-first polling;
-///  - fastbox-dominant traffic   -> hot-peer-first polling.
+///  - fastbox-dominant traffic   -> hot-peer-first polling;
+///  - coll epoch stalls per shm op high -> double coll_activation (cap
+///    1 MiB): sync-dominated arena collectives should have gone pt2pt.
 TuningTable apply_counter_feedback(TuningTable t, const Counters& total,
                                    const FeedbackOptions& opt = {});
 

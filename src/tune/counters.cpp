@@ -23,6 +23,8 @@ Counters& Counters::operator+=(const Counters& o) {
   coll_shm_bytes += o.coll_shm_bytes;
   coll_fallbacks += o.coll_fallbacks;
   coll_epoch_stalls += o.coll_epoch_stalls;
+  coll_barrier_flat += o.coll_barrier_flat;
+  coll_barrier_tree += o.coll_barrier_tree;
   um_pool_hits += o.um_pool_hits;
   um_pool_misses += o.um_pool_misses;
   return *this;
@@ -79,6 +81,8 @@ Json counters_to_json(const Counters& c, int rank) {
   coll.set("shm_bytes", c.coll_shm_bytes);
   coll.set("fallbacks", c.coll_fallbacks);
   coll.set("epoch_stalls", c.coll_epoch_stalls);
+  coll.set("barrier_flat", c.coll_barrier_flat);
+  coll.set("barrier_tree", c.coll_barrier_tree);
   j.set("coll", std::move(coll));
 
   j.set("um_pool_hits", c.um_pool_hits);

@@ -40,6 +40,8 @@ struct Counters {
   std::uint64_t coll_fallbacks = 0; ///< shm wanted but geometry forbade it.
   std::uint64_t coll_epoch_stalls = 0;  ///< Waits on a not-yet-published
                                         ///< epoch/doorbell/ack/barrier word.
+  std::uint64_t coll_barrier_flat = 0;  ///< Arena barriers run flat.
+  std::uint64_t coll_barrier_tree = 0;  ///< Arena barriers run k-ary tree.
 
   // Unexpected-receive buffer pool (match.hpp freelist).
   std::uint64_t um_pool_hits = 0;    ///< Reused a pooled buffer, no alloc.

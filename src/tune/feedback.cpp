@@ -24,6 +24,7 @@ namespace {
 constexpr std::uint32_t kDrainBudgetCap = 4096;
 constexpr std::uint32_t kRingBufsCap = 32;
 constexpr std::uint32_t kFastboxSlotsCap = 64;
+constexpr std::size_t kCollActivationCap = 1 * MiB;
 
 }  // namespace
 
@@ -85,6 +86,19 @@ TuningTable apply_counter_feedback(TuningTable t, const Counters& c,
     if (opt.verbose)
       std::printf("  feedback: fastbox carries %.0f%% of sends -> poll_hot\n",
                   100.0 * fastbox_share);
+  }
+  if (c.coll_shm_ops > 0) {
+    double coll_stall = static_cast<double>(c.coll_epoch_stalls) /
+                        static_cast<double>(c.coll_shm_ops);
+    if (coll_stall > opt.coll_stall_hi) {
+      t.coll_activation =
+          std::min(kCollActivationCap, t.coll_activation * 2);
+      if (opt.verbose)
+        std::printf(
+            "  feedback: %.1f epoch stalls per shm collective -> "
+            "coll_activation %zu\n",
+            coll_stall, t.coll_activation);
+    }
   }
   return t;
 }

@@ -3,9 +3,11 @@
 #include <sys/stat.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "coll/coll.hpp"
 #include "common/options.hpp"
 #include "shm/nt_copy.hpp"
 #include "tune/json.hpp"
@@ -95,6 +97,7 @@ TuningTable formula_defaults(const Topology& topo) {
       t.for_placement(PairPlacement::kSharedCache).nt_min = llc->size_bytes / 2;
   }
   t.fastbox_max = 2 * KiB - 64;  // One default slot's payload.
+  t.barrier_tree_k = coll::default_barrier_tree_k(topo);
   return t;
 }
 
@@ -149,7 +152,23 @@ TuningTable with_env_overrides(TuningTable t) {
     t.coll_activation = env_size("NEMO_COLL_ACTIVATION", t.coll_activation);
   if (auto v = coll_slot_bytes_from_env())
     t.coll_slot_bytes = static_cast<std::uint32_t>(*v);
+  if (auto v = barrier_tree_ranks_from_env()) t.barrier_tree_ranks = *v;
   return t;
+}
+
+std::optional<std::uint32_t> barrier_tree_ranks_from_env() {
+  auto v = env_str("NEMO_BARRIER_TREE");
+  if (!v) return std::nullopt;
+  if (*v == "off" || *v == "0" || *v == "never") return UINT32_MAX;
+  if (*v == "on" || *v == "1" || *v == "always") return 2;
+  char* end = nullptr;
+  long n = std::strtol(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0' || n < 2 || n > UINT32_MAX)
+    throw std::invalid_argument(
+        "NEMO_BARRIER_TREE: '" + *v +
+        "' (off|on|rank threshold >= 2) — a typo silently ignored would "
+        "make barrier experiments unmeasurable");
+  return static_cast<std::uint32_t>(n);
 }
 
 std::optional<std::size_t> coll_slot_bytes_from_env() {
@@ -168,10 +187,11 @@ std::optional<std::size_t> coll_slot_bytes_from_env() {
 
 std::string to_json(const TuningTable& t) {
   Json root = Json::object();
-  // Schema 2 added the coll_* fields. from_json still accepts schema 1
-  // (missing fields keep their formula defaults) so a pre-existing cache
-  // degrades to "coll fields uncalibrated", not a parse error.
-  root.set("schema", std::string("nemo-tune/2"));
+  // Schema 2 added the coll_* fields, schema 3 the barrier_tree_* fields.
+  // from_json still accepts schemas 1 and 2 (missing fields keep their
+  // formula defaults) so a pre-existing cache degrades to "newer fields
+  // uncalibrated", not a parse error.
+  root.set("schema", std::string("nemo-tune/3"));
   root.set("fingerprint", t.fingerprint);
   root.set("source", t.source);
 
@@ -201,6 +221,9 @@ std::string to_json(const TuningTable& t) {
   root.set("coll_activation", static_cast<std::uint64_t>(t.coll_activation));
   root.set("coll_slot_bytes",
            static_cast<std::uint64_t>(t.coll_slot_bytes));
+  root.set("barrier_tree_ranks",
+           static_cast<std::uint64_t>(t.barrier_tree_ranks));
+  root.set("barrier_tree_k", static_cast<std::uint64_t>(t.barrier_tree_k));
   return root.dump() + "\n";
 }
 
@@ -209,7 +232,8 @@ std::optional<TuningTable> from_json(const std::string& text,
   auto doc = Json::parse(text, err);
   if (!doc) return std::nullopt;
   std::string schema = (*doc)["schema"].as_string();
-  if (schema != "nemo-tune/1" && schema != "nemo-tune/2") {
+  if (schema != "nemo-tune/1" && schema != "nemo-tune/2" &&
+      schema != "nemo-tune/3") {
     if (err != nullptr) *err = "unknown schema";
     return std::nullopt;
   }
@@ -248,6 +272,10 @@ std::optional<TuningTable> from_json(const std::string& text,
       (*doc)["coll_activation"].as_uint(t.coll_activation);
   t.coll_slot_bytes = static_cast<std::uint32_t>(
       (*doc)["coll_slot_bytes"].as_uint(t.coll_slot_bytes));
+  t.barrier_tree_ranks = static_cast<std::uint32_t>(
+      (*doc)["barrier_tree_ranks"].as_uint(t.barrier_tree_ranks));
+  t.barrier_tree_k = static_cast<std::uint32_t>(
+      (*doc)["barrier_tree_k"].as_uint(t.barrier_tree_k));
   // A hand-edited or truncated cache must degrade to the formulas, not trip
   // always-compiled asserts in every program on the machine (the fastbox
   // geometry feeds shm::Fastbox::create directly, the ring geometry
@@ -255,7 +283,8 @@ std::optional<TuningTable> from_json(const std::string& text,
   if (t.fastbox_slots < 1 || t.fastbox_slots > 64 ||
       t.fastbox_slot_bytes <= 64 || t.fastbox_slot_bytes > 16 * KiB ||
       t.fastbox_slot_bytes % kCacheLine != 0 || t.drain_budget < 1 ||
-      !coll_slot_in_range(t.coll_slot_bytes)) {
+      !coll_slot_in_range(t.coll_slot_bytes) || t.barrier_tree_ranks < 2 ||
+      t.barrier_tree_k < 2 || t.barrier_tree_k > 64) {
     if (err != nullptr) *err = "out-of-range tuning values";
     return std::nullopt;
   }

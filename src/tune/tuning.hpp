@@ -106,6 +106,17 @@ struct TuningTable {
   /// overrides.
   bool poll_hot = false;
 
+  /// World size at/above which the arena barrier combines arrivals up a
+  /// k-ary tree instead of rank 0 gathering all n-1 flags (flat stays
+  /// cheaper below ~8 ranks: the tree adds a level of store-then-poll
+  /// latency that only pays off once the root's linear gather dominates).
+  /// NEMO_BARRIER_TREE overrides (`off` = never, `on` = always, or a
+  /// threshold).
+  std::uint32_t barrier_tree_ranks = 8;
+  /// Tree fan-in. formula_defaults derives it from the topology (one
+  /// parent gathers an LLC-sharing domain); clamped to [2, 64] on load.
+  std::uint32_t barrier_tree_k = 4;
+
   [[nodiscard]] const PlacementTuning& for_placement(PairPlacement p) const {
     return place[static_cast<std::size_t>(p)];
   }
@@ -144,10 +155,15 @@ TuningTable formula_defaults(const Topology& topo);
 /// NEMO_FASTBOX_MAX, NEMO_FASTBOX_SLOTS, NEMO_FASTBOX_SLOT_BYTES,
 /// NEMO_DRAIN_BUDGET, NEMO_DMA_MIN, NEMO_BACKEND, NEMO_RING_BUFS,
 /// NEMO_RING_BUF_BYTES, NEMO_POLL_HOT, NEMO_COLL_ACTIVATION,
-/// NEMO_COLL_SLOT_BYTES) on top of `t` — the "env beats
+/// NEMO_COLL_SLOT_BYTES, NEMO_BARRIER_TREE) on top of `t` — the "env beats
 /// cache beats formula" precedence every entry point shares. See
 /// docs/TUNING.md for the authoritative knob table.
 TuningTable with_env_overrides(TuningTable t);
+
+/// Parse NEMO_BARRIER_TREE into a barrier_tree_ranks threshold: `off`/`0`
+/// = never (UINT32_MAX), `on`/`1` = always (2), else a world-size
+/// threshold >= 2. nullopt when unset; throws on anything else.
+std::optional<std::uint32_t> barrier_tree_ranks_from_env();
 
 // --- Serialization ---------------------------------------------------------
 

@@ -88,6 +88,34 @@ TEST_F(CollArena, AckTagsAreMonotonicAcrossEpochs) {
   EXPECT_TRUE(cw.acked(0, 8, 5));  // Monotonic: older waits stay satisfied.
 }
 
+TEST_F(CollArena, CountProbeCellsAreParityDoubleBuffered) {
+  std::uint64_t off = WorldColl::create(arena_, 3, 4 * KiB);
+  WorldColl cw(arena_, off);
+  // Unpublished cells never match a real sequence.
+  EXPECT_FALSE(cw.probe_ready(1, 1));
+
+  cw.probe_publish(1, 1, 4096);
+  EXPECT_TRUE(cw.probe_ready(1, 1));
+  EXPECT_EQ(cw.probe_value(1, 1), 4096u);
+  EXPECT_FALSE(cw.probe_ready(1, 2));
+
+  // The next instance lands in the other parity buffer: instance 1 stays
+  // readable (a straggler may still be consuming it).
+  cw.probe_publish(1, 2, 77);
+  EXPECT_TRUE(cw.probe_ready(1, 1));
+  EXPECT_EQ(cw.probe_value(1, 1), 4096u);
+  EXPECT_TRUE(cw.probe_ready(1, 2));
+  EXPECT_EQ(cw.probe_value(1, 2), 77u);
+
+  // Instance 3 overwrites instance 1's buffer (same parity) — exact-match
+  // ready() correctly rejects the stale sequence.
+  cw.probe_publish(1, 3, 9);
+  EXPECT_FALSE(cw.probe_ready(1, 1));
+  EXPECT_TRUE(cw.probe_ready(1, 3));
+  // Cells are per rank: rank 2 is untouched.
+  EXPECT_FALSE(cw.probe_ready(2, 1));
+}
+
 TEST_F(CollArena, FlatBarrierWords) {
   std::uint64_t off = WorldColl::create(arena_, 4, 4 * KiB);
   WorldColl cw(arena_, off);

@@ -521,6 +521,115 @@ TEST(CollAuto, ReduceMixedDirectAndStagedWritersBackToBack) {
   });
 }
 
+// Auto-mode alltoallv gates on a rank-consistent symmetric proxy: the
+// minimum over ranks of total row bytes, exchanged through the arena's
+// count-probe cells. Tiny rows go pt2pt (PR 4 always took the arena),
+// big rows take the arena, and ONE small-row participant drags the whole
+// operation to pt2pt — all observable in the coll telemetry, and every
+// variant must stay correct.
+TEST(CollAuto, AlltoallvTinyRowsGateToP2p) {
+  coll::ScopedForcedMode forced(coll::Mode::kAuto);
+  Config cfg;
+  cfg.nranks = 4;
+  cfg.coll = coll::Mode::kAuto;
+  tune::TuningTable t = tune::formula_defaults(detect_host());
+  t.coll_activation = 4 * KiB;
+  cfg.tuning = t;
+  cfg.shared_pool_bytes = 32 * MiB;
+  run(cfg, [&](Comm& comm) {
+    int n = comm.size();
+    int me = comm.rank();
+    auto nsz = static_cast<std::size_t>(n);
+    auto do_alltoallv = [&](std::size_t per_dest_me) {
+      std::vector<std::size_t> scounts(nsz, per_dest_me), sdispls(nsz),
+          rcounts(nsz), rdispls(nsz);
+      // Symmetric layout: every rank must compute the peer's count. The
+      // mixed case gives rank 0 tiny rows and everyone else big ones.
+      for (int s = 0; s < n; ++s)
+        rcounts[static_cast<std::size_t>(s)] =
+            per_dest_me == 0 ? 0 : per_dest_me;
+      std::partial_sum(scounts.begin(), scounts.end() - 1,
+                       sdispls.begin() + 1);
+      std::partial_sum(rcounts.begin(), rcounts.end() - 1,
+                       rdispls.begin() + 1);
+      std::vector<std::byte> send(sdispls[nsz - 1] + scounts[nsz - 1]);
+      std::vector<std::byte> recv(rdispls[nsz - 1] + rcounts[nsz - 1]);
+      for (int d = 0; d < n; ++d)
+        pattern_fill(std::span<std::byte>(
+                         send.data() + sdispls[static_cast<std::size_t>(d)],
+                         scounts[static_cast<std::size_t>(d)]),
+                     static_cast<std::uint64_t>(me) * 41 +
+                         static_cast<std::uint64_t>(d));
+      comm.alltoallv(send.data(), scounts.data(), sdispls.data(),
+                     recv.data(), rcounts.data(), rdispls.data());
+      for (int s = 0; s < n; ++s)
+        EXPECT_EQ(pattern_check(
+                      std::span<const std::byte>(
+                          recv.data() + rdispls[static_cast<std::size_t>(s)],
+                          rcounts[static_cast<std::size_t>(s)]),
+                      static_cast<std::uint64_t>(s) * 41 +
+                          static_cast<std::uint64_t>(me)),
+                  kPatternOk);
+    };
+    tune::Counters& c = comm.engine().counters();
+    // Tiny rows: 256 B to each of 3 peers = 768 B < 4 KiB -> pt2pt.
+    std::uint64_t p2p0 = c.coll_p2p_ops;
+    do_alltoallv(256);
+    EXPECT_EQ(c.coll_p2p_ops, p2p0 + 1);
+    // Big rows: 4 KiB each = 12 KiB >= 4 KiB -> arena.
+    std::uint64_t shm0 = c.coll_shm_ops;
+    do_alltoallv(4 * KiB);
+    EXPECT_EQ(c.coll_shm_ops, shm0 + 1);
+  });
+}
+
+TEST(CollAuto, AlltoallvOneTinyParticipantDragsAllToP2p) {
+  coll::ScopedForcedMode forced(coll::Mode::kAuto);
+  Config cfg;
+  cfg.nranks = 3;
+  cfg.coll = coll::Mode::kAuto;
+  tune::TuningTable t = tune::formula_defaults(detect_host());
+  t.coll_activation = 4 * KiB;
+  cfg.tuning = t;
+  run(cfg, [&](Comm& comm) {
+    int n = comm.size();
+    int me = comm.rank();
+    auto nsz = static_cast<std::size_t>(n);
+    // Rank 0 sends 64 B per destination, everyone else 8 KiB: the minimum
+    // anchors the decision, so ALL ranks must agree on pt2pt.
+    auto count_for = [&](int s) -> std::size_t {
+      return s == 0 ? 64 : 8 * KiB;
+    };
+    std::vector<std::size_t> scounts(nsz, count_for(me)), sdispls(nsz),
+        rcounts(nsz), rdispls(nsz);
+    for (int s = 0; s < n; ++s)
+      rcounts[static_cast<std::size_t>(s)] = count_for(s);
+    std::partial_sum(scounts.begin(), scounts.end() - 1, sdispls.begin() + 1);
+    std::partial_sum(rcounts.begin(), rcounts.end() - 1, rdispls.begin() + 1);
+    std::vector<std::byte> send(sdispls[nsz - 1] + scounts[nsz - 1]);
+    std::vector<std::byte> recv(rdispls[nsz - 1] + rcounts[nsz - 1]);
+    for (int d = 0; d < n; ++d)
+      pattern_fill(std::span<std::byte>(
+                       send.data() + sdispls[static_cast<std::size_t>(d)],
+                       scounts[static_cast<std::size_t>(d)]),
+                   static_cast<std::uint64_t>(me) * 53 +
+                       static_cast<std::uint64_t>(d));
+    tune::Counters& c = comm.engine().counters();
+    std::uint64_t p2p0 = c.coll_p2p_ops;
+    comm.alltoallv(send.data(), scounts.data(), sdispls.data(), recv.data(),
+                   rcounts.data(), rdispls.data());
+    EXPECT_EQ(c.coll_p2p_ops, p2p0 + 1);
+    for (int s = 0; s < n; ++s)
+      EXPECT_EQ(pattern_check(
+                    std::span<const std::byte>(
+                        recv.data() + rdispls[static_cast<std::size_t>(s)],
+                        rcounts[static_cast<std::size_t>(s)]),
+                    static_cast<std::uint64_t>(s) * 53 +
+                        static_cast<std::uint64_t>(me)),
+                kPatternOk);
+  });
+}
+
 // A forced-shm world whose geometry cannot host the op (slot too small for
 // the per-dest stride) must fall back to pt2pt, counted as a fallback.
 TEST(CollAuto, GeometryFallbackCounts) {

@@ -136,21 +136,57 @@ TEST(TuningTable, JsonRoundTripPreservesEveryField) {
   EXPECT_EQ(r->drain_budget, 512u);
 }
 
-TEST(TuningTable, CollFieldsRoundTripInSchema2) {
+TEST(TuningTable, CollAndBarrierFieldsRoundTripInSchema3) {
   TuningTable t = formula_defaults(xeon_e5345());
   t.coll_activation = 48 * KiB;
   t.coll_slot_bytes = 128 * KiB;
+  t.barrier_tree_ranks = 12;
+  t.barrier_tree_k = 3;
   std::string body = to_json(t);
-  EXPECT_NE(body.find("nemo-tune/2"), std::string::npos);
+  EXPECT_NE(body.find("nemo-tune/3"), std::string::npos);
   auto r = from_json(body);
   ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->coll_activation, 48 * KiB);
   EXPECT_EQ(r->coll_slot_bytes, 128 * KiB);
+  EXPECT_EQ(r->barrier_tree_ranks, 12u);
+  EXPECT_EQ(r->barrier_tree_k, 3u);
   // Out-of-range coll geometry degrades to "invalid" like the fastbox
   // fields (it feeds coll::WorldColl::create directly).
   TuningTable bad = t;
   bad.coll_slot_bytes = 100;  // Not a cacheline multiple.
   EXPECT_FALSE(from_json(to_json(bad)).has_value());
+  // Same for a degenerate tree fan-in (the barrier schedule divides by it).
+  bad = t;
+  bad.barrier_tree_k = 1;
+  EXPECT_FALSE(from_json(to_json(bad)).has_value());
+}
+
+TEST(TuningTable, Schema2CachesStillLoadWithBarrierDefaults) {
+  // A schema-2 cache (pre barrier_tree_*) must load gracefully: its fields
+  // apply and the barrier fields keep their defaults.
+  TuningTable t = formula_defaults(xeon_e5345());
+  t.coll_activation = 96 * KiB;
+  std::string body = to_json(t);
+  auto at = body.find("nemo-tune/3");
+  ASSERT_NE(at, std::string::npos);
+  body.replace(at, std::strlen("nemo-tune/3"), "nemo-tune/2");
+  auto strip = [&body](const std::string& key) {
+    auto p = body.find("\"" + key + "\"");
+    ASSERT_NE(p, std::string::npos);
+    auto c = body.rfind(',', p);
+    ASSERT_NE(c, std::string::npos);
+    auto q = body.find_first_of(",}", p);
+    ASSERT_NE(q, std::string::npos);
+    body.erase(c, q - c);
+  };
+  strip("barrier_tree_ranks");
+  strip("barrier_tree_k");
+  auto r = from_json(body);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->coll_activation, 96 * KiB);
+  TuningTable fresh;
+  EXPECT_EQ(r->barrier_tree_ranks, fresh.barrier_tree_ranks);
+  EXPECT_EQ(r->barrier_tree_k, fresh.barrier_tree_k);
 }
 
 TEST(TuningTable, Schema1CachesStillLoadWithCollDefaults) {
@@ -160,9 +196,9 @@ TEST(TuningTable, Schema1CachesStillLoadWithCollDefaults) {
   TuningTable t = formula_defaults(xeon_e5345());
   t.drain_budget = 333;
   std::string body = to_json(t);
-  auto at = body.find("nemo-tune/2");
+  auto at = body.find("nemo-tune/3");
   ASSERT_NE(at, std::string::npos);
-  body.replace(at, std::strlen("nemo-tune/2"), "nemo-tune/1");
+  body.replace(at, std::strlen("nemo-tune/3"), "nemo-tune/1");
   // Strip the coll keys as an old writer would never have emitted them
   // (erasing from the preceding comma keeps the JSON well-formed even for
   // the object's last member).
@@ -183,6 +219,37 @@ TEST(TuningTable, Schema1CachesStillLoadWithCollDefaults) {
   TuningTable fresh;
   EXPECT_EQ(r->coll_activation, fresh.coll_activation);
   EXPECT_EQ(r->coll_slot_bytes, fresh.coll_slot_bytes);
+}
+
+TEST(TuningTable, BarrierTreeEnvKnob) {
+  TuningTable base = formula_defaults(xeon_e5345());
+  // e5345: pairs of cores share each L2, so the formula fan-in is 2.
+  EXPECT_EQ(base.barrier_tree_k, 2u);
+  EXPECT_EQ(formula_defaults(nehalem()).barrier_tree_k, 4u);
+  // Private-LLC hosts get the generic fan-in.
+  EXPECT_EQ(formula_defaults(flat_smp(4, 8 * MiB)).barrier_tree_k, 4u);
+
+  {
+    ScopedEnv e("NEMO_BARRIER_TREE", "off");
+    EXPECT_EQ(with_env_overrides(base).barrier_tree_ranks, UINT32_MAX);
+  }
+  {
+    ScopedEnv e("NEMO_BARRIER_TREE", "on");
+    EXPECT_EQ(with_env_overrides(base).barrier_tree_ranks, 2u);
+  }
+  {
+    ScopedEnv e("NEMO_BARRIER_TREE", "16");
+    EXPECT_EQ(with_env_overrides(base).barrier_tree_ranks, 16u);
+  }
+  {
+    // A typo fails loudly instead of silently running the wrong schedule.
+    ScopedEnv e("NEMO_BARRIER_TREE", "treeish");
+    EXPECT_THROW(with_env_overrides(base), std::invalid_argument);
+  }
+  {
+    ScopedEnv e("NEMO_BARRIER_TREE", "1");  // Threshold below 2 = always.
+    EXPECT_EQ(with_env_overrides(base).barrier_tree_ranks, 2u);
+  }
 }
 
 TEST(TuningCache, RoundTripAndFingerprintMismatchInvalidation) {
@@ -377,6 +444,31 @@ TEST(Feedback, RingStallsDeepenTheRingPerPlacement) {
   EXPECT_EQ(out.for_placement(PairPlacement::kDifferentSockets).ring_bufs,
             32u);
   EXPECT_EQ(out.for_placement(PairPlacement::kSharedCache).ring_bufs, 16u);
+}
+
+TEST(Feedback, CollEpochStallsRaiseTheCollActivation) {
+  TuningTable t = formula_defaults(xeon_e5345());
+  t.coll_activation = 16 * KiB;
+  Counters c;
+  c.progress_passes = 1000;
+  c.coll_shm_ops = 100;
+  c.coll_epoch_stalls = 800;  // 8 stalls/op: sync-dominated arena ops.
+  TuningTable out = apply_counter_feedback(t, c);
+  EXPECT_EQ(out.coll_activation, 32 * KiB);
+  // Doubling is capped at 1 MiB.
+  for (int i = 0; i < 10; ++i) out = apply_counter_feedback(out, c);
+  EXPECT_EQ(out.coll_activation, 1 * MiB);
+
+  // A healthy stall rate (or no shm collective traffic at all) leaves the
+  // crossover alone.
+  Counters calm;
+  calm.progress_passes = 1000;
+  calm.coll_shm_ops = 100;
+  calm.coll_epoch_stalls = 100;  // 1 stall/op.
+  EXPECT_EQ(apply_counter_feedback(t, calm).coll_activation, 16 * KiB);
+  Counters none;
+  none.progress_passes = 1000;
+  EXPECT_EQ(apply_counter_feedback(t, none).coll_activation, 16 * KiB);
 }
 
 TEST(Feedback, FastboxPressureGrowsSlotsAndEnablesHotPolling) {
