@@ -69,6 +69,12 @@ void print_table(const tune::TuningTable& t) {
   else
     std::printf("  barrier: %u-ary tree from %u ranks, flat below\n",
                 t.barrier_tree_k, t.barrier_tree_ranks);
+  std::printf("  simd: kernel=%s (running %s)   pack_nt_min=%s\n",
+              simd::choice_name(t.simd_kernel),
+              simd::kernel_name(simd::resolve(t.simd_kernel)),
+              t.pack_nt_min == 0          ? "formula"
+              : t.pack_nt_min == SIZE_MAX ? "never"
+                                          : format_size(t.pack_nt_min).c_str());
 }
 
 /// Narrate the NUMA placement the runtime would apply per placement class:

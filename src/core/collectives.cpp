@@ -740,27 +740,293 @@ void Comm::alltoallv(const void* sendbuf, const std::size_t* scounts,
   alltoallv_p2p(sendbuf, scounts, sdispls, recvbuf, rcounts, rdispls);
 }
 
+// ---------------------------------------------------------------------------
+// Strided collectives: each rank contributes `count` elements of a derived
+// datatype. The shm family packs blocks straight into arena slots (NT
+// streaming stores above the tuned pack threshold) and unpacks readers-side
+// straight into the strided receive buffer; the p2p family hands the merged
+// segment lists to the engine, which gathers into cells / transfers them via
+// the segment-capable LMT backends. Neither family materialises an
+// intermediate contiguous staging buffer — the pack-path telemetry records
+// every op as `direct`, and a test asserts `staged` stays zero.
+// ---------------------------------------------------------------------------
+
+void Comm::pack_into(const void* base, const Datatype& dt, std::size_t count,
+                     std::byte* dst, bool direct) {
+  std::size_t bytes = dt.size() * count;
+  bool nt = bytes >= engine_.pack_nt_min();
+  dt.pack(static_cast<const std::byte*>(base), count, dst, nt);
+  tune::Counters& c = engine_.counters();
+  if (direct) {
+    c.pack_direct_ops++;
+    c.pack_direct_bytes += bytes;
+  } else {
+    c.pack_staged_ops++;
+    c.pack_staged_bytes += bytes;
+  }
+  if (nt) c.pack_nt_ops++;
+}
+
+void Comm::unpack_from(const std::byte* src, const Datatype& dt,
+                       std::size_t count, void* base) {
+  // Cached stores: the unpacked blocks land in the user's receive buffer,
+  // which the caller is about to touch.
+  dt.unpack(src, count, static_cast<std::byte*>(base));
+  engine_.counters().unpack_ops++;
+}
+
+namespace {
+
+/// Self-exchange: re-layout `count` elements from sdt at `in` to rdt at
+/// `out` through the two segment maps (no staging buffer).
+void strided_self_copy(const std::byte* in, const Datatype& sdt,
+                       std::byte* out, const Datatype& rdt,
+                       std::size_t count) {
+  SegmentList dst = rdt.map(out, count);
+  ConstSegmentList src = sdt.map(in, count);
+  gather_scatter_copy(dst, src);
+}
+
+}  // namespace
+
+void Comm::alltoall_strided(const void* sendbuf, const Datatype& sdt,
+                            std::size_t count, void* recvbuf,
+                            const Datatype& rdt) {
+  NEMO_ASSERT(sdt.size() == rdt.size());
+  const auto* in = static_cast<const std::byte*>(sendbuf);
+  auto* out = static_cast<std::byte*>(recvbuf);
+  if (size() == 1) {
+    strided_self_copy(in, sdt, out, rdt, count);
+    return;
+  }
+  Engine& eng = engine_;
+  std::size_t packed = sdt.size() * count;
+  std::size_t cap = coll::alltoall_chunk_capacity(
+      eng.coll_view().valid() ? eng.coll_view().slot_bytes() : 0, size());
+  // Single deposit round: the packed per-destination block must fit one
+  // per-dest chunk, else the need is unmeetable and use_shm_coll records
+  // the p2p fallback. World-symmetric (dt/count are the same everywhere).
+  std::size_t need = packed > 0 && packed <= cap ? cap : SIZE_MAX;
+  if (use_shm_coll(packed, need)) {
+    std::uint64_t cs = next_coll_seq(eng);
+    alltoall_strided_shm(in, sdt, count, out, rdt, epoch_base(cs));
+    return;
+  }
+  alltoall_strided_p2p(in, sdt, count, out, rdt);
+}
+
+void Comm::alltoall_strided_shm(const void* sendbuf, const Datatype& sdt,
+                                std::size_t count, void* recvbuf,
+                                const Datatype& rdt, std::uint64_t epoch) {
+  Engine& eng = engine_;
+  coll::WorldColl& cw = eng.coll_view();
+  int n = size(), r = rank();
+  const auto* in = static_cast<const std::byte*>(sendbuf);
+  auto* out = static_cast<std::byte*>(recvbuf);
+  std::size_t cap = coll::alltoall_chunk_capacity(cw.slot_bytes(), n);
+  std::size_t packed = sdt.size() * count;
+  std::size_t sext = count * sdt.extent(), rext = count * rdt.extent();
+  NEMO_ASSERT(packed <= cap);
+  eng.counters().coll_shm_bytes +=
+      packed * static_cast<std::size_t>(n - 1);
+
+  // The per-dest slot chunk IS the pack buffer: each destination's strided
+  // block streams from the user buffer straight into shared memory, so the
+  // packed form exists exactly once.
+  cw.begin_epoch(r, epoch, shm::kNil, 1);
+  for (int d = 0; d < n; ++d) {
+    if (d == r) continue;
+    pack_into(in + static_cast<std::size_t>(d) * sext, sdt, count,
+              cw.payload(r) + dest_index(r, d) * cap, /*direct=*/true);
+  }
+  cw.publish_chunks(r, 1);
+  strided_self_copy(in + static_cast<std::size_t>(r) * sext, sdt,
+                    out + static_cast<std::size_t>(r) * rext, rdt, count);
+
+  for (int w = 0; w < n; ++w) {
+    if (w == r) continue;
+    spin_until(eng, [&] { return cw.ready(w, epoch, 1); });
+    unpack_from(cw.payload(w) + dest_index(w, r) * cap, rdt, count,
+                out + static_cast<std::size_t>(w) * rext);
+  }
+  // Reuse gate: no writer may overwrite its slot before every reader
+  // unpacked this round.
+  shm_barrier();
+}
+
+void Comm::alltoall_strided_p2p(const void* sendbuf, const Datatype& sdt,
+                                std::size_t count, void* recvbuf,
+                                const Datatype& rdt) {
+  Engine& eng = engine_;
+  std::uint64_t cs = next_coll_seq(eng);
+  int n = size(), r = rank();
+  const auto* in = static_cast<const std::byte*>(sendbuf);
+  auto* out = static_cast<std::byte*>(recvbuf);
+  std::size_t sext = count * sdt.extent(), rext = count * rdt.extent();
+  std::size_t packed = sdt.size() * count;
+  strided_self_copy(in + static_cast<std::size_t>(r) * sext, sdt,
+                    out + static_cast<std::size_t>(r) * rext, rdt, count);
+  int tag = coll_tag(cs, 0);
+  bool pow2 = (n & (n - 1)) == 0;
+  for (int s = 1; s < n; ++s) {
+    int to = pow2 ? (r ^ s) : (r + s) % n;
+    int from = pow2 ? (r ^ s) : (r - s + n) % n;
+    // The merged segment lists go straight to the engine — cell gather on
+    // the eager path, vectorial transfer on the segment-capable backends.
+    ConstSegmentList ssegs =
+        sdt.map(in + static_cast<std::size_t>(to) * sext, count);
+    SegmentList rsegs =
+        rdt.map(out + static_cast<std::size_t>(from) * rext, count);
+    Request sq = engine_.start_send(std::move(ssegs), to, tag,
+                                    /*collective=*/true, /*context=*/1);
+    Request rq = engine_.start_recv(std::move(rsegs), from, tag, 1);
+    tune::Counters& c = eng.counters();
+    c.pack_direct_ops++;
+    c.pack_direct_bytes += packed;
+    c.unpack_ops++;
+    wait(sq);
+    wait(rq);
+  }
+}
+
+void Comm::allgather_strided(const void* sendbuf, const Datatype& sdt,
+                             std::size_t count, void* recvbuf,
+                             const Datatype& rdt) {
+  NEMO_ASSERT(sdt.size() == rdt.size());
+  const auto* in = static_cast<const std::byte*>(sendbuf);
+  auto* out = static_cast<std::byte*>(recvbuf);
+  if (size() == 1) {
+    strided_self_copy(in, sdt, out, rdt, count);
+    return;
+  }
+  Engine& eng = engine_;
+  std::size_t packed = sdt.size() * count;
+  std::size_t slot =
+      eng.coll_view().valid() ? eng.coll_view().slot_bytes() : 0;
+  // Single deposit round: the whole packed contribution must fit one slot.
+  std::size_t need = packed > 0 && packed <= slot ? kCacheLine : SIZE_MAX;
+  if (use_shm_coll(packed, need)) {
+    std::uint64_t cs = next_coll_seq(eng);
+    allgather_strided_shm(in, sdt, count, out, rdt, epoch_base(cs));
+    return;
+  }
+  allgather_strided_p2p(in, sdt, count, out, rdt);
+}
+
+void Comm::allgather_strided_shm(const void* sendbuf, const Datatype& sdt,
+                                 std::size_t count, void* recvbuf,
+                                 const Datatype& rdt, std::uint64_t epoch) {
+  Engine& eng = engine_;
+  coll::WorldColl& cw = eng.coll_view();
+  int n = size(), r = rank();
+  const auto* in = static_cast<const std::byte*>(sendbuf);
+  auto* out = static_cast<std::byte*>(recvbuf);
+  std::size_t packed = sdt.size() * count;
+  std::size_t rext = count * rdt.extent();
+  NEMO_ASSERT(packed <= cw.slot_bytes());
+  eng.counters().coll_shm_bytes +=
+      packed * static_cast<std::size_t>(n - 1);
+
+  cw.begin_epoch(r, epoch, shm::kNil, 1);
+  pack_into(in, sdt, count, cw.payload(r), /*direct=*/true);
+  cw.publish_chunks(r, 1);
+  strided_self_copy(in, sdt, out + static_cast<std::size_t>(r) * rext, rdt,
+                    count);
+
+  for (int w = 0; w < n; ++w) {
+    if (w == r) continue;
+    spin_until(eng, [&] { return cw.ready(w, epoch, 1); });
+    unpack_from(cw.payload(w), rdt, count,
+                out + static_cast<std::size_t>(w) * rext);
+  }
+  shm_barrier();
+}
+
+void Comm::allgather_strided_p2p(const void* sendbuf, const Datatype& sdt,
+                                 std::size_t count, void* recvbuf,
+                                 const Datatype& rdt) {
+  Engine& eng = engine_;
+  std::uint64_t cs = next_coll_seq(eng);
+  int n = size(), r = rank();
+  const auto* in = static_cast<const std::byte*>(sendbuf);
+  auto* out = static_cast<std::byte*>(recvbuf);
+  std::size_t rext = count * rdt.extent();
+  std::size_t packed = sdt.size() * count;
+  strided_self_copy(in, sdt, out + static_cast<std::size_t>(r) * rext, rdt,
+                    count);
+  int tag = coll_tag(cs, 0);
+  // Linear exchange of the local block (a ring would have to re-pack
+  // forwarded blocks — exactly the staging copy this path exists to avoid).
+  for (int s = 1; s < n; ++s) {
+    int to = (r + s) % n, from = (r - s + n) % n;
+    ConstSegmentList ssegs = sdt.map(in, count);
+    SegmentList rsegs =
+        rdt.map(out + static_cast<std::size_t>(from) * rext, count);
+    Request sq = engine_.start_send(std::move(ssegs), to, tag,
+                                    /*collective=*/true, /*context=*/1);
+    Request rq = engine_.start_recv(std::move(rsegs), from, tag, 1);
+    tune::Counters& c = eng.counters();
+    c.pack_direct_ops++;
+    c.pack_direct_bytes += packed;
+    c.unpack_ops++;
+    wait(sq);
+    wait(rq);
+  }
+}
+
 // --- Reductions ---------------------------------------------------------------
 
-template <typename T, typename OpFn>
-void Comm::reduce_impl(const T* in, T* out, std::size_t n, OpFn op, int root,
-                       int tag) {
+namespace {
+
+simd::Op to_simd(Comm::ReduceOp op) {
+  switch (op) {
+    case Comm::ReduceOp::kSum: return simd::Op::kSum;
+    case Comm::ReduceOp::kProd: return simd::Op::kProd;
+    case Comm::ReduceOp::kMin: return simd::Op::kMin;
+    case Comm::ReduceOp::kMax: return simd::Op::kMax;
+  }
+  return simd::Op::kSum;
+}
+
+/// One per-chunk combine: dst[i] = op(dst[i], src[i]) through the engine's
+/// resolved kernel. Element-wise vertical folds only, so every kernel is
+/// bit-identical to the scalar oracle and the ascending-rank fold order
+/// stays intact.
+template <typename T>
+void fold_chunk(Engine& eng, Comm::ReduceOp op, T* dst, const T* src,
+                std::size_t n) {
+  simd::Kernel k = eng.simd_kernel();
+  simd::fold(k, to_simd(op), dst, src, n);
+  auto ki = static_cast<std::size_t>(k);
+  eng.counters().simd_fold_ops[ki]++;
+  eng.counters().simd_fold_bytes[ki] += n * sizeof(T);
+}
+
+}  // namespace
+
+template <typename T>
+void Comm::reduce_impl(const T* in, T* out, std::size_t n, ReduceOp op,
+                       int root, int tag) {
   int p = size(), r = rank();
   if (r == root) {
     std::memcpy(out, in, n * sizeof(T));
-    std::vector<T> tmp(n);
+    // Per-Comm receive scratch sized to the high-water mark: this used to
+    // be a fresh std::vector<T>(n) on every reduction pass.
+    if (reduce_scratch_.size() < n * sizeof(T))
+      reduce_scratch_.resize(n * sizeof(T));
+    T* tmp = reinterpret_cast<T*>(reduce_scratch_.data());
     for (int src = 0; src < p; ++src) {
       if (src == root) continue;
-      recv(tmp.data(), n * sizeof(T), src, tag, nullptr, 1);
-      for (std::size_t i = 0; i < n; ++i) out[i] = op(out[i], tmp[i]);
+      recv(tmp, n * sizeof(T), src, tag, nullptr, 1);
+      fold_chunk(engine_, op, out, tmp, n);
     }
   } else {
     send(in, n * sizeof(T), root, tag, 1);
   }
 }
 
-template <typename T, typename OpFn>
-void Comm::allreduce_impl(const T* in, T* out, std::size_t n, OpFn op,
+template <typename T>
+void Comm::allreduce_impl(const T* in, T* out, std::size_t n, ReduceOp op,
                           int tag) {
   reduce_impl<T>(in, out, n, op, 0, tag);
   // Distribute via the p2p tree directly: the dispatcher already chose the
@@ -795,9 +1061,9 @@ void Comm::allreduce_impl(const T* in, T* out, std::size_t n, OpFn op,
 /// deposits before consuming any result chunk, both gates could starve
 /// each other. Non-leader ranks therefore run deposit and result
 /// consumption as one interleaved loop, advancing whichever side is ready.
-template <typename T, typename OpFn>
-void Comm::reduce_shm(const T* in, T* out, std::size_t n, OpFn op, int root,
-                      bool all, std::uint64_t epoch) {
+template <typename T>
+void Comm::reduce_shm(const T* in, T* out, std::size_t n, ReduceOp op,
+                      int root, bool all, std::uint64_t epoch) {
   Engine& eng = engine_;
   coll::WorldColl& cw = eng.coll_view();
   shm::Arena& arena = cw.arena();
@@ -915,8 +1181,7 @@ void Comm::reduce_shm(const T* in, T* out, std::size_t n, OpFn op, int root,
       std::memcpy(dst, slice_of(root), cnt * sizeof(T));
       for (int w = 0; w < p; ++w) {
         if (w == root) continue;
-        const T* src = slice_of(w);
-        for (std::size_t i = 0; i < cnt; ++i) dst[i] = op(dst[i], src[i]);
+        fold_chunk(eng, op, dst, slice_of(w), cnt);
       }
       if (stage_result && want_result)
         std::memcpy(out + first, dst, cnt * sizeof(T));
@@ -930,8 +1195,8 @@ void Comm::reduce_shm(const T* in, T* out, std::size_t n, OpFn op, int root,
     if (w != r) spin_until(eng, [&] { return cw.acked(w, epoch, rounds); });
 }
 
-template <typename T, typename OpFn>
-void Comm::reduce_dispatch(const T* in, T* out, std::size_t n, OpFn op,
+template <typename T>
+void Comm::reduce_dispatch(const T* in, T* out, std::size_t n, ReduceOp op,
                            int root, bool all) {
   if (size() == 1) {
     std::memcpy(out, in, n * sizeof(T));
@@ -957,48 +1222,44 @@ void Comm::reduce_dispatch(const T* in, T* out, std::size_t n, OpFn op,
     reduce_impl<T>(in, out, n, op, root, coll_tag(cs, 1));
 }
 
-namespace {
-
-template <typename T>
-T apply_op(Comm::ReduceOp op, T a, T b) {
-  switch (op) {
-    case Comm::ReduceOp::kSum: return a + b;
-    case Comm::ReduceOp::kMin: return a < b ? a : b;
-    case Comm::ReduceOp::kMax: return a > b ? a : b;
-  }
-  return a;
-}
-
-}  // namespace
-
 void Comm::reduce_f64(const double* in, double* out, std::size_t n,
                       ReduceOp op, int root) {
-  reduce_dispatch<double>(
-      in, out, n, [op](double a, double b) { return apply_op(op, a, b); },
-      root, /*all=*/false);
+  reduce_dispatch<double>(in, out, n, op, root, /*all=*/false);
 }
 
 void Comm::allreduce_f64(const double* in, double* out, std::size_t n,
                          ReduceOp op) {
-  reduce_dispatch<double>(
-      in, out, n, [op](double a, double b) { return apply_op(op, a, b); },
-      0, /*all=*/true);
+  reduce_dispatch<double>(in, out, n, op, 0, /*all=*/true);
+}
+
+void Comm::reduce_f32(const float* in, float* out, std::size_t n,
+                      ReduceOp op, int root) {
+  reduce_dispatch<float>(in, out, n, op, root, /*all=*/false);
+}
+
+void Comm::allreduce_f32(const float* in, float* out, std::size_t n,
+                         ReduceOp op) {
+  reduce_dispatch<float>(in, out, n, op, 0, /*all=*/true);
 }
 
 void Comm::reduce_i64(const std::int64_t* in, std::int64_t* out,
                       std::size_t n, ReduceOp op, int root) {
-  reduce_dispatch<std::int64_t>(
-      in, out, n,
-      [op](std::int64_t a, std::int64_t b) { return apply_op(op, a, b); },
-      root, /*all=*/false);
+  reduce_dispatch<std::int64_t>(in, out, n, op, root, /*all=*/false);
 }
 
 void Comm::allreduce_i64(const std::int64_t* in, std::int64_t* out,
                          std::size_t n, ReduceOp op) {
-  reduce_dispatch<std::int64_t>(
-      in, out, n,
-      [op](std::int64_t a, std::int64_t b) { return apply_op(op, a, b); },
-      0, /*all=*/true);
+  reduce_dispatch<std::int64_t>(in, out, n, op, 0, /*all=*/true);
+}
+
+void Comm::reduce_i32(const std::int32_t* in, std::int32_t* out,
+                      std::size_t n, ReduceOp op, int root) {
+  reduce_dispatch<std::int32_t>(in, out, n, op, root, /*all=*/false);
+}
+
+void Comm::allreduce_i32(const std::int32_t* in, std::int32_t* out,
+                         std::size_t n, ReduceOp op) {
+  reduce_dispatch<std::int32_t>(in, out, n, op, 0, /*all=*/true);
 }
 
 }  // namespace nemo::core

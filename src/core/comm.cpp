@@ -8,6 +8,7 @@
 
 #include "common/options.hpp"
 #include "lmt/backends.hpp"
+#include "shm/nt_copy.hpp"
 
 namespace nemo::core {
 
@@ -331,6 +332,13 @@ Engine::Engine(World& world, int rank)
   poll_hot_ = tuning.poll_hot;
   barrier_tree_ranks_ = std::max<std::uint32_t>(2, tuning.barrier_tree_ranks);
   barrier_tree_k_ = std::max<std::uint32_t>(2, tuning.barrier_tree_k);
+  // Fold kernel and pack threshold resolve once here: NEMO_SIMD already
+  // overrode the table row (with_env_overrides), so resolving the table
+  // choice against CPUID is the full precedence chain. pack_nt_min 0 means
+  // "formula" — a pre-schema-4 cache loads without the row.
+  simd_kernel_ = simd::resolve(tuning.simd_kernel);
+  pack_nt_min_ = tuning.pack_nt_min != 0 ? tuning.pack_nt_min
+                                         : shm::nt_default_threshold();
   backends_.resize(4);
   int n = world.nranks();
   peer_recv_q_.reserve(static_cast<std::size_t>(n));
@@ -1035,6 +1043,26 @@ Request Comm::isendv(ConstSegmentList segs, int dst, int tag) {
 }
 
 Request Comm::irecvv(SegmentList segs, int src, int tag) {
+  return engine_.start_recv(std::move(segs), src, tag);
+}
+
+Request Comm::isend_strided(const void* base, const Datatype& dt,
+                            std::size_t count, int dst, int tag) {
+  // The merged segment list rides the engine directly: the eager path
+  // gathers it into cells, the segment-capable LMT backends transfer it
+  // vectorially. Either way the blocks are never packed into a private
+  // contiguous staging buffer — record the op as a direct pack.
+  ConstSegmentList segs = dt.map(static_cast<const std::byte*>(base), count);
+  tune::Counters& c = engine_.counters();
+  c.pack_direct_ops++;
+  c.pack_direct_bytes += dt.size() * count;
+  return engine_.start_send(std::move(segs), dst, tag);
+}
+
+Request Comm::irecv_strided(void* base, const Datatype& dt, std::size_t count,
+                            int src, int tag) {
+  SegmentList segs = dt.map(static_cast<std::byte*>(base), count);
+  engine_.counters().unpack_ops++;
   return engine_.start_recv(std::move(segs), src, tag);
 }
 

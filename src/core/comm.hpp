@@ -32,6 +32,7 @@
 #include "shm/nemesis_queue.hpp"
 #include "shm/numa.hpp"
 #include "shm/pipes.hpp"
+#include "simd/simd.hpp"
 #include "tune/counters.hpp"
 #include "tune/tuning.hpp"
 
@@ -301,6 +302,12 @@ class Engine {
   [[nodiscard]] std::uint32_t barrier_tree_k() const {
     return barrier_tree_k_;
   }
+  /// Reduction kernel every fold on this rank runs (NEMO_SIMD > tuning
+  /// table > CPUID best; resolved once at construction).
+  [[nodiscard]] simd::Kernel simd_kernel() const { return simd_kernel_; }
+  /// Minimum contiguous run that routes datatype pack/unpack through the
+  /// NT streaming engine (tuned pack_nt_min / NEMO_PACK_NT_MIN).
+  [[nodiscard]] std::size_t pack_nt_min() const { return pack_nt_min_; }
 
   /// Resolve the LMT kind for a message (exposed for tests/benches).
   lmt::LmtKind resolve_kind(std::size_t bytes, int dst, bool collective);
@@ -426,6 +433,8 @@ class Engine {
   std::uint64_t coll_probe_seq_ = 0;  ///< Count-probe sequence issued.
   std::uint32_t barrier_tree_ranks_ = UINT32_MAX;  ///< Tuned tree threshold.
   std::uint32_t barrier_tree_k_ = 4;               ///< Tuned tree fan-in.
+  simd::Kernel simd_kernel_ = simd::Kernel::kScalar;  ///< Resolved fold ISA.
+  std::size_t pack_nt_min_ = SIZE_MAX;  ///< Tuned pack->NT-store cutoff.
   /// Largest eager message routed through the pair fastboxes (tuned cutoff
   /// clamped to the slot payload).
   std::size_t fastbox_max_ = 0;
@@ -467,6 +476,15 @@ class Comm {
   void recv_typed(void* base, const Datatype& dt, std::size_t count, int src,
                   int tag);
 
+  /// Strided async variants: lower the datatype to its merged segment list
+  /// and hand it straight to the engine, so the eager cell-gather / LMT
+  /// segment paths move the blocks with no intermediate contiguous staging
+  /// buffer (pack-path telemetry records the direct flow).
+  Request isend_strided(const void* base, const Datatype& dt,
+                        std::size_t count, int dst, int tag);
+  Request irecv_strided(void* base, const Datatype& dt, std::size_t count,
+                        int src, int tag);
+
   void wait(const Request& req) { engine_.wait(req); }
   bool test(const Request& req) { return engine_.test(req); }
   void waitall(std::span<Request> reqs);
@@ -484,15 +502,35 @@ class Comm {
                  const std::size_t* sdispls, void* recvbuf,
                  const std::size_t* rcounts, const std::size_t* rdispls);
 
-  enum class ReduceOp { kSum, kMin, kMax };
+  /// Strided collectives: each rank's contribution is `count` elements of
+  /// `dt` (footprint count * extent per peer). The shm path packs blocks
+  /// directly into collective-arena slots — NT streaming stores above the
+  /// tuned pack threshold — and unpacks readers-side straight into the
+  /// strided receive buffer; below coll_activation the merged segment
+  /// lists ride the pt2pt engine. Either way no intermediate contiguous
+  /// staging buffer is materialised.
+  void alltoall_strided(const void* sendbuf, const Datatype& sdt,
+                        std::size_t count, void* recvbuf, const Datatype& rdt);
+  void allgather_strided(const void* sendbuf, const Datatype& sdt,
+                         std::size_t count, void* recvbuf,
+                         const Datatype& rdt);
+
+  enum class ReduceOp { kSum, kProd, kMin, kMax };
   /// Element type selected by tag dispatch below.
   void reduce_f64(const double* in, double* out, std::size_t n, ReduceOp op,
                   int root);
   void allreduce_f64(const double* in, double* out, std::size_t n,
                      ReduceOp op);
+  void reduce_f32(const float* in, float* out, std::size_t n, ReduceOp op,
+                  int root);
+  void allreduce_f32(const float* in, float* out, std::size_t n, ReduceOp op);
   void reduce_i64(const std::int64_t* in, std::int64_t* out, std::size_t n,
                   ReduceOp op, int root);
   void allreduce_i64(const std::int64_t* in, std::int64_t* out, std::size_t n,
+                     ReduceOp op);
+  void reduce_i32(const std::int32_t* in, std::int32_t* out, std::size_t n,
+                  ReduceOp op, int root);
+  void allreduce_i32(const std::int32_t* in, std::int32_t* out, std::size_t n,
                      ReduceOp op);
 
   // --- Utilities ------------------------------------------------------------
@@ -542,21 +580,47 @@ class Comm {
                      const std::size_t* sdispls, void* recvbuf,
                      const std::size_t* rcounts, const std::size_t* rdispls,
                      std::uint64_t epoch);
-  template <typename T, typename OpFn>
-  void reduce_shm(const T* in, T* out, std::size_t n, OpFn op, int root,
+  template <typename T>
+  void reduce_shm(const T* in, T* out, std::size_t n, ReduceOp op, int root,
                   bool all, std::uint64_t epoch);
 
-  template <typename T, typename OpFn>
-  void reduce_impl(const T* in, T* out, std::size_t n, OpFn op, int root,
+  template <typename T>
+  void reduce_impl(const T* in, T* out, std::size_t n, ReduceOp op, int root,
                    int tag_base);
-  template <typename T, typename OpFn>
-  void allreduce_impl(const T* in, T* out, std::size_t n, OpFn op,
+  template <typename T>
+  void allreduce_impl(const T* in, T* out, std::size_t n, ReduceOp op,
                       int tag_base);
-  template <typename T, typename OpFn>
-  void reduce_dispatch(const T* in, T* out, std::size_t n, OpFn op, int root,
-                       bool all);
+  template <typename T>
+  void reduce_dispatch(const T* in, T* out, std::size_t n, ReduceOp op,
+                       int root, bool all);
+
+  /// Pack `count` elements of `dt` at `base` into `dst`, streaming through
+  /// the NT engine above the tuned threshold; bumps the pack-path counters
+  /// (`direct` = destination is a shared slot/cell, not a staging buffer).
+  void pack_into(const void* base, const Datatype& dt, std::size_t count,
+                 std::byte* dst, bool direct);
+  void unpack_from(const std::byte* src, const Datatype& dt,
+                   std::size_t count, void* base);
+
+  /// Strided alltoall over the collective arena (single deposit round;
+  /// callers checked the packed per-dest bytes fit one slot chunk).
+  void alltoall_strided_shm(const void* sendbuf, const Datatype& sdt,
+                            std::size_t count, void* recvbuf,
+                            const Datatype& rdt, std::uint64_t epoch);
+  void alltoall_strided_p2p(const void* sendbuf, const Datatype& sdt,
+                            std::size_t count, void* recvbuf,
+                            const Datatype& rdt);
+  void allgather_strided_shm(const void* sendbuf, const Datatype& sdt,
+                             std::size_t count, void* recvbuf,
+                             const Datatype& rdt, std::uint64_t epoch);
+  void allgather_strided_p2p(const void* sendbuf, const Datatype& sdt,
+                             std::size_t count, void* recvbuf,
+                             const Datatype& rdt);
 
   Engine engine_;
+  /// Reduction receive scratch, grown to the high-water mark once instead
+  /// of a fresh vector per reduction pass.
+  std::vector<std::byte> reduce_scratch_;
 };
 
 /// Launch `cfg.nranks` ranks (threads or forked processes per cfg.mode), run

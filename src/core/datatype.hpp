@@ -1,9 +1,12 @@
-// Minimal MPI-style datatypes: contiguous blocks and strided vectors, plus
-// lowering to segment lists. KNEM cookies take the segment lists directly
-// ("vectorial buffers", one of KNEM's advantages over LiMIC2 per §5).
+// Minimal MPI-style datatypes: contiguous blocks, strided vectors, and
+// indexed block lists, plus lowering to segment lists. KNEM cookies take
+// the segment lists directly ("vectorial buffers", one of KNEM's
+// advantages over LiMIC2 per §5), and the collective pack path streams
+// blocks through the NT engine straight into arena slots.
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "common/iovec.hpp"
 
@@ -11,6 +14,14 @@ namespace nemo::core {
 
 class Datatype {
  public:
+  /// One merged block of an element's layout: `off` bytes from the element
+  /// base, `len` contiguous bytes. Blocks are ascending and non-adjacent
+  /// (adjacent input blocks merge at construction).
+  struct Block {
+    std::size_t off;
+    std::size_t len;
+  };
+
   /// `bytes` contiguous bytes per element.
   static Datatype contiguous(std::size_t bytes);
 
@@ -18,6 +29,14 @@ class Datatype {
   /// (stride >= blocklen). Extent is (count-1)*stride + blocklen.
   static Datatype vector(std::size_t count, std::size_t blocklen,
                          std::size_t stride);
+
+  /// MPI_Type_indexed-style: blocks.size() blocks where block i spans
+  /// [displs[i], displs[i] + blocklens[i]) bytes from the element base.
+  /// Displacements must ascend without overlap; blocks that abut are
+  /// merged, so e.g. {8,8} at {0,8} collapses to contiguous(16). Extent is
+  /// the end of the last block.
+  static Datatype indexed(const std::vector<std::size_t>& blocklens,
+                          const std::vector<std::size_t>& displs);
 
   /// Packed payload bytes of one element.
   [[nodiscard]] std::size_t size() const { return size_; }
@@ -27,27 +46,34 @@ class Datatype {
   [[nodiscard]] std::size_t extent() const { return extent_; }
 
   [[nodiscard]] bool is_contiguous() const {
-    return blocks_ == 1 || blocklen_ == stride_;
+    return blocks_.size() == 1 && blocks_[0].off == 0 &&
+           blocks_[0].len == size_;
   }
 
+  /// Merged per-element layout (ascending, non-adjacent).
+  [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }
+
   /// Lower `count` elements at `base` to a segment list. Adjacent segments
-  /// are merged.
+  /// are merged, including across element boundaries.
   [[nodiscard]] SegmentList map(std::byte* base, std::size_t count) const;
   [[nodiscard]] ConstSegmentList map(const std::byte* base,
                                      std::size_t count) const;
 
   /// Pack `count` elements from `base` into `out` (out must hold
-  /// size()*count bytes); unpack is the inverse.
-  void pack(const std::byte* base, std::size_t count, std::byte* out) const;
-  void unpack(const std::byte* in, std::size_t count, std::byte* base) const;
+  /// size()*count bytes); unpack is the inverse. With `nt` the block
+  /// copies use non-temporal streaming stores — for packed operands big
+  /// enough that caching them would evict the working set (the caller
+  /// gates on the tuned pack_nt_min threshold).
+  void pack(const std::byte* base, std::size_t count, std::byte* out,
+            bool nt = false) const;
+  void unpack(const std::byte* in, std::size_t count, std::byte* base,
+              bool nt = false) const;
 
  private:
-  Datatype(std::size_t blocks, std::size_t blocklen, std::size_t stride);
-  std::size_t blocks_;
-  std::size_t blocklen_;
-  std::size_t stride_;
-  std::size_t size_;
-  std::size_t extent_;
+  Datatype(std::vector<Block> blocks, std::size_t extent);
+  std::vector<Block> blocks_;
+  std::size_t size_ = 0;
+  std::size_t extent_ = 0;
 };
 
 }  // namespace nemo::core

@@ -508,6 +508,11 @@ LmtModels::CollOutcome LmtModels::allreduce_coll(bool shm,
   std::uint64_t slot = alloc_.alloc(slot_bytes);  // Leader staging region.
 
   CollOutcome out_c;
+  // Per-operand combine cost on the folding core: the memory-system part is
+  // charged by the copy/touch models below; this is the ALU chain, divided
+  // by the fold kernel's lane width (Options::fold_lanes).
+  double alu_ns = opt_.fold_ns_per_byte * static_cast<double>(bytes) /
+                  std::max(1.0, opt_.fold_lanes);
   double round_ns = 0;
   auto one_round = [&](bool count_copies) {
     round_ns = 0;
@@ -521,7 +526,8 @@ LmtModels::CollOutcome LmtModels::allreduce_coll(bool shm,
                      cores[0], in[static_cast<std::size_t>(w)],
                      out[0], bytes);
         Cost fold = mem_.touch(cores[0], out[0], bytes);
-        gather_ns += x.fixed_ns + x.cache_ns + x.mem_ns + fold.total();
+        gather_ns += x.fixed_ns + x.cache_ns + x.mem_ns + fold.total() +
+                     alu_ns;
         if (count_copies) out_c.copy_bytes += 2 * bytes;
       }
       double bcast_ns = 0;
@@ -561,7 +567,8 @@ LmtModels::CollOutcome LmtModels::allreduce_coll(bool shm,
     double fold_ns = 0;
     for (int w = 0; w < n; ++w) {
       Cost c = mem_.copy(cores[0], out[0], w == 0 ? in[0] : slot, bytes);
-      fold_ns += c.total();
+      // w == 0 seeds out with the leader's operand (pure copy, no combine).
+      fold_ns += c.total() + (w == 0 ? 0.0 : alu_ns);
     }
     if (count_copies) out_c.copy_bytes += bytes;  // Leader's result chunks.
     double read_ns = 0;

@@ -51,6 +51,14 @@ class LmtModels {
     std::size_t pipe_window = 64 * KiB;
     /// Memory-bus contention factor per extra concurrent streaming flow.
     double contention_per_flow = 0.75;
+    /// ALU cost of the reduction combine per operand byte for a one-lane
+    /// scalar fold (dependent load-op-store chain, not peak FLOPs).
+    double fold_ns_per_byte = 0.12;
+    /// Effective lanes of the leader's fold kernel (1 = scalar, 4 = AVX2
+    /// f64, 8 = AVX-512 f64). Divides the ALU term only — the memory side
+    /// of the fold is width-independent, which is why wide kernels saturate
+    /// against the deposit stream instead of scaling linearly.
+    double fold_lanes = 4.0;
   };
 
   explicit LmtModels(SimMachine machine) : LmtModels(machine, Options{}) {}

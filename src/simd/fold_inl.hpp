@@ -1,0 +1,34 @@
+// The canonical element-wise fold loop: the scalar kernel itself, every
+// vector kernel's remainder tail, and the stub bodies when an ISA is not
+// compiled in. Header-only so the per-ISA translation units share it
+// without a cross-TU call in the hot path. The switch is hoisted out of
+// the loop; each per-op loop is the bit-identity oracle for that op.
+#pragma once
+
+#include <cstddef>
+
+#include "simd/simd.hpp"
+
+namespace nemo::simd::detail {
+
+template <typename T>
+inline void fold_plain(Op op, T* dst, const T* src, std::size_t n) {
+  switch (op) {
+    case Op::kSum:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = dst[i] + src[i];
+      return;
+    case Op::kProd:
+      for (std::size_t i = 0; i < n; ++i) dst[i] = dst[i] * src[i];
+      return;
+    case Op::kMin:
+      for (std::size_t i = 0; i < n; ++i)
+        dst[i] = dst[i] < src[i] ? dst[i] : src[i];
+      return;
+    case Op::kMax:
+      for (std::size_t i = 0; i < n; ++i)
+        dst[i] = dst[i] > src[i] ? dst[i] : src[i];
+      return;
+  }
+}
+
+}  // namespace nemo::simd::detail

@@ -1,0 +1,164 @@
+// AVX-512F fold kernels: 512-bit vertical element-wise combines with
+// unaligned loads/stores and a scalar remainder loop. Built with -mavx512f
+// when the compiler can target it; otherwise stubbed to the plain loop and
+// avx512_compiled() reports the gap so dispatch never selects this kernel.
+//
+// Only the F subset is assumed: int64 min/max exist there
+// (VPMINSQ/VPMAXSQ), but the 64-bit lane multiply (VPMULLQ) is AVX-512DQ,
+// so int64 prod stays on the plain loop — same policy as the AVX2 kernel.
+#include "simd/simd.hpp"
+
+#include "simd/fold_inl.hpp"
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace nemo::simd::detail {
+
+#if defined(__AVX512F__)
+
+bool avx512_compiled() noexcept { return true; }
+
+void fold_avx512(Op op, double* dst, const double* src, std::size_t n) {
+  std::size_t i = 0;
+  switch (op) {
+    case Op::kSum:
+      for (; i + 8 <= n; i += 8)
+        _mm512_storeu_pd(dst + i, _mm512_add_pd(_mm512_loadu_pd(dst + i),
+                                                _mm512_loadu_pd(src + i)));
+      break;
+    case Op::kProd:
+      for (; i + 8 <= n; i += 8)
+        _mm512_storeu_pd(dst + i, _mm512_mul_pd(_mm512_loadu_pd(dst + i),
+                                                _mm512_loadu_pd(src + i)));
+      break;
+    case Op::kMin:
+      // (dst, src) operand order: second operand returned on ties/NaN,
+      // matching the scalar ternary `d < s ? d : s`.
+      for (; i + 8 <= n; i += 8)
+        _mm512_storeu_pd(dst + i, _mm512_min_pd(_mm512_loadu_pd(dst + i),
+                                                _mm512_loadu_pd(src + i)));
+      break;
+    case Op::kMax:
+      for (; i + 8 <= n; i += 8)
+        _mm512_storeu_pd(dst + i, _mm512_max_pd(_mm512_loadu_pd(dst + i),
+                                                _mm512_loadu_pd(src + i)));
+      break;
+  }
+  fold_plain(op, dst + i, src + i, n - i);
+}
+
+void fold_avx512(Op op, float* dst, const float* src, std::size_t n) {
+  std::size_t i = 0;
+  switch (op) {
+    case Op::kSum:
+      for (; i + 16 <= n; i += 16)
+        _mm512_storeu_ps(dst + i, _mm512_add_ps(_mm512_loadu_ps(dst + i),
+                                                _mm512_loadu_ps(src + i)));
+      break;
+    case Op::kProd:
+      for (; i + 16 <= n; i += 16)
+        _mm512_storeu_ps(dst + i, _mm512_mul_ps(_mm512_loadu_ps(dst + i),
+                                                _mm512_loadu_ps(src + i)));
+      break;
+    case Op::kMin:
+      for (; i + 16 <= n; i += 16)
+        _mm512_storeu_ps(dst + i, _mm512_min_ps(_mm512_loadu_ps(dst + i),
+                                                _mm512_loadu_ps(src + i)));
+      break;
+    case Op::kMax:
+      for (; i + 16 <= n; i += 16)
+        _mm512_storeu_ps(dst + i, _mm512_max_ps(_mm512_loadu_ps(dst + i),
+                                                _mm512_loadu_ps(src + i)));
+      break;
+  }
+  fold_plain(op, dst + i, src + i, n - i);
+}
+
+void fold_avx512(Op op, std::int64_t* dst, const std::int64_t* src,
+                 std::size_t n) {
+  if (op == Op::kProd) {
+    fold_plain(op, dst, src, n);
+    return;
+  }
+  std::size_t i = 0;
+  switch (op) {
+    case Op::kSum:
+      for (; i + 8 <= n; i += 8)
+        _mm512_storeu_si512(dst + i,
+                            _mm512_add_epi64(_mm512_loadu_si512(dst + i),
+                                             _mm512_loadu_si512(src + i)));
+      break;
+    case Op::kMin:
+      for (; i + 8 <= n; i += 8)
+        _mm512_storeu_si512(dst + i,
+                            _mm512_min_epi64(_mm512_loadu_si512(dst + i),
+                                             _mm512_loadu_si512(src + i)));
+      break;
+    case Op::kMax:
+      for (; i + 8 <= n; i += 8)
+        _mm512_storeu_si512(dst + i,
+                            _mm512_max_epi64(_mm512_loadu_si512(dst + i),
+                                             _mm512_loadu_si512(src + i)));
+      break;
+    case Op::kProd:
+      break;  // Returned above.
+  }
+  fold_plain(op, dst + i, src + i, n - i);
+}
+
+void fold_avx512(Op op, std::int32_t* dst, const std::int32_t* src,
+                 std::size_t n) {
+  std::size_t i = 0;
+  switch (op) {
+    case Op::kSum:
+      for (; i + 16 <= n; i += 16)
+        _mm512_storeu_si512(dst + i,
+                            _mm512_add_epi32(_mm512_loadu_si512(dst + i),
+                                             _mm512_loadu_si512(src + i)));
+      break;
+    case Op::kProd:
+      for (; i + 16 <= n; i += 16)
+        _mm512_storeu_si512(dst + i,
+                            _mm512_mullo_epi32(_mm512_loadu_si512(dst + i),
+                                               _mm512_loadu_si512(src + i)));
+      break;
+    case Op::kMin:
+      for (; i + 16 <= n; i += 16)
+        _mm512_storeu_si512(dst + i,
+                            _mm512_min_epi32(_mm512_loadu_si512(dst + i),
+                                             _mm512_loadu_si512(src + i)));
+      break;
+    case Op::kMax:
+      for (; i + 16 <= n; i += 16)
+        _mm512_storeu_si512(dst + i,
+                            _mm512_max_epi32(_mm512_loadu_si512(dst + i),
+                                             _mm512_loadu_si512(src + i)));
+      break;
+  }
+  fold_plain(op, dst + i, src + i, n - i);
+}
+
+#else  // !defined(__AVX512F__)
+
+bool avx512_compiled() noexcept { return false; }
+
+void fold_avx512(Op op, double* dst, const double* src, std::size_t n) {
+  fold_plain(op, dst, src, n);
+}
+void fold_avx512(Op op, float* dst, const float* src, std::size_t n) {
+  fold_plain(op, dst, src, n);
+}
+void fold_avx512(Op op, std::int64_t* dst, const std::int64_t* src,
+                 std::size_t n) {
+  fold_plain(op, dst, src, n);
+}
+void fold_avx512(Op op, std::int32_t* dst, const std::int32_t* src,
+                 std::size_t n) {
+  fold_plain(op, dst, src, n);
+}
+
+#endif
+
+}  // namespace nemo::simd::detail

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -165,6 +166,49 @@ std::optional<std::size_t> measure_activation_crossover(
                         std::min<std::size_t>(opt.max_size, 1 * MiB));
 }
 
+std::optional<simd::Choice> measure_simd_kernel(
+    const CalibrationOptions& opt) {
+  std::vector<simd::Kernel> kernels;
+  for (simd::Kernel k : {simd::Kernel::kScalar, simd::Kernel::kAvx2,
+                         simd::Kernel::kAvx512})
+    if (simd::kernel_supported(k)) kernels.push_back(k);
+  if (kernels.empty()) return std::nullopt;
+
+  // One fold pass at a reduction-typical operand size: big enough that the
+  // per-call dispatch overhead vanishes, small enough to stay cache-resident
+  // so the race measures the fold, not memory bandwidth.
+  constexpr std::size_t kFoldBytes = 256 * KiB;
+  constexpr int kPasses = 4;
+  auto time_kernel = [&](simd::Kernel k, auto tag) {
+    using T = decltype(tag);
+    std::size_t n = kFoldBytes / sizeof(T);
+    std::vector<T> dst(n, T{1}), src(n, T{1});
+    return median_ns(opt.repeats, [&] {
+      for (int p = 0; p < kPasses; ++p)
+        simd::fold(k, simd::Op::kSum, dst.data(), src.data(), n);
+    });
+  };
+
+  simd::Kernel best = kernels.front();
+  double best_ns = std::numeric_limits<double>::infinity();
+  for (simd::Kernel k : kernels) {
+    double ns = time_kernel(k, double{}) + time_kernel(k, float{}) +
+                time_kernel(k, std::int32_t{});
+    if (opt.verbose)
+      std::printf("  [simd] %s fold: %.0fns\n", simd::kernel_name(k), ns);
+    if (ns < best_ns) {
+      best_ns = ns;
+      best = k;
+    }
+  }
+  switch (best) {
+    case simd::Kernel::kAvx512: return simd::Choice::kAvx512;
+    case simd::Kernel::kAvx2: return simd::Choice::kAvx2;
+    case simd::Kernel::kScalar: break;
+  }
+  return simd::Choice::kScalar;
+}
+
 TuningTable calibrate(const Topology& topo, const CalibrationOptions& opt) {
   TuningTable t = formula_defaults(topo);
   t.source = "calibrated";
@@ -233,6 +277,17 @@ TuningTable calibrate(const Topology& topo, const CalibrationOptions& opt) {
     } else if (opt.verbose) {
       std::printf("  coll_activation: %s (formula; probe unavailable)\n",
                   format_size(t.coll_activation).c_str());
+    }
+  }
+
+  // Fold-kernel race: every reduction on this host folds through the
+  // recorded winner (a concrete choice, so a cached table replays the
+  // selection without re-probing CPUID).
+  if (opt.simd) {
+    if (auto k = measure_simd_kernel(opt)) {
+      t.simd_kernel = *k;
+      if (opt.verbose)
+        std::printf("  simd_kernel: %s (measured)\n", simd::choice_name(*k));
     }
   }
 

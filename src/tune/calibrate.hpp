@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "common/topology.hpp"
+#include "simd/simd.hpp"
 #include "tune/tuning.hpp"
 
 namespace nemo::tune {
@@ -53,6 +54,9 @@ struct CalibrationOptions {
   /// skipped, keeping the formula default, when the host cannot run ranks
   /// in parallel).
   bool coll = true;
+  /// Race the reduction fold kernels (scalar vs each compiled+supported
+  /// vector ISA, per element type) and pin the winner in the table.
+  bool simd = true;
 };
 
 /// Measure this machine and return a table with source == "calibrated".
@@ -160,6 +164,15 @@ std::optional<double> measure_pair_latency_ns(int core_a, int core_b,
 /// or when the arena path never wins on the probed range.
 std::optional<std::size_t> measure_coll_crossover(
     const Topology& topo, const TuningTable& t,
+    const CalibrationOptions& opt);
+
+/// Race the reduction fold through every compiled+supported kernel (scalar
+/// always runs; AVX2/AVX-512 when the host has them) over f64/f32/i32
+/// operands at a reduction-typical size, and return the fastest as a
+/// CONCRETE table choice (never kAuto — a cached table must replay the same
+/// selection without re-probing CPUID). nullopt only if no kernel can run
+/// (never on hosts this code compiles for — scalar is always supported).
+std::optional<simd::Choice> measure_simd_kernel(
     const CalibrationOptions& opt);
 
 }  // namespace nemo::tune

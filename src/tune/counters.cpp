@@ -27,6 +27,18 @@ Counters& Counters::operator+=(const Counters& o) {
   coll_barrier_tree += o.coll_barrier_tree;
   um_pool_hits += o.um_pool_hits;
   um_pool_misses += o.um_pool_misses;
+  for (int i = 0; i < kSimdKernels; ++i) {
+    simd_fold_ops[static_cast<std::size_t>(i)] +=
+        o.simd_fold_ops[static_cast<std::size_t>(i)];
+    simd_fold_bytes[static_cast<std::size_t>(i)] +=
+        o.simd_fold_bytes[static_cast<std::size_t>(i)];
+  }
+  pack_direct_ops += o.pack_direct_ops;
+  pack_direct_bytes += o.pack_direct_bytes;
+  pack_staged_ops += o.pack_staged_ops;
+  pack_staged_bytes += o.pack_staged_bytes;
+  pack_nt_ops += o.pack_nt_ops;
+  unpack_ops += o.unpack_ops;
   return *this;
 }
 
@@ -87,6 +99,30 @@ Json counters_to_json(const Counters& c, int rank) {
 
   j.set("um_pool_hits", c.um_pool_hits);
   j.set("um_pool_misses", c.um_pool_misses);
+
+  // Kernel-path histogram, keyed by kernel name (sparse like the size
+  // classes so unexercised kernels do not clutter the dump).
+  Json simd = Json::object();
+  const char* kernel_names[Counters::kSimdKernels] = {"scalar", "avx2",
+                                                      "avx512"};
+  for (int i = 0; i < Counters::kSimdKernels; ++i) {
+    auto si = static_cast<std::size_t>(i);
+    if (c.simd_fold_ops[si] == 0 && c.simd_fold_bytes[si] == 0) continue;
+    Json k = Json::object();
+    k.set("fold_ops", c.simd_fold_ops[si]);
+    k.set("fold_bytes", c.simd_fold_bytes[si]);
+    simd.set(kernel_names[i], std::move(k));
+  }
+  j.set("simd", std::move(simd));
+
+  Json pack = Json::object();
+  pack.set("direct_ops", c.pack_direct_ops);
+  pack.set("direct_bytes", c.pack_direct_bytes);
+  pack.set("staged_ops", c.pack_staged_ops);
+  pack.set("staged_bytes", c.pack_staged_bytes);
+  pack.set("nt_ops", c.pack_nt_ops);
+  pack.set("unpack_ops", c.unpack_ops);
+  j.set("pack", std::move(pack));
   return j;
 }
 

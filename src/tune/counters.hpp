@@ -47,6 +47,24 @@ struct Counters {
   std::uint64_t um_pool_hits = 0;    ///< Reused a pooled buffer, no alloc.
   std::uint64_t um_pool_misses = 0;  ///< Pool empty or buffer too small.
 
+  /// Reduction fold kernel histogram, indexed by simd::Kernel (0 scalar,
+  /// 1 avx2, 2 avx512). One op = one per-chunk fold call.
+  static constexpr int kSimdKernels = 3;
+  std::array<std::uint64_t, kSimdKernels> simd_fold_ops{};
+  std::array<std::uint64_t, kSimdKernels> simd_fold_bytes{};
+
+  // Datatype pack/unpack path telemetry. `direct` = packed straight into a
+  // shared destination (collective-arena slot, fastbox/ring cell);
+  // `staged` = packed into a private contiguous staging buffer first (the
+  // copy the strided collectives exist to eliminate — a test asserts this
+  // stays zero on the shm strided path).
+  std::uint64_t pack_direct_ops = 0;
+  std::uint64_t pack_direct_bytes = 0;
+  std::uint64_t pack_staged_ops = 0;
+  std::uint64_t pack_staged_bytes = 0;
+  std::uint64_t pack_nt_ops = 0;  ///< Packs that streamed via NT stores.
+  std::uint64_t unpack_ops = 0;   ///< Unpacks from shared slots/cells.
+
   static int size_class(std::size_t bytes) {
     int c = 0;
     while (bytes > 1 && c < kSizeClasses - 1) {

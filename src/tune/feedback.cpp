@@ -25,6 +25,9 @@ constexpr std::uint32_t kDrainBudgetCap = 4096;
 constexpr std::uint32_t kRingBufsCap = 32;
 constexpr std::uint32_t kFastboxSlotsCap = 64;
 constexpr std::size_t kCollActivationCap = 1 * MiB;
+/// Lowest pack_nt_min the feedback pass may set: below this the streamed
+/// stores cost more than the eviction they avoid on any plausible LLC.
+constexpr std::size_t kPackNtFloor = 64 * KiB;
 
 }  // namespace
 
@@ -98,6 +101,24 @@ TuningTable apply_counter_feedback(TuningTable t, const Counters& c,
             "  feedback: %.1f epoch stalls per shm collective -> "
             "coll_activation %zu\n",
             coll_stall, t.coll_activation);
+    }
+  }
+  // Pack-path reaction: datatype packs that average at least half the NT
+  // cutoff without ever crossing it rewrite near-LLC-sized blocks through
+  // the cache on every strided collective, evicting the working set the
+  // cutoff exists to protect. Lower pack_nt_min to the observed average
+  // (floored well above the streaming break-even) so they start streaming.
+  std::uint64_t pack_ops = c.pack_direct_ops + c.pack_staged_ops;
+  if (pack_ops > 0 && c.pack_nt_ops == 0 && t.pack_nt_min != 0 &&
+      t.pack_nt_min != SIZE_MAX) {
+    std::size_t avg = static_cast<std::size_t>(
+        (c.pack_direct_bytes + c.pack_staged_bytes) / pack_ops);
+    if (avg >= t.pack_nt_min / 2) {
+      t.pack_nt_min = std::max<std::size_t>(kPackNtFloor, avg);
+      if (opt.verbose)
+        std::printf("  feedback: packs avg %zu B, none streamed -> "
+                    "pack_nt_min %zu\n",
+                    avg, t.pack_nt_min);
     }
   }
   return t;

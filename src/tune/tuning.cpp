@@ -98,6 +98,10 @@ TuningTable formula_defaults(const Topology& topo) {
   }
   t.fastbox_max = 2 * KiB - 64;  // One default slot's payload.
   t.barrier_tree_k = coll::default_barrier_tree_k(topo);
+  // Packed strided operands stream under the same don't-flush-the-cache
+  // bound as the ring copies; the kernel stays CPUID-auto until the simd
+  // probe measures a concrete winner.
+  t.pack_nt_min = host_default;
   return t;
 }
 
@@ -153,6 +157,10 @@ TuningTable with_env_overrides(TuningTable t) {
   if (auto v = coll_slot_bytes_from_env())
     t.coll_slot_bytes = static_cast<std::uint32_t>(*v);
   if (auto v = barrier_tree_ranks_from_env()) t.barrier_tree_ranks = *v;
+  if (auto v = env_str("NEMO_SIMD"))
+    t.simd_kernel = simd::choice_from_string(*v, "NEMO_SIMD");
+  if (env_str("NEMO_PACK_NT_MIN"))
+    t.pack_nt_min = env_size("NEMO_PACK_NT_MIN", t.pack_nt_min);
   return t;
 }
 
@@ -187,11 +195,12 @@ std::optional<std::size_t> coll_slot_bytes_from_env() {
 
 std::string to_json(const TuningTable& t) {
   Json root = Json::object();
-  // Schema 2 added the coll_* fields, schema 3 the barrier_tree_* fields.
-  // from_json still accepts schemas 1 and 2 (missing fields keep their
-  // formula defaults) so a pre-existing cache degrades to "newer fields
-  // uncalibrated", not a parse error.
-  root.set("schema", std::string("nemo-tune/3"));
+  // Schema 2 added the coll_* fields, schema 3 the barrier_tree_* fields,
+  // schema 4 the simd_kernel / pack_nt_min rows. from_json still accepts
+  // schemas 1-3 (missing fields keep their formula defaults) so a
+  // pre-existing cache degrades to "newer fields uncalibrated", not a
+  // parse error.
+  root.set("schema", std::string("nemo-tune/4"));
   root.set("fingerprint", t.fingerprint);
   root.set("source", t.source);
 
@@ -224,6 +233,8 @@ std::string to_json(const TuningTable& t) {
   root.set("barrier_tree_ranks",
            static_cast<std::uint64_t>(t.barrier_tree_ranks));
   root.set("barrier_tree_k", static_cast<std::uint64_t>(t.barrier_tree_k));
+  root.set("simd_kernel", std::string(simd::choice_name(t.simd_kernel)));
+  root.set("pack_nt_min", static_cast<std::uint64_t>(t.pack_nt_min));
   return root.dump() + "\n";
 }
 
@@ -233,7 +244,7 @@ std::optional<TuningTable> from_json(const std::string& text,
   if (!doc) return std::nullopt;
   std::string schema = (*doc)["schema"].as_string();
   if (schema != "nemo-tune/1" && schema != "nemo-tune/2" &&
-      schema != "nemo-tune/3") {
+      schema != "nemo-tune/3" && schema != "nemo-tune/4") {
     if (err != nullptr) *err = "unknown schema";
     return std::nullopt;
   }
@@ -276,6 +287,15 @@ std::optional<TuningTable> from_json(const std::string& text,
       (*doc)["barrier_tree_ranks"].as_uint(t.barrier_tree_ranks));
   t.barrier_tree_k = static_cast<std::uint32_t>(
       (*doc)["barrier_tree_k"].as_uint(t.barrier_tree_k));
+  if (std::string k = (*doc)["simd_kernel"].as_string(); !k.empty()) {
+    try {
+      t.simd_kernel = simd::choice_from_string(k, "simd_kernel");
+    } catch (const std::invalid_argument&) {
+      if (err != nullptr) *err = "unknown simd_kernel";
+      return std::nullopt;
+    }
+  }
+  t.pack_nt_min = (*doc)["pack_nt_min"].as_uint(t.pack_nt_min);
   // A hand-edited or truncated cache must degrade to the formulas, not trip
   // always-compiled asserts in every program on the machine (the fastbox
   // geometry feeds shm::Fastbox::create directly, the ring geometry

@@ -20,6 +20,7 @@
 
 #include "common/common.hpp"
 #include "common/topology.hpp"
+#include "simd/simd.hpp"
 
 namespace nemo::tune {
 
@@ -117,6 +118,17 @@ struct TuningTable {
   /// parent gathers an LLC-sharing domain); clamped to [2, 64] on load.
   std::uint32_t barrier_tree_k = 4;
 
+  /// Reduction kernel the collective folds run with. kAuto defers to CPUID
+  /// (best supported, AVX-512 -> AVX2 -> scalar) when the World resolves
+  /// it; the calibrate simd probe records a concrete winner. NEMO_SIMD
+  /// overrides.
+  simd::Choice simd_kernel = simd::Choice::kAuto;
+  /// Minimum contiguous block run at which datatype pack/unpack streams
+  /// through the NT engine (packed strided operands evict the cache the
+  /// same way big contiguous copies do). 0 = formula: the same half-LLC
+  /// bound as nt_min. SIZE_MAX (NEMO_PACK_NT_MIN=off) = never.
+  std::size_t pack_nt_min = 0;
+
   [[nodiscard]] const PlacementTuning& for_placement(PairPlacement p) const {
     return place[static_cast<std::size_t>(p)];
   }
@@ -155,9 +167,9 @@ TuningTable formula_defaults(const Topology& topo);
 /// NEMO_FASTBOX_MAX, NEMO_FASTBOX_SLOTS, NEMO_FASTBOX_SLOT_BYTES,
 /// NEMO_DRAIN_BUDGET, NEMO_DMA_MIN, NEMO_BACKEND, NEMO_RING_BUFS,
 /// NEMO_RING_BUF_BYTES, NEMO_POLL_HOT, NEMO_COLL_ACTIVATION,
-/// NEMO_COLL_SLOT_BYTES, NEMO_BARRIER_TREE) on top of `t` — the "env beats
-/// cache beats formula" precedence every entry point shares. See
-/// docs/TUNING.md for the authoritative knob table.
+/// NEMO_COLL_SLOT_BYTES, NEMO_BARRIER_TREE, NEMO_SIMD, NEMO_PACK_NT_MIN)
+/// on top of `t` — the "env beats cache beats formula" precedence every
+/// entry point shares. See docs/TUNING.md for the authoritative knob table.
 TuningTable with_env_overrides(TuningTable t);
 
 /// Parse NEMO_BARRIER_TREE into a barrier_tree_ranks threshold: `off`/`0`

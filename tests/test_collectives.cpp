@@ -385,6 +385,121 @@ TEST_P(CollCross, AlltoallvRaggedWithZeros) {
   });
 }
 
+TEST_P(CollCross, AlltoallStridedPacksDirectWithZeroStaging) {
+  run(config(), [&](Comm& comm) {
+    int n = comm.size();
+    int me = comm.rank();
+    // Send and receive layouts differ (same packed size): the op must
+    // re-block, not just move bytes. 720 packed bytes per destination fit
+    // one per-dest slot chunk at every tested rank count, so the shm
+    // family engages whenever the forced mode asks for it.
+    Datatype sdt = Datatype::vector(3, 48, 96);
+    Datatype rdt = Datatype::vector(2, 72, 100);
+    ASSERT_EQ(sdt.size(), rdt.size());
+    const std::size_t count = 5;
+    std::size_t sext = sdt.extent() * count, rext = rdt.extent() * count;
+    std::size_t packed = sdt.size() * count;
+    auto nsz = static_cast<std::size_t>(n);
+    std::vector<std::byte> send(sext * nsz, std::byte{0});
+    std::vector<std::byte> recv(rext * nsz, std::byte{0xee});
+    auto seed = [](int s, int d) {
+      return static_cast<std::uint64_t>(s) * 977 +
+             static_cast<std::uint64_t>(d);
+    };
+    std::vector<std::byte> pk(packed);
+    for (int d = 0; d < n; ++d) {
+      pattern_fill(pk, seed(me, d));
+      sdt.unpack(pk.data(), count,
+                 send.data() + static_cast<std::size_t>(d) * sext);
+    }
+
+    const tune::Counters& c = comm.engine().counters();
+    std::uint64_t staged0 = c.pack_staged_ops;
+    std::uint64_t direct0 = c.pack_direct_ops;
+    comm.alltoall_strided(send.data(), sdt, count, recv.data(), rdt);
+
+    // The acceptance property: the strided flow never materialises an
+    // intermediate contiguous staging buffer, on either family.
+    EXPECT_EQ(c.pack_staged_ops, staged0);
+    if (n > 1) EXPECT_GT(c.pack_direct_ops, direct0);
+
+    for (int s = 0; s < n; ++s) {
+      rdt.pack(recv.data() + static_cast<std::size_t>(s) * rext, count,
+               pk.data());
+      EXPECT_EQ(pattern_check(pk, seed(s, me)), kPatternOk)
+          << "from " << s;
+    }
+  });
+}
+
+TEST_P(CollCross, AllgatherStridedIndexedReceiveLayout) {
+  run(config(), [&](Comm& comm) {
+    int n = comm.size();
+    int me = comm.rank();
+    Datatype sdt = Datatype::vector(4, 40, 64);
+    Datatype rdt = Datatype::indexed({100, 60}, {0, 128});
+    ASSERT_EQ(sdt.size(), rdt.size());
+    const std::size_t count = 6;  // 960 packed bytes: fits the test slot.
+    std::size_t sext = sdt.extent() * count, rext = rdt.extent() * count;
+    std::size_t packed = sdt.size() * count;
+    std::vector<std::byte> send(sext, std::byte{0});
+    std::vector<std::byte> recv(rext * static_cast<std::size_t>(n),
+                                std::byte{0xee});
+    std::vector<std::byte> pk(packed);
+    pattern_fill(pk, 4242u + static_cast<std::uint64_t>(me));
+    sdt.unpack(pk.data(), count, send.data());
+
+    const tune::Counters& c = comm.engine().counters();
+    std::uint64_t staged0 = c.pack_staged_ops;
+    comm.allgather_strided(send.data(), sdt, count, recv.data(), rdt);
+    EXPECT_EQ(c.pack_staged_ops, staged0);
+
+    for (int w = 0; w < n; ++w) {
+      rdt.pack(recv.data() + static_cast<std::size_t>(w) * rext, count,
+               pk.data());
+      EXPECT_EQ(pattern_check(pk, 4242u + static_cast<std::uint64_t>(w)),
+                kPatternOk)
+          << "block " << w;
+    }
+  });
+}
+
+TEST_P(CollCross, AlltoallStridedOverflowingChunkFallsBackCorrectly) {
+  run(config(), [&](Comm& comm) {
+    int n = comm.size();
+    int me = comm.rank();
+    // Packed per-dest block (20 KiB) exceeds any per-dest chunk of the
+    // 16 KiB test slot: the op must take the segment-list p2p family even
+    // under forced shm, and still never stage.
+    Datatype dt = Datatype::vector(10, 2048, 4096);
+    const std::size_t count = 1;
+    std::size_t ext = dt.extent() * count;
+    std::size_t packed = dt.size() * count;
+    auto nsz = static_cast<std::size_t>(n);
+    std::vector<std::byte> send(ext * nsz, std::byte{0});
+    std::vector<std::byte> recv(ext * nsz, std::byte{0xee});
+    std::vector<std::byte> pk(packed);
+    for (int d = 0; d < n; ++d) {
+      pattern_fill(pk, static_cast<std::uint64_t>(me) * 53 +
+                           static_cast<std::uint64_t>(d));
+      dt.unpack(pk.data(), count,
+                send.data() + static_cast<std::size_t>(d) * ext);
+    }
+    const tune::Counters& c = comm.engine().counters();
+    std::uint64_t staged0 = c.pack_staged_ops;
+    comm.alltoall_strided(send.data(), dt, count, recv.data(), dt);
+    EXPECT_EQ(c.pack_staged_ops, staged0);
+    for (int s = 0; s < n; ++s) {
+      dt.pack(recv.data() + static_cast<std::size_t>(s) * ext, count,
+              pk.data());
+      EXPECT_EQ(pattern_check(pk, static_cast<std::uint64_t>(s) * 53 +
+                                      static_cast<std::uint64_t>(me)),
+                kPatternOk)
+          << "from " << s;
+    }
+  });
+}
+
 TEST_P(CollCross, ReduceAllreduceAllSizes) {
   run(config(), [&](Comm& comm) {
     int n = comm.size();

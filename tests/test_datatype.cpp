@@ -60,6 +60,83 @@ TEST(Datatype, AdjacentBlocksAcrossElementsMerge) {
   EXPECT_EQ(segs[0].len, 64u);
 }
 
+TEST(Datatype, IndexedGeometryAndMerging) {
+  // Three blocks, the middle two abutting: {4@0, 8@16, 8@24} -> two merged
+  // blocks {4@0, 16@16}.
+  Datatype dt = Datatype::indexed({4, 8, 8}, {0, 16, 24});
+  EXPECT_EQ(dt.size(), 20u);
+  EXPECT_EQ(dt.extent(), 32u);
+  EXPECT_FALSE(dt.is_contiguous());
+  ASSERT_EQ(dt.blocks().size(), 2u);
+  EXPECT_EQ(dt.blocks()[0].off, 0u);
+  EXPECT_EQ(dt.blocks()[0].len, 4u);
+  EXPECT_EQ(dt.blocks()[1].off, 16u);
+  EXPECT_EQ(dt.blocks()[1].len, 16u);
+}
+
+TEST(Datatype, IndexedFullyAdjacentCollapsesToContiguous) {
+  Datatype dt = Datatype::indexed({8, 8, 16}, {0, 8, 16});
+  EXPECT_TRUE(dt.is_contiguous());
+  EXPECT_EQ(dt.size(), 32u);
+  EXPECT_EQ(dt.extent(), 32u);
+}
+
+TEST(Datatype, IndexedLeadingGapIsNotContiguous) {
+  // A single block not at offset 0 packs fine but is not contiguous (the
+  // element base does not coincide with the data).
+  Datatype dt = Datatype::indexed({16}, {8});
+  EXPECT_FALSE(dt.is_contiguous());
+  EXPECT_EQ(dt.size(), 16u);
+  EXPECT_EQ(dt.extent(), 24u);
+}
+
+TEST(Datatype, IndexedMapPackUnpackRoundTrip) {
+  Datatype dt = Datatype::indexed({3, 5, 2}, {1, 10, 20});
+  constexpr std::size_t kElems = 6;
+  std::vector<std::byte> original(dt.extent() * kElems);
+  pattern_fill(original, 97);
+
+  std::vector<std::byte> packed(dt.size() * kElems);
+  dt.pack(original.data(), kElems, packed.data());
+  std::vector<std::byte> restored(original.size(), std::byte{0});
+  dt.unpack(packed.data(), kElems, restored.data());
+
+  SegmentList segs = dt.map(restored.data(), kElems);
+  SegmentList orig_segs = dt.map(original.data(), kElems);
+  ASSERT_EQ(segs.size(), orig_segs.size());
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    ASSERT_EQ(segs[i].len, orig_segs[i].len);
+    EXPECT_EQ(std::memcmp(segs[i].base, orig_segs[i].base, segs[i].len), 0);
+  }
+  EXPECT_EQ(total_bytes(segs), packed.size());
+  // Gap bytes stay zero after unpack.
+  std::size_t nonzero = 0;
+  for (std::byte b : restored)
+    if (b != std::byte{0}) ++nonzero;
+  EXPECT_LE(nonzero, dt.size() * kElems);
+}
+
+TEST(Datatype, PackWithNtStoresMatchesCachedPack) {
+  // The NT path is a pure transport choice: byte-identical output.
+  Datatype dt = Datatype::vector(8, 96, 160);
+  constexpr std::size_t kElems = 16;
+  std::vector<std::byte> src(dt.extent() * kElems);
+  pattern_fill(src, 1234);
+  std::vector<std::byte> cached(dt.size() * kElems);
+  std::vector<std::byte> streamed(dt.size() * kElems);
+  dt.pack(src.data(), kElems, cached.data(), /*nt=*/false);
+  dt.pack(src.data(), kElems, streamed.data(), /*nt=*/true);
+  EXPECT_EQ(std::memcmp(cached.data(), streamed.data(), cached.size()), 0);
+
+  std::vector<std::byte> back(src.size(), std::byte{0});
+  dt.unpack(streamed.data(), kElems, back.data(), /*nt=*/true);
+  SegmentList a = dt.map(src.data(), kElems);
+  SegmentList b = dt.map(back.data(), kElems);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(std::memcmp(a[i].base, b[i].base, a[i].len), 0);
+}
+
 using Geometry = std::tuple<std::size_t, std::size_t, std::size_t,
                             std::size_t>;  // count, blocklen, stride, elems
 

@@ -136,14 +136,14 @@ TEST(TuningTable, JsonRoundTripPreservesEveryField) {
   EXPECT_EQ(r->drain_budget, 512u);
 }
 
-TEST(TuningTable, CollAndBarrierFieldsRoundTripInSchema3) {
+TEST(TuningTable, CollAndBarrierFieldsRoundTrip) {
   TuningTable t = formula_defaults(xeon_e5345());
   t.coll_activation = 48 * KiB;
   t.coll_slot_bytes = 128 * KiB;
   t.barrier_tree_ranks = 12;
   t.barrier_tree_k = 3;
   std::string body = to_json(t);
-  EXPECT_NE(body.find("nemo-tune/3"), std::string::npos);
+  EXPECT_NE(body.find("nemo-tune/4"), std::string::npos);
   auto r = from_json(body);
   ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->coll_activation, 48 * KiB);
@@ -161,15 +161,58 @@ TEST(TuningTable, CollAndBarrierFieldsRoundTripInSchema3) {
   EXPECT_FALSE(from_json(to_json(bad)).has_value());
 }
 
+TEST(TuningTable, SimdAndPackFieldsRoundTripInSchema4) {
+  TuningTable t = formula_defaults(xeon_e5345());
+  t.simd_kernel = simd::Choice::kAvx2;
+  t.pack_nt_min = 384 * KiB;
+  auto r = from_json(to_json(t));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->simd_kernel, simd::Choice::kAvx2);
+  EXPECT_EQ(r->pack_nt_min, 384 * KiB);
+  // An unknown kernel string is a corrupt cache, not a silent kAuto.
+  std::string body = to_json(t);
+  auto at = body.find("\"avx2\"");
+  ASSERT_NE(at, std::string::npos);
+  body.replace(at, std::strlen("\"avx2\""), "\"mmx9\"");
+  EXPECT_FALSE(from_json(body).has_value());
+}
+
+TEST(TuningTable, Schema3CachesStillLoadWithSimdDefaults) {
+  // A schema-3 cache (pre simd_kernel / pack_nt_min) must load gracefully:
+  // its fields apply and the new axes keep their defaults (kAuto / formula).
+  TuningTable t = formula_defaults(xeon_e5345());
+  t.coll_activation = 96 * KiB;
+  std::string body = to_json(t);
+  auto at = body.find("nemo-tune/4");
+  ASSERT_NE(at, std::string::npos);
+  body.replace(at, std::strlen("nemo-tune/4"), "nemo-tune/3");
+  auto strip = [&body](const std::string& key) {
+    auto p = body.find("\"" + key + "\"");
+    ASSERT_NE(p, std::string::npos);
+    auto c = body.rfind(',', p);
+    ASSERT_NE(c, std::string::npos);
+    auto q = body.find_first_of(",}", p);
+    ASSERT_NE(q, std::string::npos);
+    body.erase(c, q - c);
+  };
+  strip("simd_kernel");
+  strip("pack_nt_min");
+  auto r = from_json(body);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->coll_activation, 96 * KiB);
+  EXPECT_EQ(r->simd_kernel, simd::Choice::kAuto);
+  EXPECT_EQ(r->pack_nt_min, 0u);
+}
+
 TEST(TuningTable, Schema2CachesStillLoadWithBarrierDefaults) {
   // A schema-2 cache (pre barrier_tree_*) must load gracefully: its fields
   // apply and the barrier fields keep their defaults.
   TuningTable t = formula_defaults(xeon_e5345());
   t.coll_activation = 96 * KiB;
   std::string body = to_json(t);
-  auto at = body.find("nemo-tune/3");
+  auto at = body.find("nemo-tune/4");
   ASSERT_NE(at, std::string::npos);
-  body.replace(at, std::strlen("nemo-tune/3"), "nemo-tune/2");
+  body.replace(at, std::strlen("nemo-tune/4"), "nemo-tune/2");
   auto strip = [&body](const std::string& key) {
     auto p = body.find("\"" + key + "\"");
     ASSERT_NE(p, std::string::npos);
@@ -196,9 +239,9 @@ TEST(TuningTable, Schema1CachesStillLoadWithCollDefaults) {
   TuningTable t = formula_defaults(xeon_e5345());
   t.drain_budget = 333;
   std::string body = to_json(t);
-  auto at = body.find("nemo-tune/3");
+  auto at = body.find("nemo-tune/4");
   ASSERT_NE(at, std::string::npos);
-  body.replace(at, std::strlen("nemo-tune/3"), "nemo-tune/1");
+  body.replace(at, std::strlen("nemo-tune/4"), "nemo-tune/1");
   // Strip the coll keys as an old writer would never have emitted them
   // (erasing from the preceding comma keeps the JSON well-formed even for
   // the object's last member).
@@ -469,6 +512,45 @@ TEST(Feedback, CollEpochStallsRaiseTheCollActivation) {
   Counters none;
   none.progress_passes = 1000;
   EXPECT_EQ(apply_counter_feedback(t, none).coll_activation, 16 * KiB);
+}
+
+TEST(Feedback, NearThresholdPacksLowerThePackNtCutoff) {
+  TuningTable t = formula_defaults(xeon_e5345());
+  t.pack_nt_min = 2 * MiB;
+  Counters c;
+  c.progress_passes = 1000;
+  c.pack_direct_ops = 100;
+  c.pack_direct_bytes = 100 * (1536 * KiB);  // Avg 1.5 MiB: above half the
+  c.pack_nt_ops = 0;                         // cutoff, never streamed.
+  TuningTable out = apply_counter_feedback(t, c);
+  EXPECT_EQ(out.pack_nt_min, 1536 * KiB);
+
+  // Small packs (below half the cutoff) are healthy cached traffic.
+  Counters small;
+  small.progress_passes = 1000;
+  small.pack_direct_ops = 100;
+  small.pack_direct_bytes = 100 * (4 * KiB);
+  EXPECT_EQ(apply_counter_feedback(t, small).pack_nt_min, 2 * MiB);
+
+  // Packs that already stream need no reaction.
+  Counters streaming = c;
+  streaming.pack_nt_ops = 100;
+  EXPECT_EQ(apply_counter_feedback(t, streaming).pack_nt_min, 2 * MiB);
+
+  // The formula sentinel (0) and the "never" sentinel are user intent the
+  // feedback pass must not overwrite.
+  TuningTable never = t;
+  never.pack_nt_min = SIZE_MAX;
+  EXPECT_EQ(apply_counter_feedback(never, c).pack_nt_min, SIZE_MAX);
+
+  // The reaction floors at 64 KiB even when the average sits below it.
+  TuningTable low = t;
+  low.pack_nt_min = 32 * KiB;
+  Counters tiny;
+  tiny.progress_passes = 1000;
+  tiny.pack_direct_ops = 100;
+  tiny.pack_direct_bytes = 100 * (20 * KiB);  // >= half of 32 KiB.
+  EXPECT_EQ(apply_counter_feedback(low, tiny).pack_nt_min, 64 * KiB);
 }
 
 TEST(Feedback, FastboxPressureGrowsSlotsAndEnablesHotPolling) {
