@@ -86,8 +86,15 @@ inline double real_pingpong_mibs(core::Config cfg, std::size_t bytes,
       }
     }
     comm.hard_barrier();
+    // Per-iteration round-trip samples feed the pt2pt latency histogram
+    // only while tracing is on; the throughput row keeps the untimed loop.
+    trace::Histogram* lat_hist =
+        trace::on() && comm.rank() == 0
+            ? &trace::registry().hist("pt2pt.pingpong_rtt_ns")
+            : nullptr;
     Timer t;
     for (int i = 0; i < iters; ++i) {
+      std::uint64_t it0 = lat_hist != nullptr ? now_ns() : 0;
       if (comm.rank() == 0) {
         comm.send(buf, bytes, peer, 1);
         comm.recv(buf, bytes, peer, 2);
@@ -95,6 +102,7 @@ inline double real_pingpong_mibs(core::Config cfg, std::size_t bytes,
         comm.recv(buf, bytes, peer, 1);
         comm.send(buf, bytes, peer, 2);
       }
+      if (lat_hist != nullptr) lat_hist->record(now_ns() - it0);
     }
     std::uint64_t ns = t.elapsed_ns();
     if (comm.rank() == 0) {

@@ -171,11 +171,17 @@ int main(int argc, char** argv) {
   opt.declare("samples", "timed bursts per point, median kept (default 3)");
   opt.declare("smoke", "few points / fewer iters (bench_smoke)");
   opt.declare("skip-real", "only the simulator columns");
+  opt.declare("trace", "write a nemo-trace/1 ring dump to this file");
   opt.finalize();
   bool smoke = opt.get_flag("smoke");
   int iters = static_cast<int>(opt.get_int("iters", smoke ? 4 : 8));
   int samples = static_cast<int>(opt.get_int("samples", 3));
   bool real = !opt.get_flag("skip-real");
+  std::string trace_path = opt.get("trace", "");
+  if (!trace_path.empty()) {
+    setenv("NEMO_TRACE", "rings", /*overwrite=*/0);
+    trace::reload_mode();
+  }
 
   std::vector<int> rank_counts = smoke ? std::vector<int>{4, 8}
                                        : std::vector<int>{2, 4, 8};
@@ -328,7 +334,41 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Trace-overhead budget rows: the 8-rank 256 KiB shm allreduce with
+  // NEMO_TRACE pinned off vs rings. check_bench_regression --diff groups
+  // rows differing only in "trace" and prints the percentage against the
+  // <1% (off) / <5% (rings) budget; test_trace_overhead enforces it.
+  std::printf("# Trace overhead — allreduce 8x256KiB shm, off vs rings\n");
+  for (const char* tmode : {"off", "rings"}) {
+    double wall_us = 0.0;
+    {
+      ScopedEnv tenv("NEMO_TRACE", tmode);
+      trace::reload_mode();
+      wall_us = real ? real_coll_us(coll::Mode::kShm, "allreduce", 8,
+                                    256 * KiB, iters, samples)
+                     : 0.0;
+    }
+    trace::reload_mode();  // Back to the ambient / --trace mode.
+    std::printf("%-9s %5d %9zu %5s %12.1f %12s %14s %12s\n", "allreduce", 8,
+                static_cast<std::size_t>(256 * KiB), tmode, wall_us, "-",
+                "-", "-");
+    char row[512];
+    std::snprintf(row, sizeof row,
+                  "{\"op\": \"allreduce\", \"ranks\": 8, \"bytes\": %zu, "
+                  "\"mode\": \"shm\", \"trace\": \"%s\", \"wall_us\": %.2f}",
+                  static_cast<std::size_t>(256 * KiB), tmode, wall_us);
+    rows.emplace_back(row);
+  }
+
   std::string json = opt.get("json", "");
   if (!json.empty() && !write_json_rows(json, "coll_sweep", rows)) return 1;
+  if (!trace_path.empty()) {
+    std::string err;
+    if (!trace::write_dump(trace_path, &err)) {
+      std::fprintf(stderr, "trace dump failed: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", trace_path.c_str());
+  }
   return 0;
 }

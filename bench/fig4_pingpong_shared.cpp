@@ -8,6 +8,8 @@
 // The [real] block compares the current default pipeline against the seed's
 // 2×32KiB memcpy ring ("default-seed") so the copy-pipeline speedup is
 // directly visible; --json records those rows for the perf trajectory.
+#include <cstdlib>
+
 #include "bench_common.hpp"
 #include "common/options.hpp"
 
@@ -20,8 +22,16 @@ int main(int argc, char** argv) {
   opt.declare("skip-real", "only print the simulator block");
   opt.declare("json", "write [real] rows to this JSON file");
   opt.declare("telemetry", "write per-rank engine counters to this JSON file");
+  opt.declare("trace", "write a nemo-trace/1 ring dump to this file");
   opt.finalize();
   int iters = static_cast<int>(opt.get_int("iters", 30));
+  std::string trace_path = opt.get("trace", "");
+  if (!trace_path.empty()) {
+    // Turn the rings on unless the environment already picked a mode
+    // (NEMO_TRACE=full upgrades the recording, never downgrades it).
+    setenv("NEMO_TRACE", "rings", /*overwrite=*/0);
+    trace::reload_mode();
+  }
 
   std::vector<std::size_t> sizes = default_sizes();
   sim::LmtModels::Options deep_ring;
@@ -88,6 +98,14 @@ int main(int argc, char** argv) {
         !tune::write_telemetry(opt.get("telemetry", ""),
                                "fig4_pingpong_shared", telemetry.data(), 2))
       return 1;
+  }
+  if (!trace_path.empty()) {
+    std::string err;
+    if (!trace::write_dump(trace_path, &err)) {
+      std::fprintf(stderr, "trace dump failed: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", trace_path.c_str());
   }
   return 0;
 }

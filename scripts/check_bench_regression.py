@@ -37,6 +37,8 @@ IDENTITY_EXCLUDE = {name for name, _ in METRICS} | {
     "sim_copy_bytes",
     "sim_l2_misses",
     "sim_ns",
+    "l2_misses",
+    "skipped",
 }
 
 
@@ -75,6 +77,12 @@ def compare(baseline_rows, fresh_rows, tolerance):
         key = row_key(base)
         base_m = row_metric(base)
         fresh = fresh_by_key.get(key)
+        # Benches mark environment-dependent rows (e.g. no PMU in a
+        # container) with a "skipped" field: never a failure, on either side.
+        if "skipped" in base or (fresh is not None and "skipped" in fresh):
+            reason = base.get("skipped") or fresh.get("skipped")
+            skipped.append({"key": key, "reason": f"bench skipped: {reason}"})
+            continue
         if base_m is None or fresh is None:
             skipped.append({"key": key, "reason": "missing fresh row"
                             if base_m else "no metric"})
@@ -106,6 +114,40 @@ def compare(baseline_rows, fresh_rows, tolerance):
         if bad:
             violations.append(record)
     return violations, checked, skipped
+
+
+def trace_overhead(rows):
+    """Pair rows that differ only in their "trace" field and compute the
+    rings-vs-off overhead percentage for each pair.
+
+    coll_sweep emits one wall_us row per NEMO_TRACE mode for the reference
+    allreduce; surfacing the delta here makes the <1%/<5% tracing overhead
+    budget visible in every bench_gate diff artifact.
+    """
+    groups = {}
+    for row in rows:
+        if "trace" not in row or "wall_us" not in row:
+            continue
+        key = tuple(sorted((k, v) for k, v in row.items()
+                           if k not in IDENTITY_EXCLUDE and k != "trace"))
+        try:
+            groups.setdefault(key, {})[row["trace"]] = float(row["wall_us"])
+        except (TypeError, ValueError):
+            continue
+    report = []
+    for key, by_mode in sorted(groups.items()):
+        off = by_mode.get("off")
+        for mode, wall in sorted(by_mode.items()):
+            if mode == "off" or not off or off <= 0 or wall <= 0:
+                continue
+            report.append({
+                "key": dict(key),
+                "mode": mode,
+                "off_us": off,
+                "traced_us": wall,
+                "overhead_pct": 100.0 * (wall - off) / off,
+            })
+    return report
 
 
 def load_rows(path):
@@ -141,6 +183,7 @@ def main(argv=None):
 
     violations, checked, skipped = compare(baseline_rows, fresh_rows,
                                            args.tolerance)
+    overhead = trace_overhead(fresh_rows)
 
     if args.diff:
         with open(args.diff, "w", encoding="utf-8") as f:
@@ -152,10 +195,16 @@ def main(argv=None):
                 "skipped": [{**s, "key": dict(s["key"])} for s in skipped],
                 "violations": [{**r, "key": dict(r["key"])}
                                for r in violations],
+                "trace_overhead": overhead,
             }, f, indent=2)
 
     print(f"checked {len(checked)} rows against {args.baseline} "
           f"(tolerance {args.tolerance}x, {len(skipped)} skipped)")
+    for rec in overhead:
+        ident = ", ".join(f"{k}={v}" for k, v in sorted(rec["key"].items()))
+        print(f"  trace overhead [{ident}] {rec['mode']}:"
+              f" {rec['off_us']:.1f}us -> {rec['traced_us']:.1f}us"
+              f" ({rec['overhead_pct']:+.1f}%)")
     if violations:
         print(f"PERF REGRESSION: {len(violations)} row(s) beyond tolerance:")
         for record in violations:

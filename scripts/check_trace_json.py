@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Validate a Chrome/Perfetto trace_event JSON file produced by
+``nemo-trace export`` (or a bench's --trace dump run through the exporter).
+
+Checks:
+  - the document has a nonzero ``traceEvents`` array;
+  - every complete span ("X") carries name/ts/dur/pid/tid with dur >= 0;
+  - per-tid timestamps are monotonically non-decreasing (the exporter
+    stable-sorts by (tid, ts), so disorder means a corrupt export);
+  - begin/end pairing already happened in the exporter — any leftover "B"/"E"
+    phase events are an error;
+  - at least one counter track ("C") exists unless --no-counters is given;
+  - each --require-span NAME matches at least one span name prefix, so CI
+    can assert that e.g. fastbox/ring/coll spans actually got recorded.
+
+Usage:
+  check_trace_json.py trace.json [--require-span coll.op] \
+      [--require-span fastbox] [--no-counters]
+
+Exit status: 0 = valid, 1 = validation failure, 2 = bad input.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+
+def validate(doc, require_spans=(), need_counters=True):
+    """Return a list of human-readable problems (empty = valid)."""
+    problems = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["traceEvents missing or empty"]
+
+    last_ts = {}
+    span_names = set()
+    counters = 0
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        if ph in ("B", "E"):
+            problems.append(f"event {i}: unmatched '{ph}' phase "
+                            "(exporter should emit complete 'X' spans)")
+            continue
+        if ph == "C":
+            counters += 1
+            continue
+        if ph == "X":
+            for key in ("name", "ts", "dur", "pid", "tid"):
+                if key not in ev:
+                    problems.append(f"event {i}: span missing '{key}'")
+            if ev.get("dur", 0) < 0:
+                problems.append(f"event {i}: negative dur {ev['dur']}")
+            span_names.add(str(ev.get("name", "")))
+        elif ph == "i":
+            if "ts" not in ev:
+                problems.append(f"event {i}: instant missing 'ts'")
+        else:
+            problems.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        tid = ev.get("tid")
+        ts = ev.get("ts")
+        if tid is not None and isinstance(ts, (int, float)):
+            if ts < last_ts.get(tid, float("-inf")):
+                problems.append(f"event {i}: tid {tid} ts {ts} goes "
+                                f"backwards (last {last_ts[tid]})")
+            last_ts[tid] = ts
+
+    if need_counters and counters == 0:
+        problems.append("no counter track ('C') events")
+    for want in require_spans:
+        if not any(name.startswith(want) for name in span_names):
+            problems.append(f"no span named '{want}*' "
+                            f"(saw: {', '.join(sorted(span_names)) or 'none'})")
+    return problems
+
+
+def summarize(doc):
+    counts = collections.Counter(ev.get("ph") for ev in doc["traceEvents"])
+    return ", ".join(f"{ph}:{n}" for ph, n in sorted(counts.items()))
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Perfetto trace_event JSON file")
+    ap.add_argument("--require-span", action="append", default=[],
+                    metavar="PREFIX",
+                    help="fail unless a span name starts with PREFIX")
+    ap.add_argument("--no-counters", action="store_true",
+                    help="do not require a counter track")
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_trace_json: {e}", file=sys.stderr)
+        return 2
+
+    problems = validate(doc, args.require_span, not args.no_counters)
+    if problems:
+        print(f"{args.trace}: INVALID")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"{args.trace}: ok "
+          f"({len(doc['traceEvents'])} events: {summarize(doc)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

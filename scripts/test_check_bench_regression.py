@@ -92,6 +92,42 @@ class CompareTest(unittest.TestCase):
         with self.assertRaises(ValueError):
             cbr.compare([], [], 1.0)
 
+    def test_bench_marked_skipped_never_fails(self):
+        # A PMU-less container marks the hw row skipped; the gate must not
+        # fail it even when the baseline carries a real value.
+        base = [{"workload": "4MiB pingpong hw", "strategy": "hw",
+                 "l2_misses": 123456}]
+        fresh = [{"workload": "4MiB pingpong hw", "strategy": "hw",
+                  "skipped": "no PMU"}]
+        violations, checked, skipped = cbr.compare(base, fresh, 2.5)
+        self.assertEqual(violations, [])
+        self.assertEqual(checked, [])
+        self.assertEqual(len(skipped), 1)
+        self.assertIn("no PMU", skipped[0]["reason"])
+
+
+class TraceOverheadTest(unittest.TestCase):
+    def test_off_vs_rings_pairing(self):
+        rows = [dict(coll_row("allreduce", 8, 262144, "shm", 100.0),
+                     trace="off"),
+                dict(coll_row("allreduce", 8, 262144, "shm", 104.0),
+                     trace="rings"),
+                coll_row("bcast", 8, 262144, "shm", 70.0)]  # No trace field.
+        report = cbr.trace_overhead(rows)
+        self.assertEqual(len(report), 1)
+        rec = report[0]
+        self.assertEqual(rec["mode"], "rings")
+        self.assertAlmostEqual(rec["overhead_pct"], 4.0)
+        self.assertEqual(rec["key"]["op"], "allreduce")
+
+    def test_unpaired_or_nonpositive_rows_ignored(self):
+        rows = [dict(coll_row("allreduce", 8, 262144, "shm", 100.0),
+                     trace="rings"),  # No matching off row.
+                dict(coll_row("bcast", 8, 262144, "shm", 0.0), trace="off"),
+                dict(coll_row("bcast", 8, 262144, "shm", 50.0),
+                     trace="rings")]
+        self.assertEqual(cbr.trace_overhead(rows), [])
+
 
 class MainTest(unittest.TestCase):
     def _write(self, rows):

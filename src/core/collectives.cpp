@@ -60,6 +60,7 @@ template <typename Pred>
 void spin_until(Engine& eng, Pred&& ready) {
   if (ready()) return;
   eng.counters().coll_epoch_stalls++;
+  if (trace::on()) eng.tracer().emit(trace::kEpochStall, trace::kInstant);
   std::uint32_t spins = 0;
   while (!ready()) {
     if ((++spins & 0x3F) == 0) {
@@ -116,6 +117,34 @@ std::uint64_t div_ceil(std::uint64_t a, std::uint64_t b) {
 bool ack_budget_ok(std::size_t slot_bytes, std::size_t bytes) {
   return div_ceil(bytes, sub_geometry(slot_bytes).sub) < (1ull << 24);
 }
+
+/// Scoped collective observation: one kCollOp span in the rank's ring plus
+/// one sample in the op's latency histogram. Free when tracing is off.
+class CollScope {
+ public:
+  CollScope(Engine& eng, trace::CollOp op, std::size_t bytes)
+      : eng_(trace::on() ? &eng : nullptr), op_(op) {
+    if (eng_ == nullptr) return;
+    t0_ = trace::tsc_now();
+    eng_->tracer().emit(trace::kCollOp, trace::kBegin, op, bytes);
+  }
+  ~CollScope() {
+    if (eng_ == nullptr) return;
+    eng_->tracer().emit(trace::kCollOp, trace::kEnd);
+    std::uint64_t dt = trace::tsc_now() - t0_;
+    trace::registry()
+        .hist(std::string("coll.") + trace::coll_op_name(op_) + "_ns")
+        .record(static_cast<std::uint64_t>(
+            static_cast<double>(dt) * trace::calibration().ns_per_tick));
+  }
+  CollScope(const CollScope&) = delete;
+  CollScope& operator=(const CollScope&) = delete;
+
+ private:
+  Engine* eng_;
+  trace::CollOp op_;
+  std::uint64_t t0_ = 0;
+};
 
 }  // namespace
 
@@ -190,6 +219,7 @@ void Comm::tree_barrier() {
 
 void Comm::shm_barrier() {
   Engine& eng = engine_;
+  trace::Span sp(eng.tracer(), trace::kCollBarrier, trace::Mode::kRings);
   if (static_cast<std::uint32_t>(size()) >= eng.barrier_tree_ranks()) {
     eng.counters().coll_barrier_tree++;
     tree_barrier();
@@ -217,6 +247,7 @@ void Comm::barrier_p2p() {
 
 void Comm::barrier() {
   Engine& eng = engine_;
+  CollScope obs(eng, trace::kOpBarrier, 0);
   if (size() > 1 && eng.coll_view().valid() &&
       eng.world().coll_mode() != coll::Mode::kP2p) {
     eng.counters().coll_shm_ops++;
@@ -329,6 +360,7 @@ void Comm::bcast_shm(void* buf, std::size_t bytes, int root,
 void Comm::bcast(void* buf, std::size_t bytes, int root) {
   if (size() == 1) return;
   Engine& eng = engine_;
+  CollScope obs(eng, trace::kOpBcast, bytes);
   std::size_t need =
       eng.coll_view().valid() &&
               ack_budget_ok(eng.coll_view().slot_bytes(), bytes)
@@ -490,6 +522,7 @@ void Comm::allgather(const void* sendbuf, std::size_t per_rank,
     return;
   }
   Engine& eng = engine_;
+  CollScope obs(eng, trace::kOpAllgather, per_rank);
   if (use_shm_coll(per_rank, kCacheLine)) {
     std::uint64_t cs = next_coll_seq(eng);
     allgather_shm(sendbuf, per_rank, recvbuf, epoch_base(cs));
@@ -557,6 +590,7 @@ void Comm::alltoall(const void* sendbuf, std::size_t per_rank,
     return;
   }
   Engine& eng = engine_;
+  CollScope obs(eng, trace::kOpAlltoall, per_rank);
   if (use_shm_coll(per_rank,
                    coll::alltoall_chunk_capacity(
                        eng.coll_view().valid() ? eng.coll_view().slot_bytes()
@@ -717,6 +751,10 @@ void Comm::alltoallv(const void* sendbuf, const std::size_t* scounts,
     return;
   }
   Engine& eng = engine_;
+  std::size_t my_row = 0;
+  for (int d = 0; d < size(); ++d)
+    if (d != rank()) my_row += scounts[d];
+  CollScope obs(eng, trace::kOpAlltoallv, my_row);
   // Per-rank counts are asymmetric, so no local size test is
   // rank-consistent. Auto mode exchanges each rank's total row bytes
   // through the arena's count-probe cells and gates on the MINIMUM across
@@ -1097,6 +1135,8 @@ void Comm::reduce_shm(const T* in, T* out, std::size_t n, ReduceOp op,
           (dep < g.nsub || cw.ready(leader, epoch, dep - g.nsub + 1))) {
         std::size_t first = static_cast<std::size_t>(dep) * chunk_elems;
         std::size_t cnt = std::min(chunk_elems, n - first);
+        trace::Span dsp(eng.tracer(), trace::kCollDeposit,
+                        trace::Mode::kRings, dep, cnt * sizeof(T));
         std::memcpy(cw.payload(r) + (dep % g.nsub) * g.sub, in + first,
                     cnt * sizeof(T));
         cw.publish_chunks(r, ++dep);
@@ -1106,6 +1146,8 @@ void Comm::reduce_shm(const T* in, T* out, std::size_t n, ReduceOp op,
       if (reads_result && got < rounds && cw.ready(leader, epoch, got + 1)) {
         std::size_t first = static_cast<std::size_t>(got) * chunk_elems;
         std::size_t cnt = first < n ? std::min(chunk_elems, n - first) : 0;
+        trace::Span rsp(eng.tracer(), trace::kCollRelease,
+                        trace::Mode::kRings, got, cnt * sizeof(T));
         if (cnt > 0)
           std::memcpy(out + first,
                       cw.payload(leader) + (got % g.nsub) * g.sub,
@@ -1116,6 +1158,9 @@ void Comm::reduce_shm(const T* in, T* out, std::size_t n, ReduceOp op,
       if (!advanced) {
         if (!stalled) {
           eng.counters().coll_epoch_stalls++;
+          if (trace::on())
+            eng.tracer().emit(trace::kEpochStall, trace::kInstant,
+                              static_cast<std::uint64_t>(leader));
           stalled = true;
         }
         if ((++spins & 0x3F) == 0) {
@@ -1151,6 +1196,8 @@ void Comm::reduce_shm(const T* in, T* out, std::size_t n, ReduceOp op,
     std::size_t first = static_cast<std::size_t>(t) * chunk_elems;
     std::size_t cnt = first < n ? std::min(chunk_elems, n - first) : 0;
     if (cnt > 0) {
+      trace::Span fsp(eng.tracer(), trace::kCollFold, trace::Mode::kRings, t,
+                      cnt * sizeof(T));
       T* dst;
       if (stage_result) {
         // Result sub-buffer reuse gate: every reader acked the chunk that
@@ -1203,6 +1250,8 @@ void Comm::reduce_dispatch(const T* in, T* out, std::size_t n, ReduceOp op,
     return;
   }
   Engine& eng = engine_;
+  CollScope obs(eng, all ? trace::kOpAllreduce : trace::kOpReduce,
+                n * sizeof(T));
   // The pipelined fold tags reader acks per sub-chunk (and pure writers ack
   // the final chunk count), so the staged-bcast ack chunk budget gates the
   // shm path for reduce exactly as it does for bcast.

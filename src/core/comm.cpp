@@ -138,6 +138,9 @@ World::World(Config cfg)
                            ? cfg_.arena_bytes
                            : auto_arena_bytes(cfg_, tuning_))),
       pipes_(cfg_.nranks) {
+  // Pick up NEMO_TRACE before any Engine constructs its tracer (tests and
+  // tools pin the mode via ScopedEnv between World lifetimes).
+  trace::reload_mode();
   NEMO_ASSERT(cfg_.nranks >= 1);
   NEMO_ASSERT_MSG(cfg_.core_binding.empty() ||
                       cfg_.core_binding.size() ==
@@ -318,8 +321,11 @@ Engine::Engine(World& world, int rank)
       recv_q_(world.arena(), world.recv_q_off(rank)),
       free_q_(world.arena(), world.free_q_off(rank)),
       next_seq_(static_cast<std::size_t>(world.nranks()), 1),
-      expected_seq_(static_cast<std::size_t>(world.nranks()), 1) {
+      expected_seq_(static_cast<std::size_t>(world.nranks()), 1),
+      tracer_(rank) {
   world.register_pid(rank, ::getpid());
+  if (trace::on(trace::Mode::kFull))
+    progress_hist_ = &trace::registry().hist("progress.pass_ns");
   matcher_.set_counters(&counters_);
   if (world.coll_off() != shm::kNil)
     coll_ = coll::WorldColl(world.arena(), world.coll_off());
@@ -504,9 +510,15 @@ Request Engine::start_send(ConstSegmentList segs, int dst, int tag,
         }
         data = packed;
       }
-      if (fb_out_[static_cast<std::size_t>(dst)].try_put(
-              static_cast<std::uint32_t>(rank_), tag, seq,
-              static_cast<std::uint32_t>(context), data, total)) {
+      bool put;
+      {
+        trace::Span sp(tracer_, trace::kFastboxPut, trace::Mode::kFull,
+                       static_cast<std::uint64_t>(dst), total);
+        put = fb_out_[static_cast<std::size_t>(dst)].try_put(
+            static_cast<std::uint32_t>(rank_), tag, seq,
+            static_cast<std::uint32_t>(context), data, total);
+      }
+      if (put) {
         stats_.fastbox_sent++;
         stats_.eager_msgs_sent++;
         stats_.bytes_sent += total;
@@ -516,6 +528,9 @@ Request Engine::start_send(ConstSegmentList segs, int dst, int tag,
         return req;
       }
       counters_.fastbox_fallbacks++;
+      if (trace::on())
+        tracer_.emit(trace::kFastboxFallback, trace::kInstant,
+                     static_cast<std::uint64_t>(dst));
     }
     // Cell-path eager sends must not overtake control messages parked by
     // cell exhaustion: the receiver merges each source's streams by seq,
@@ -567,6 +582,9 @@ Request Engine::start_send(ConstSegmentList segs, int dst, int tag,
 
   // Rendezvous.
   lmt::LmtKind kind = resolve_kind(total, dst, collective);
+  if (trace::on())
+    tracer_.emit(trace::kLmtActivate, trace::kInstant,
+                 static_cast<std::uint64_t>(dst), total);
   auto ctx = std::make_unique<lmt::SendCtx>();
   ctx->peer = dst;
   ctx->tag = tag;
@@ -695,6 +713,9 @@ void Engine::start_lmt_recv(int src, int tag, std::uint32_t seq,
   }
   recvs_[key] = RecvEntry{std::move(ctx), pr.req, &b};
   stats_.rndv_recv++;
+  if (trace::on())
+    tracer_.emit(trace::kLmtActivate, trace::kInstant,
+                 static_cast<std::uint64_t>(src), rts.total);
 }
 
 // --- Progress ----------------------------------------------------------------
@@ -749,6 +770,8 @@ bool Engine::poll_fastbox(int src) {
   fb_hot_[static_cast<std::size_t>(src)]++;
   // Fastbox messages are always complete (len == total): deliver straight
   // from the slot, then return it to the sender.
+  trace::Span sp(tracer_, trace::kFastboxPop, trace::Mode::kFull,
+                 static_cast<std::uint64_t>(src), st->payload_len);
   deliver_eager_first(src, st->tag, static_cast<int>(st->context),
                       st->msg_seq, st->payload_len, st->payload(),
                       st->payload_len);
@@ -887,6 +910,10 @@ void Engine::complete_send(const Key& key) {
   NEMO_ASSERT(it != sends_.end());
   it->second.backend->send_fin(*it->second.ctx);
   it->second.req->complete = true;
+  if (trace::on())
+    tracer_.emit(trace::kLmtComplete, trace::kInstant,
+                 static_cast<std::uint64_t>(it->second.ctx->peer),
+                 it->second.ctx->total);
   sends_.erase(it);
 }
 
@@ -899,6 +926,9 @@ void Engine::complete_recv(const Key& key) {
   e.req->complete = true;
   e.req->info = RecvInfo{e.ctx->peer, e.ctx->tag, e.ctx->total};
   stats_.bytes_recv += e.ctx->total;
+  if (trace::on())
+    tracer_.emit(trace::kLmtComplete, trace::kInstant,
+                 static_cast<std::uint64_t>(e.ctx->peer), e.ctx->total);
   recvs_.erase(it);
 }
 
@@ -957,6 +987,13 @@ void Engine::progress_recvs() {
 void Engine::progress() {
   if (in_progress_) return;
   in_progress_ = true;
+  // rings mode keeps the histogram + counter snapshots; the per-pass
+  // begin/end span is full-mode only.
+  const bool rings_on = trace::on(trace::Mode::kRings) && tracer_.active();
+  const bool traced = rings_on && trace::on(trace::Mode::kFull);
+  std::uint64_t t0 = 0;
+  if (rings_on) t0 = trace::tsc_now();
+  if (traced) tracer_.emit(trace::kProgress, trace::kBegin);
 
   while (!pending_ctrl_.empty()) {
     if (!try_send_ctrl(pending_ctrl_.front())) break;
@@ -985,6 +1022,27 @@ void Engine::progress() {
 
   progress_sends();
   progress_recvs();
+  if (traced) tracer_.emit(trace::kProgress, trace::kEnd);
+  if (rings_on) {
+    if (progress_hist_ != nullptr) {
+      std::uint64_t dt = trace::tsc_now() - t0;
+      progress_hist_->record(static_cast<std::uint64_t>(
+          static_cast<double>(dt) * trace::calibration().ns_per_tick));
+    }
+    // Counter-track samples every 512 passes (aligned with the poll reorder
+    // cadence so the sampling cost hides behind the existing slow path).
+    // Pass 1 also samples: short worlds still get one point per track.
+    if ((counters_.progress_passes & 0x1FF) == 1) {
+      tracer_.emit(trace::kSnapshot, trace::kCounter,
+                   trace::kGaugeFastboxHits, counters_.fastbox_hits);
+      tracer_.emit(trace::kSnapshot, trace::kCounter,
+                   trace::kGaugeRingStalls, counters_.ring_stalls);
+      tracer_.emit(trace::kSnapshot, trace::kCounter,
+                   trace::kGaugeProgressPasses, counters_.progress_passes);
+      tracer_.emit(trace::kSnapshot, trace::kCounter,
+                   trace::kGaugeCollShmOps, counters_.coll_shm_ops);
+    }
+  }
   in_progress_ = false;
 }
 

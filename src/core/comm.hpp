@@ -33,6 +33,8 @@
 #include "shm/numa.hpp"
 #include "shm/pipes.hpp"
 #include "simd/simd.hpp"
+#include "trace/registry.hpp"
+#include "trace/trace.hpp"
 #include "tune/counters.hpp"
 #include "tune/tuning.hpp"
 
@@ -276,6 +278,9 @@ class Engine {
   /// Telemetry registry this rank's hot paths feed (backends bump it too).
   [[nodiscard]] tune::Counters& counters() { return counters_; }
   [[nodiscard]] const tune::Counters& counters() const { return counters_; }
+  /// This rank's event-ring tracer (inactive unless NEMO_TRACE enables it;
+  /// backends and the collective layer emit through it like counters()).
+  [[nodiscard]] trace::Tracer& tracer() { return tracer_; }
 
   /// Monotonic collective-instance counter (tag namespacing / arena
   /// epochs). 64-bit: a u32 would wrap within hours under a tight barrier
@@ -428,6 +433,10 @@ class Engine {
   std::deque<PendingCtrl> pending_ctrl_;
   EngineStats stats_;
   tune::Counters counters_;
+  trace::Tracer tracer_;  ///< Event ring (allocated only when tracing is on).
+  /// Cached registry histogram for progress-pass latency (full mode only;
+  /// cached so the hot path never takes the registry lock).
+  trace::Histogram* progress_hist_ = nullptr;
   coll::WorldColl coll_;  ///< View of the world's collective arena.
   std::uint64_t coll_bar_seq_ = 0;    ///< Arena-barrier sequence issued.
   std::uint64_t coll_probe_seq_ = 0;  ///< Count-probe sequence issued.

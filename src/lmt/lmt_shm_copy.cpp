@@ -69,10 +69,17 @@ bool ShmCopyBackend::send_progress(SendCtx& ctx) {
     }
     std::size_t piece = avail < ring.buf_bytes() ? avail : ring.buf_bytes();
     bool last = (ctx.bytes_moved + piece == ctx.total);
-    std::size_t n = ring.try_push(cursor, s.base + ctx.seg_off, piece, last,
-                                  nt);
+    std::size_t n;
+    {
+      trace::Span sp(eng_.tracer(), trace::kRingPush, trace::Mode::kFull,
+                     static_cast<std::uint64_t>(ctx.peer), piece);
+      n = ring.try_push(cursor, s.base + ctx.seg_off, piece, last, nt);
+    }
     if (n == 0) {  // Ring full: receiver hasn't drained yet.
       eng_.counters().ring_stalls++;
+      if (trace::on())
+        eng_.tracer().emit(trace::kRingStall, trace::kInstant,
+                           static_cast<std::uint64_t>(ctx.peer));
       return false;
     }
     ctx.seg_off += n;
@@ -96,6 +103,8 @@ bool ShmCopyBackend::recv_progress(RecvCtx& ctx) {
     auto view = ring.peek(cursor);
     if (!view) return false;
     // Scatter the chunk across the destination segments (copy #2).
+    trace::Span sp(eng_.tracer(), trace::kRingPop, trace::Mode::kFull,
+                   static_cast<std::uint64_t>(ctx.peer), view->bytes);
     const std::byte* src = view->data;
     std::size_t left = view->bytes;
     while (left > 0) {

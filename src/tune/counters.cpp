@@ -2,7 +2,7 @@
 
 #include <cstdio>
 
-#include "tune/json.hpp"
+#include "trace/registry.hpp"
 
 namespace nemo::tune {
 
@@ -42,110 +42,18 @@ Counters& Counters::operator+=(const Counters& o) {
   return *this;
 }
 
-namespace {
-
-const char* path_name(int i) {
-  switch (i) {
-    case 0: return "rndv-default";
-    case 1: return "rndv-vmsplice";
-    case 2: return "rndv-vmsplice-writev";
-    case 3: return "rndv-knem";
-    case Counters::kPathEager: return "eager-queue";
-    case Counters::kPathFastbox: return "eager-fastbox";
-  }
-  return "?";
-}
-
-Json counters_to_json(const Counters& c, int rank) {
-  Json j = Json::object();
-  if (rank >= 0) j.set("rank", static_cast<std::uint64_t>(rank));
-
-  // Sparse histogram: only populated classes, keyed by the class floor so
-  // the dump stays readable ("4KiB": 120).
-  Json hist = Json::object();
-  for (int i = 0; i < Counters::kSizeClasses; ++i) {
-    std::uint64_t n = c.sent_by_class[static_cast<std::size_t>(i)];
-    if (n == 0) continue;
-    hist.set(format_size(static_cast<std::size_t>(1) << i), n);
-  }
-  j.set("sent_by_class", std::move(hist));
-
-  Json paths = Json::object();
-  for (int i = 0; i < Counters::kPaths; ++i) {
-    std::uint64_t n = c.path_hist[static_cast<std::size_t>(i)];
-    if (n != 0) paths.set(path_name(i), n);
-  }
-  j.set("paths", std::move(paths));
-
-  j.set("fastbox_hits", c.fastbox_hits);
-  j.set("fastbox_fallbacks", c.fastbox_fallbacks);
-  double attempts =
-      static_cast<double>(c.fastbox_hits + c.fastbox_fallbacks);
-  j.set("fastbox_hit_rate",
-        attempts > 0 ? static_cast<double>(c.fastbox_hits) / attempts : 0.0);
-  j.set("ring_stalls", c.ring_stalls);
-  j.set("drain_exhausted", c.drain_exhausted);
-  j.set("progress_passes", c.progress_passes);
-
-  Json coll = Json::object();
-  coll.set("shm_ops", c.coll_shm_ops);
-  coll.set("p2p_ops", c.coll_p2p_ops);
-  coll.set("shm_bytes", c.coll_shm_bytes);
-  coll.set("fallbacks", c.coll_fallbacks);
-  coll.set("epoch_stalls", c.coll_epoch_stalls);
-  coll.set("barrier_flat", c.coll_barrier_flat);
-  coll.set("barrier_tree", c.coll_barrier_tree);
-  j.set("coll", std::move(coll));
-
-  j.set("um_pool_hits", c.um_pool_hits);
-  j.set("um_pool_misses", c.um_pool_misses);
-
-  // Kernel-path histogram, keyed by kernel name (sparse like the size
-  // classes so unexercised kernels do not clutter the dump).
-  Json simd = Json::object();
-  const char* kernel_names[Counters::kSimdKernels] = {"scalar", "avx2",
-                                                      "avx512"};
-  for (int i = 0; i < Counters::kSimdKernels; ++i) {
-    auto si = static_cast<std::size_t>(i);
-    if (c.simd_fold_ops[si] == 0 && c.simd_fold_bytes[si] == 0) continue;
-    Json k = Json::object();
-    k.set("fold_ops", c.simd_fold_ops[si]);
-    k.set("fold_bytes", c.simd_fold_bytes[si]);
-    simd.set(kernel_names[i], std::move(k));
-  }
-  j.set("simd", std::move(simd));
-
-  Json pack = Json::object();
-  pack.set("direct_ops", c.pack_direct_ops);
-  pack.set("direct_bytes", c.pack_direct_bytes);
-  pack.set("staged_ops", c.pack_staged_ops);
-  pack.set("staged_bytes", c.pack_staged_bytes);
-  pack.set("nt_ops", c.pack_nt_ops);
-  pack.set("unpack_ops", c.unpack_ops);
-  j.set("pack", std::move(pack));
-  return j;
-}
-
-}  // namespace
+// The JSON shapes live in trace::Registry (the single telemetry writer
+// shared with the trace dumps); these wrappers keep the historical
+// string-returning API for the benches.
 
 std::string Counters::to_json(int rank) const {
-  return counters_to_json(*this, rank).dump();
+  return trace::Registry::counters_json(*this, rank).dump();
 }
 
 std::string telemetry_json(const std::string& label,
                            const Counters* per_rank, int nranks) {
-  Json root = Json::object();
-  root.set("schema", std::string("nemo-telemetry/1"));
-  root.set("label", label);
-  Json ranks = Json::array();
-  Counters total;
-  for (int r = 0; r < nranks; ++r) {
-    ranks.push_back(counters_to_json(per_rank[r], r));
-    total += per_rank[r];
-  }
-  root.set("ranks", std::move(ranks));
-  root.set("total", counters_to_json(total, -1));
-  return root.dump() + "\n";
+  return trace::Registry::telemetry_json(label, per_rank, nranks).dump() +
+         "\n";
 }
 
 bool write_telemetry(const std::string& path, const std::string& label,

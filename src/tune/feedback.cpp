@@ -14,12 +14,22 @@
 
 #include "common/options.hpp"
 #include "core/comm.hpp"
+#include "trace/trace.hpp"
 #include "tune/calibrate.hpp"
 #include "tune/counters.hpp"
 
 namespace nemo::tune {
 
 namespace {
+
+/// Every applied adjustment also lands as a kFeedback instant on the
+/// process-global trace timeline, so recorded runs show WHY a knob moved
+/// next to the traffic that moved it.
+void trace_knob(trace::Knob knob, std::uint64_t value) {
+  if (trace::on())
+    trace::global_tracer().emit(trace::kFeedback, trace::kInstant, knob,
+                                value);
+}
 
 constexpr std::uint32_t kDrainBudgetCap = 4096;
 constexpr std::uint32_t kRingBufsCap = 32;
@@ -60,6 +70,7 @@ TuningTable apply_counter_feedback(TuningTable t, const Counters& c,
                 static_cast<unsigned long long>(c.progress_passes));
   if (drain_rate > opt.drain_hi) {
     t.drain_budget = std::min(kDrainBudgetCap, t.drain_budget * 2);
+    trace_knob(trace::kKnobDrainBudget, t.drain_budget);
     if (opt.verbose)
       std::printf("  feedback: drain_exhausted %.1f%%/pass -> drain_budget %u\n",
                   100.0 * drain_rate, t.drain_budget);
@@ -72,6 +83,7 @@ TuningTable apply_counter_feedback(TuningTable t, const Counters& c,
           std::max(pt.ring_bufs, std::max(1u, opt.inherited_ring_bufs));
       pt.ring_bufs = std::min(kRingBufsCap, base * 2);
     }
+    trace_knob(trace::kKnobRingBufs, t.place[0].ring_bufs);
     if (opt.verbose)
       std::printf("  feedback: ring_stalls %.1f%%/pass -> ring_bufs %u\n",
                   100.0 * stall_rate, t.place[0].ring_bufs);
@@ -79,6 +91,8 @@ TuningTable apply_counter_feedback(TuningTable t, const Counters& c,
   if (fallback_rate > opt.fallback_hi) {
     t.fastbox_slots = std::min(kFastboxSlotsCap, t.fastbox_slots * 2);
     t.poll_hot = true;
+    trace_knob(trace::kKnobFastboxSlots, t.fastbox_slots);
+    trace_knob(trace::kKnobPollHot, 1);
     if (opt.verbose)
       std::printf(
           "  feedback: fastbox fallbacks %.1f%% -> %u slots, poll_hot\n",
@@ -86,6 +100,7 @@ TuningTable apply_counter_feedback(TuningTable t, const Counters& c,
   }
   if (fastbox_share > opt.fastbox_dominant && !t.poll_hot) {
     t.poll_hot = true;
+    trace_knob(trace::kKnobPollHot, 1);
     if (opt.verbose)
       std::printf("  feedback: fastbox carries %.0f%% of sends -> poll_hot\n",
                   100.0 * fastbox_share);
@@ -96,6 +111,7 @@ TuningTable apply_counter_feedback(TuningTable t, const Counters& c,
     if (coll_stall > opt.coll_stall_hi) {
       t.coll_activation =
           std::min(kCollActivationCap, t.coll_activation * 2);
+      trace_knob(trace::kKnobCollActivation, t.coll_activation);
       if (opt.verbose)
         std::printf(
             "  feedback: %.1f epoch stalls per shm collective -> "
@@ -115,6 +131,7 @@ TuningTable apply_counter_feedback(TuningTable t, const Counters& c,
         (c.pack_direct_bytes + c.pack_staged_bytes) / pack_ops);
     if (avg >= t.pack_nt_min / 2) {
       t.pack_nt_min = std::max<std::size_t>(kPackNtFloor, avg);
+      trace_knob(trace::kKnobPackNtMin, t.pack_nt_min);
       if (opt.verbose)
         std::printf("  feedback: packs avg %zu B, none streamed -> "
                     "pack_nt_min %zu\n",

@@ -79,7 +79,9 @@ std::string Json::dump(int indent) const {
       else if (num_ == std::floor(num_) && std::abs(num_) < 1e15)
         std::snprintf(buf, sizeof buf, "%.0f", num_);
       else
-        std::snprintf(buf, sizeof buf, "%.6g", num_);
+        // Round-trip precision: trace timestamps are microsecond doubles
+        // in the 1e9 range, where %.6g would round away the ordering.
+        std::snprintf(buf, sizeof buf, "%.17g", num_);
       return buf;
     }
     case Type::kString:
