@@ -1,6 +1,6 @@
 // Quickstart: the smallest complete nemolmt program.
 //
-//   build/examples/quickstart [--ranks=4] [--lmt=knem|default|vmsplice|auto]
+//   build/examples/quickstart [--ranks=4] [--lmt=knem|cma|default|vmsplice|auto]
 //
 // Launches N ranks (threads over one shared-memory arena), sends a large
 // message rank 0 -> 1 through the selected Large-Message-Transfer backend,
@@ -17,7 +17,7 @@ using namespace nemo;
 int main(int argc, char** argv) {
   Options opt(argc, argv);
   opt.declare("ranks", "number of ranks (default 4)");
-  opt.declare("lmt", "default|vmsplice|knem|auto (default auto)");
+  opt.declare("lmt", "default|vmsplice|knem|cma|auto (default auto)");
   opt.finalize();
 
   core::Config cfg;
@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   cfg.lmt = kind == "default"    ? lmt::LmtKind::kDefaultShm
             : kind == "vmsplice" ? lmt::LmtKind::kVmsplice
             : kind == "knem"     ? lmt::LmtKind::kKnem
+            : kind == "cma"      ? lmt::LmtKind::kCma
                                  : lmt::LmtKind::kAuto;
   cfg.knem_mode = lmt::KnemMode::kAuto;  // DMA offload past DMAmin.
 

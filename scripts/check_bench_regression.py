@@ -77,10 +77,13 @@ def compare(baseline_rows, fresh_rows, tolerance):
         key = row_key(base)
         base_m = row_metric(base)
         fresh = fresh_by_key.get(key)
-        # Benches mark environment-dependent rows (e.g. no PMU in a
-        # container) with a "skipped" field: never a failure, on either side.
+        # Benches mark environment-dependent rows (no PMU in a container,
+        # backend unavailable on this kernel) with a "skipped" field: never
+        # a failure, on either side — but always reported, so a silently
+        # vanished backend shows up in the gate log rather than nowhere.
         if "skipped" in base or (fresh is not None and "skipped" in fresh):
-            reason = base.get("skipped") or fresh.get("skipped")
+            reason = base.get("skipped") or (
+                fresh.get("skipped") if fresh is not None else None)
             skipped.append({"key": key, "reason": f"bench skipped: {reason}"})
             continue
         if base_m is None or fresh is None:
@@ -200,6 +203,9 @@ def main(argv=None):
 
     print(f"checked {len(checked)} rows against {args.baseline} "
           f"(tolerance {args.tolerance}x, {len(skipped)} skipped)")
+    for rec in skipped:
+        ident = ", ".join(f"{k}={v}" for k, v in rec["key"])
+        print(f"  SKIP [{ident}]: {rec['reason']}")
     for rec in overhead:
         ident = ", ".join(f"{k}={v}" for k, v in sorted(rec["key"].items()))
         print(f"  trace overhead [{ident}] {rec['mode']}:"

@@ -105,6 +105,30 @@ class CompareTest(unittest.TestCase):
         self.assertEqual(len(skipped), 1)
         self.assertIn("no PMU", skipped[0]["reason"])
 
+    def test_backend_unavailable_row_skips_against_real_baseline(self):
+        # Baseline was produced on a CMA-capable host; a restricted runner
+        # (ptrace_scope, seccomp) emits the row with a "skipped" marker and
+        # no metric. The gate must surface the reason, not fail the row.
+        base = [pp_row("cma", 4194304, 12000.0)]
+        fresh = [{"strategy": "cma", "bytes": 4194304,
+                  "skipped": "cma unavailable"}]
+        violations, checked, skipped = cbr.compare(base, fresh, 2.5)
+        self.assertEqual(violations, [])
+        self.assertEqual(checked, [])
+        self.assertEqual(len(skipped), 1)
+        self.assertIn("cma unavailable", skipped[0]["reason"])
+
+    def test_skipped_baseline_with_missing_fresh_row_does_not_crash(self):
+        # A baseline committed from a restricted host carries the marker
+        # itself; the fresh run may drop the row entirely.
+        base = [{"strategy": "cma", "bytes": 65536,
+                 "skipped": "cma unavailable"}]
+        violations, checked, skipped = cbr.compare(base, [], 2.5)
+        self.assertEqual(violations, [])
+        self.assertEqual(checked, [])
+        self.assertEqual(len(skipped), 1)
+        self.assertIn("cma unavailable", skipped[0]["reason"])
+
 
 class TraceOverheadTest(unittest.TestCase):
     def test_off_vs_rings_pairing(self):

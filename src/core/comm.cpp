@@ -22,6 +22,15 @@ using shm::QueueView;
 // World
 // ---------------------------------------------------------------------------
 
+LaunchMode world_mode_from_env(LaunchMode fallback) {
+  auto v = env_str("NEMO_WORLD_MODE");
+  if (!v) return fallback;
+  if (*v == "threads") return LaunchMode::kThreads;
+  if (*v == "procs" || *v == "processes") return LaunchMode::kProcesses;
+  throw std::invalid_argument("NEMO_WORLD_MODE: expected threads|procs, got '" +
+                              *v + "'");
+}
+
 namespace {
 
 struct BarrierBlock {
@@ -118,6 +127,34 @@ Config apply_env(Config cfg) {
   cfg.coll = coll::mode_from_env(cfg.coll);
   if (auto v = tune::coll_slot_bytes_from_env()) cfg.coll_slot_bytes = *v;
   cfg.coll_leader = coll::leader_from_env(cfg.coll_leader, cfg.nranks);
+  cfg.mode = world_mode_from_env(cfg.mode);
+  if (auto v = env_str("NEMO_CMA")) {
+    if (*v == "off" || *v == "0" || *v == "false") {
+      cfg.cma_enabled = false;
+    } else if (*v == "nosyscall") {
+      cfg.cma_sim_fail = true;
+    } else if (!(*v == "on" || *v == "1" || *v == "true")) {
+      throw std::invalid_argument("NEMO_CMA: expected on|off|nosyscall, got '" + *v + "'");
+    }
+  }
+  if (auto v = env_str("NEMO_LMT")) {
+    if (*v == "auto")
+      cfg.lmt = lmt::LmtKind::kAuto;
+    else if (*v == "shm" || *v == "default")
+      cfg.lmt = lmt::LmtKind::kDefaultShm;
+    else if (*v == "vmsplice")
+      cfg.lmt = lmt::LmtKind::kVmsplice;
+    else if (*v == "writev" || *v == "vmsplice-writev")
+      cfg.lmt = lmt::LmtKind::kVmspliceWritev;
+    else if (*v == "knem")
+      cfg.lmt = lmt::LmtKind::kKnem;
+    else if (*v == "cma")
+      cfg.lmt = lmt::LmtKind::kCma;
+    else
+      throw std::invalid_argument(
+          "NEMO_LMT: expected auto|shm|vmsplice|writev|knem|cma, got '" + *v +
+          "'");
+  }
   return cfg;
 }
 
@@ -263,7 +300,55 @@ World::World(Config cfg)
   }
 
   vmsplice_ok_ = shm::Pipe::vmsplice_available();
-  cma_ok_ = shm::cma_available();
+  cma_ok_ = cfg_.cma_enabled && shm::cma_available();
+}
+
+void World::reattach_in_child() {
+  // Anonymous arenas exist only through the inherited mapping; nothing to
+  // re-attach. Named arenas take the real deployment path: a fresh
+  // shm_open + mmap at a child-chosen base, proving every cross-rank
+  // structure is offset-addressed.
+  if (cfg_.shm_name.empty()) return;
+  shm::Arena fresh = shm::Arena::open_shm(cfg_.shm_name);
+  arena_.disown();      // The parent keeps unlink responsibility.
+  arena_ = std::move(fresh);  // Unmaps the inherited view.
+
+  // Re-apply the recorded NUMA placement decisions to the new VMA: memory
+  // policies are per-address-space, so the parent's mbind calls do not
+  // travel with the shm segment. Pages the owning rank has not yet
+  // first-touched are placed by this process, per the recorded decision.
+  std::size_t fb_bytes = sizeof(shm::FastboxState) +
+                         static_cast<std::size_t>(tuning_.fastbox_slots) *
+                             tuning_.fastbox_slot_bytes;
+  for (int s = 0; s < cfg_.nranks; ++s)
+    for (int d = 0; d < cfg_.nranks; ++d) {
+      if (s == d) continue;
+      std::size_t idx = static_cast<std::size_t>(s) *
+                            static_cast<std::size_t>(cfg_.nranks) +
+                        static_cast<std::size_t>(d);
+      const RingPlacement& rp = ring_place_[idx];
+      if (rp.node < 0 && !rp.interleaved) continue;
+      shm::CopyRing ring(arena_, ring_offs_[idx]);
+      std::byte* data = arena_.at(ring.data_off());
+      if (rp.node >= 0)
+        shm::bind_to_node(data, ring.data_bytes(), rp.node);
+      else
+        shm::interleave(data, ring.data_bytes());
+      if (cfg_.use_fastbox) {
+        std::byte* fb = arena_.at(fastbox_offs_[idx]);
+        if (rp.node >= 0)
+          shm::bind_to_node(fb, fb_bytes, rp.node);
+        else
+          shm::interleave(fb, fb_bytes);
+      }
+    }
+  if (coll_off_ != shm::kNil &&
+      (numa_mode_ == shm::NumaPlacement::kAuto ||
+       numa_mode_ == shm::NumaPlacement::kInterleave)) {
+    std::uint32_t coll_slot = effective_coll_slot_bytes(cfg_, tuning_);
+    shm::interleave(arena_.at(coll_off_),
+                    coll::WorldColl::region_bytes(cfg_.nranks, coll_slot));
+  }
 }
 
 void World::register_pid(int rank, pid_t pid) {
@@ -306,6 +391,8 @@ namespace {
 lmt::PolicyConfig effective_policy(const World& w, const Config& cfg) {
   lmt::PolicyConfig pc = cfg.policy;
   pc.vmsplice_available = pc.vmsplice_available && w.vmsplice_ok();
+  pc.cma_available =
+      pc.cma_available && w.cma_ok() && w.tuning().cma_available;
   pc.dma_available = pc.dma_available && cfg.dma_available;
   pc.tuning = &w.tuning();  // World outlives every engine's policy.
   return pc;
@@ -345,7 +432,7 @@ Engine::Engine(World& world, int rank)
   simd_kernel_ = simd::resolve(tuning.simd_kernel);
   pack_nt_min_ = tuning.pack_nt_min != 0 ? tuning.pack_nt_min
                                          : shm::nt_default_threshold();
-  backends_.resize(4);
+  backends_.resize(5);
   int n = world.nranks();
   peer_recv_q_.reserve(static_cast<std::size_t>(n));
   peer_free_q_.reserve(static_cast<std::size_t>(n));
@@ -406,6 +493,8 @@ lmt::LmtKind Engine::resolve_kind(std::size_t bytes, int dst,
                             world_.core_of(dst));
   if ((k == lmt::LmtKind::kVmsplice || k == lmt::LmtKind::kVmspliceWritev) &&
       !world_.vmsplice_ok())
+    k = lmt::LmtKind::kDefaultShm;
+  if (k == lmt::LmtKind::kCma && !world_.cma_ok())
     k = lmt::LmtKind::kDefaultShm;
   return k;
 }
@@ -701,7 +790,8 @@ void Engine::start_lmt_recv(int src, int tag, std::uint32_t seq,
   }
 
   Key key{src, seq};
-  if (kind == lmt::LmtKind::kKnem) {
+  if (kind == lmt::LmtKind::kKnem || kind == lmt::LmtKind::kCma) {
+    // Receiver-driven backends have no per-pair data FIFO; poll unordered.
     knem_recvs_.push_back(key);
   } else {
     // Ring/pipe data is a per-pair FIFO by sender seq; keep the receive

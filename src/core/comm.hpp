@@ -42,6 +42,13 @@ namespace nemo::core {
 
 enum class LaunchMode { kThreads, kProcesses };
 
+/// Resolve NEMO_WORLD_MODE (threads|procs) over a programmatic default.
+/// Shared by the env-override pass inside World and by core::run, which must
+/// know the resolved mode *before* the World exists (a process-mode world
+/// with no explicit shm_name gets a generated one so children can re-attach
+/// by name). Throws std::invalid_argument on anything else.
+LaunchMode world_mode_from_env(LaunchMode fallback);
+
 struct Config {
   int nranks = 2;
   LaunchMode mode = LaunchMode::kThreads;
@@ -109,6 +116,14 @@ struct Config {
 
   /// Model I/OAT presence (the software DMA channel).
   bool dma_available = true;
+
+  /// CMA kill-switch (NEMO_CMA=off): pretend process_vm_readv is absent so
+  /// policy/auto selection never picks the CMA backend (CI simulates
+  /// ptrace_scope/seccomp-restricted containers this way).
+  bool cma_enabled = true;
+  /// NEMO_CMA=nosyscall: the CMA backend skips the syscall and exercises its
+  /// transfer-time staging fallback, as if the kernel returned EPERM.
+  bool cma_sim_fail = false;
 
   std::string shm_name;  ///< Nonempty: shm_open-backed arena (else anon).
 };
@@ -212,6 +227,14 @@ class World {
   /// Arena-backed allocation visible to every rank (MPI_Alloc_mem-like).
   std::byte* shared_alloc(std::size_t bytes, std::size_t align = kCacheLine);
 
+  /// Called once in each forked child (process mode, shm-backed arena):
+  /// drops the inherited parent mapping and re-attaches the arena via
+  /// shm_open at a fresh, child-chosen base address, then re-applies the
+  /// recorded NUMA placement decisions to the new VMA. Exercises the real
+  /// deployment path where peers map the segment at different addresses, so
+  /// every cross-rank structure must be offset-addressed.
+  void reattach_in_child();
+
  private:
   Config cfg_;
   Topology topo_;
@@ -243,7 +266,7 @@ struct EngineStats {
   std::uint64_t cells_sent = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_recv = 0;
-  std::array<std::uint64_t, 4> rndv_by_kind{};  ///< Indexed by LmtKind 0..3.
+  std::array<std::uint64_t, 5> rndv_by_kind{};  ///< Indexed by LmtKind 0..4.
 };
 
 /// Per-rank progress engine. Single-threaded: every call happens on the

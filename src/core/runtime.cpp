@@ -1,5 +1,9 @@
 // Rank launchers: threads sharing the world's anonymous mapping, or forked
-// processes inheriting it — the same arena layout either way.
+// processes re-attaching to it by name — the same arena layout either way.
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -27,13 +31,29 @@ void rank_body(World& world, int rank, const std::function<void(Comm&)>& fn) {
 }  // namespace
 
 bool run(const Config& cfg, const std::function<void(Comm&)>& fn) {
-  World world(cfg);
+  // Resolve the launch mode before the World exists: a process-mode world
+  // without an explicit shm_name gets a generated one, so the arena is
+  // shm_open-backed and each forked child can re-attach at its own base
+  // address instead of relying on the inherited mapping.
+  Config launch = cfg;
+  launch.mode = world_mode_from_env(cfg.mode);
+  if (launch.mode == LaunchMode::kProcesses && launch.shm_name.empty()) {
+    static std::atomic<unsigned> serial{0};
+    char name[64];
+    std::snprintf(name, sizeof name, "/nemo-%d-%u",
+                  static_cast<int>(::getpid()),
+                  serial.fetch_add(1, std::memory_order_relaxed));
+    launch.shm_name = name;
+  }
+  World world(launch);
 
-  if (cfg.mode == LaunchMode::kProcesses) {
-    shm::ProcessResult res = shm::run_forked_ranks(cfg.nranks, [&](int rank) {
-      rank_body(world, rank, fn);
-      return 0;
-    });
+  if (world.config().mode == LaunchMode::kProcesses) {
+    shm::ProcessResult res =
+        shm::run_forked_ranks(world.config().nranks, [&](int rank) {
+          world.reattach_in_child();
+          rank_body(world, rank, fn);
+          return 0;
+        });
     return res.all_ok;
   }
 

@@ -120,6 +120,9 @@ std::uint64_t Device::submit_send(std::span<const ConstSegment> segs) {
   slot->owner_rank = static_cast<std::uint32_t>(rank_);
   slot->flags = 0;
   slot->more = kNil;
+  slot->owner_arena_base = reinterpret_cast<std::uint64_t>(arena_->base());
+  slot->stage_off = kNil;
+  aref(slot->stage_state).store(0, std::memory_order_relaxed);
 
   std::uint64_t total = 0, pinned = 0;
   std::uint32_t n = 0;
@@ -194,6 +197,8 @@ void Device::release(std::uint64_t cookie_id) {
   auto* s = const_cast<CookieSlot*>(cs);
   free_chain(s);
   s->id = 0;
+  s->stage_off = kNil;
+  aref(s->stage_state).store(0, std::memory_order_relaxed);
   aref(s->state).store(0, std::memory_order_release);
 }
 
@@ -216,15 +221,33 @@ std::optional<Device::Resolved> Device::resolve(
     b = blk->next;
   }
 
-  // Copy-mode decision: same process -> direct; every byte inside the shared
-  // arena (identical base across forked ranks) -> direct; otherwise CMA.
+  // Copy-mode decision: same process -> direct on the raw addresses. Arena-
+  // resident segments are direct too, but forked ranks map the arena at
+  // per-process bases, so the sender's addresses must be REBASED onto this
+  // process's mapping before they are dereferenced (in thread mode, or with
+  // an inherited mapping, the rebase is the identity). Anything else is
+  // another process's private memory: cross-memory attach.
   bool same_pid = (r.pid == pid_);
-  bool all_in_arena = true;
-  for (const auto& seg : r.segs)
-    if (!arena_->contains(reinterpret_cast<const void*>(seg.addr), seg.len))
-      all_in_arena = false;
-  r.mode = (same_pid || all_in_arena) ? shm::RemoteMode::kDirect
-                                      : shm::RemoteMode::kCma;
+  if (!same_pid) {
+    std::uint64_t sender_base = s->owner_arena_base;
+    std::uint64_t local_base = reinterpret_cast<std::uint64_t>(arena_->base());
+    std::uint64_t span = arena_->size();
+    bool all_in_arena = true;
+    for (const auto& seg : r.segs) {
+      if (seg.len == 0) continue;
+      if (seg.addr < sender_base || seg.addr + seg.len > sender_base + span) {
+        all_in_arena = false;
+        break;
+      }
+    }
+    if (all_in_arena) {
+      for (auto& seg : r.segs)
+        if (seg.len != 0) seg.addr = seg.addr - sender_base + local_base;
+    }
+    r.mode = all_in_arena ? shm::RemoteMode::kDirect : shm::RemoteMode::kCma;
+  } else {
+    r.mode = shm::RemoteMode::kDirect;
+  }
   return r;
 }
 
@@ -278,6 +301,53 @@ KnemResult Device::recv_async(std::uint64_t cookie_id, SegmentList local,
   return KnemResult::kOk;
 }
 
+std::uint64_t Device::request_stage(std::uint64_t cookie_id) {
+  const CookieSlot* cs = find(cookie_id);
+  if (cs == nullptr) return kNil;
+  auto* s = const_cast<CookieSlot*>(cs);
+  std::uint64_t state = aref(s->stage_state).load(std::memory_order_acquire);
+  if (state != 0) return s->stage_off;  // Already requested.
+  // Publish the buffer offset before flipping the request word so the
+  // sender's acquire load sees a valid destination.
+  s->stage_off = arena_->alloc(cs->total_bytes > 0 ? cs->total_bytes : 1,
+                               kCacheLine);
+  aref(s->stage_state).store(1, std::memory_order_release);
+  stat_add(st_->stats.cma_stage_fallbacks, 1);
+  return s->stage_off;
+}
+
+bool Device::stage_ready(std::uint64_t cookie_id) const {
+  const CookieSlot* s = find(cookie_id);
+  if (s == nullptr) return false;
+  return aref(const_cast<std::uint64_t&>(s->stage_state))
+             .load(std::memory_order_acquire) == 2;
+}
+
+bool Device::try_fulfill_stage(std::uint64_t cookie_id,
+                               std::span<const ConstSegment> segs) {
+  const CookieSlot* cs = find(cookie_id);
+  if (cs == nullptr) return false;
+  auto* s = const_cast<CookieSlot*>(cs);
+  std::uint64_t state = aref(s->stage_state).load(std::memory_order_acquire);
+  if (state == 2) return true;
+  if (state != 1) return false;
+  std::byte* dst = arena_->at(s->stage_off);
+  std::uint64_t moved = 0;
+  for (const auto& seg : segs) {
+    if (seg.len == 0) continue;
+    std::memcpy(dst + moved, seg.base, seg.len);
+    moved += seg.len;
+  }
+  stat_add(st_->stats.cma_stage_bytes, moved);
+  aref(s->stage_state).store(2, std::memory_order_release);
+  return true;
+}
+
+void Device::note_cma_read(std::uint64_t bytes) {
+  stat_add(st_->stats.cma_read_cmds, 1);
+  stat_add(st_->stats.cma_bytes, bytes);
+}
+
 DeviceStats Device::stats() const {
   DeviceStats out;
   out.send_cmds = aref(st_->stats.send_cmds).load(std::memory_order_relaxed);
@@ -292,6 +362,13 @@ DeviceStats Device::stats() const {
       aref(st_->stats.pages_pinned).load(std::memory_order_relaxed);
   out.cookie_leaks =
       aref(st_->stats.cookie_leaks).load(std::memory_order_relaxed);
+  out.cma_read_cmds =
+      aref(st_->stats.cma_read_cmds).load(std::memory_order_relaxed);
+  out.cma_bytes = aref(st_->stats.cma_bytes).load(std::memory_order_relaxed);
+  out.cma_stage_fallbacks =
+      aref(st_->stats.cma_stage_fallbacks).load(std::memory_order_relaxed);
+  out.cma_stage_bytes =
+      aref(st_->stats.cma_stage_bytes).load(std::memory_order_relaxed);
   return out;
 }
 

@@ -83,6 +83,8 @@ std::unique_ptr<Backend> make_backend(LmtKind kind, core::Engine& eng) {
       return std::make_unique<VmspliceBackend>(eng, /*use_writev=*/true);
     case LmtKind::kKnem:
       return std::make_unique<KnemBackend>(eng);
+    case LmtKind::kCma:
+      return std::make_unique<CmaBackend>(eng);
     case LmtKind::kAuto:
       break;
   }

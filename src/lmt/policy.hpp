@@ -43,6 +43,7 @@ struct PolicyConfig {
 
   bool knem_available = true;
   bool vmsplice_available = true;
+  bool cma_available = true;
   bool dma_available = true;
 
   /// Measured per-machine tuning (nullptr = pure formula policy). Not
@@ -120,13 +121,15 @@ class Policy {
   /// down the formula chain (knem -> vmsplice-on-unshared -> default).
   [[nodiscard]] LmtKind choose_kind(std::size_t bytes, int sender_core,
                                     int recv_core) const {
-    (void)bytes;
     bool shared = cores_known(sender_core, recv_core) &&
                   topo_.shared_cache(sender_core, recv_core).has_value();
     if (cfg_.tuning != nullptr) {
       switch (tuning_row(sender_core, recv_core).backend) {
         case tune::Backend::kKnem:
           if (cfg_.knem_available) return LmtKind::kKnem;
+          break;
+        case tune::Backend::kCma:
+          if (cfg_.cma_available) return LmtKind::kCma;
           break;
         case tune::Backend::kVmsplice:
           if (cfg_.vmsplice_available) return LmtKind::kVmsplice;
@@ -137,6 +140,13 @@ class Policy {
     } else if (cfg_.knem_available) {
       return LmtKind::kKnem;
     }
+    // Fallback chain: CMA stands in for an unavailable KNEM (same
+    // single-copy receiver-driven shape, no driver) once the message
+    // amortises the attach syscall, then vmsplice on unshared-cache pairs,
+    // then the default double-buffered ring.
+    std::size_t cma_act =
+        cfg_.tuning != nullptr ? cfg_.tuning->cma_activation : 8 * 1024;
+    if (cfg_.cma_available && bytes >= cma_act) return LmtKind::kCma;
     if (cfg_.vmsplice_available && !shared) return LmtKind::kVmsplice;
     return LmtKind::kDefaultShm;
   }

@@ -76,6 +76,12 @@ class Arena {
   }
   ~Arena() { destroy(); }
 
+  /// Drop unlink responsibility (keeps the mapping). A forked child that
+  /// re-attaches via open_shm calls this on its inherited copy first, so
+  /// replacing it cannot shm_unlink the segment out from under the parent
+  /// and sibling ranks.
+  void disown() { owner_ = false; }
+
   [[nodiscard]] bool valid() const { return base_ != nullptr; }
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] std::byte* base() const { return base_; }

@@ -15,28 +15,43 @@ ProcessResult run_forked_ranks(int nranks,
                                const std::function<int(int)>& fn) {
   NEMO_ASSERT(nranks >= 1);
   std::vector<pid_t> pids(static_cast<std::size_t>(nranks), -1);
+  // One pipe per child carries the "an exception escaped" flag out-of-band:
+  // the 8-bit exit status cannot distinguish fn returning 121 from the
+  // catch-all below, and ranks may legitimately return any code.
+  std::vector<int> exc_fds(static_cast<std::size_t>(nranks), -1);
   for (int r = 0; r < nranks; ++r) {
+    int pfd[2];
+    NEMO_SYSCHECK(::pipe(pfd), "pipe");
     pid_t pid = ::fork();
     NEMO_SYSCHECK(pid, "fork");
     if (pid == 0) {
+      // Only this child's own exception pipe stays open for writing.
+      ::close(pfd[0]);
+      for (int fd : exc_fds)
+        if (fd >= 0) ::close(fd);
       int code = 120;
       try {
         code = fn(r);
       } catch (const std::exception& e) {
         std::fprintf(stderr, "rank %d: uncaught exception: %s\n", r, e.what());
         code = 121;
+        [[maybe_unused]] ssize_t n = ::write(pfd[1], "E", 1);
       } catch (...) {
         std::fprintf(stderr, "rank %d: uncaught exception\n", r);
         code = 121;
+        [[maybe_unused]] ssize_t n = ::write(pfd[1], "E", 1);
       }
       std::fflush(nullptr);
       ::_exit(code);
     }
+    ::close(pfd[1]);
+    exc_fds[static_cast<std::size_t>(r)] = pfd[0];
     pids[static_cast<std::size_t>(r)] = pid;
   }
 
   ProcessResult res;
   res.exit_codes.assign(static_cast<std::size_t>(nranks), -1);
+  res.uncaught.assign(static_cast<std::size_t>(nranks), false);
   res.all_ok = true;
   for (int r = 0; r < nranks; ++r) {
     int status = 0;
@@ -51,6 +66,11 @@ ProcessResult run_forked_ranks(int nranks,
     else
       code = 123;
     res.exit_codes[static_cast<std::size_t>(r)] = code;
+    // The child is reaped, so the pipe either holds the flag byte or EOF.
+    char flag = 0;
+    int fd = exc_fds[static_cast<std::size_t>(r)];
+    res.uncaught[static_cast<std::size_t>(r)] = ::read(fd, &flag, 1) == 1;
+    ::close(fd);
     if (code != 0) res.all_ok = false;
   }
   return res;

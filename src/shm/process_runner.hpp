@@ -14,10 +14,14 @@ namespace nemo::shm {
 struct ProcessResult {
   bool all_ok = false;
   std::vector<int> exit_codes;  ///< Per rank; 256+sig for signal deaths.
+  /// Per rank: an exception escaped fn (reported out-of-band through a
+  /// pipe, so a rank that *returns* 121 is not mistaken for one that threw —
+  /// the exit-code byte is too narrow to carry both channels).
+  std::vector<bool> uncaught;
 };
 
 /// Fork `nranks` children, each running fn(rank). The parent only waits.
-/// Exceptions escaping fn turn into exit code 121.
+/// Exceptions escaping fn turn into exit code 121 plus uncaught[rank]=true.
 ProcessResult run_forked_ranks(int nranks, const std::function<int(int)>& fn);
 
 /// Pin the calling thread to `core` (best effort; returns false on failure —

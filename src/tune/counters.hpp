@@ -17,11 +17,11 @@ struct Counters {
   /// log2 size classes: bucket i covers [2^i, 2^(i+1)) bytes; bucket 0 also
   /// takes zero-byte messages. 40 classes cover up to 1 TiB.
   static constexpr int kSizeClasses = 40;
-  /// Backend histogram slots (mirrors lmt::LmtKind 0..3) plus eager=4,
-  /// fastbox=5.
-  static constexpr int kPaths = 6;
-  static constexpr int kPathEager = 4;
-  static constexpr int kPathFastbox = 5;
+  /// Backend histogram slots (mirrors lmt::LmtKind 0..4) plus eager=5,
+  /// fastbox=6.
+  static constexpr int kPaths = 7;
+  static constexpr int kPathEager = 5;
+  static constexpr int kPathFastbox = 6;
 
   std::array<std::uint64_t, kSizeClasses> sent_by_class{};
   std::array<std::uint64_t, kPaths> path_hist{};  ///< Messages per path.

@@ -19,6 +19,7 @@ const char* to_string(Backend b) {
     case Backend::kDefault: return "default";
     case Backend::kVmsplice: return "vmsplice";
     case Backend::kKnem: return "knem";
+    case Backend::kCma: return "cma";
   }
   return "?";
 }
@@ -27,6 +28,7 @@ std::optional<Backend> backend_from_string(const std::string& s) {
   if (s == "default") return Backend::kDefault;
   if (s == "vmsplice") return Backend::kVmsplice;
   if (s == "knem") return Backend::kKnem;
+  if (s == "cma") return Backend::kCma;
   return std::nullopt;
 }
 
@@ -119,7 +121,7 @@ TuningTable with_env_overrides(TuningTable t) {
       for (auto& pt : t.place) pt.backend = *kind;
     } else {
       throw std::invalid_argument("NEMO_BACKEND: unknown backend '" + *b +
-                                  "' (default|vmsplice|knem)");
+                                  "' (default|vmsplice|knem|cma)");
     }
   }
   if (env_str("NEMO_DMA_MIN")) t.dma_min = env_size("NEMO_DMA_MIN", 0);
@@ -196,11 +198,12 @@ std::optional<std::size_t> coll_slot_bytes_from_env() {
 std::string to_json(const TuningTable& t) {
   Json root = Json::object();
   // Schema 2 added the coll_* fields, schema 3 the barrier_tree_* fields,
-  // schema 4 the simd_kernel / pack_nt_min rows. from_json still accepts
-  // schemas 1-3 (missing fields keep their formula defaults) so a
-  // pre-existing cache degrades to "newer fields uncalibrated", not a
+  // schema 4 the simd_kernel / pack_nt_min rows, schema 5 the lmt_cma
+  // availability/activation row (and the "cma" backend value). from_json
+  // still accepts schemas 1-4 (missing fields keep their formula defaults)
+  // so a pre-existing cache degrades to "newer fields uncalibrated", not a
   // parse error.
-  root.set("schema", std::string("nemo-tune/4"));
+  root.set("schema", std::string("nemo-tune/5"));
   root.set("fingerprint", t.fingerprint);
   root.set("source", t.source);
 
@@ -219,6 +222,10 @@ std::string to_json(const TuningTable& t) {
   root.set("placements", std::move(places));
 
   root.set("dma_min", static_cast<std::uint64_t>(t.dma_min));
+  Json cma = Json::object();
+  cma.set("available", t.cma_available);
+  cma.set("activation", static_cast<std::uint64_t>(t.cma_activation));
+  root.set("lmt_cma", std::move(cma));
   root.set("collective_activation",
            static_cast<std::uint64_t>(t.collective_activation));
   root.set("fastbox_max", static_cast<std::uint64_t>(t.fastbox_max));
@@ -244,7 +251,8 @@ std::optional<TuningTable> from_json(const std::string& text,
   if (!doc) return std::nullopt;
   std::string schema = (*doc)["schema"].as_string();
   if (schema != "nemo-tune/1" && schema != "nemo-tune/2" &&
-      schema != "nemo-tune/3" && schema != "nemo-tune/4") {
+      schema != "nemo-tune/3" && schema != "nemo-tune/4" &&
+      schema != "nemo-tune/5") {
     if (err != nullptr) *err = "unknown schema";
     return std::nullopt;
   }
@@ -269,6 +277,10 @@ std::optional<TuningTable> from_json(const std::string& text,
         p["ring_buf_bytes"].as_uint(pt.ring_buf_bytes));
   }
   t.dma_min = (*doc)["dma_min"].as_uint(t.dma_min);
+  if (const Json& cma = (*doc)["lmt_cma"]; !cma.is_null()) {
+    t.cma_available = cma["available"].as_bool(t.cma_available);
+    t.cma_activation = cma["activation"].as_uint(t.cma_activation);
+  }
   t.collective_activation =
       (*doc)["collective_activation"].as_uint(t.collective_activation);
   t.fastbox_max = (*doc)["fastbox_max"].as_uint(t.fastbox_max);

@@ -31,6 +31,7 @@ enum class Backend : std::uint32_t {
   kDefault = 0,   ///< Double-buffered shm copy ring.
   kVmsplice = 1,  ///< Single-copy pipe.
   kKnem = 2,      ///< Single-copy pseudo-device (DMA-capable).
+  kCma = 3,       ///< Single-copy cross-memory attach (process_vm_readv).
 };
 
 const char* to_string(Backend b);
@@ -78,6 +79,16 @@ struct TuningTable {
 
   /// KNEM DMA offload threshold. 0 = use the paper's per-core formula.
   std::size_t dma_min = 0;
+
+  /// Cross-memory-attach row (schema 5). `cma_available` records whether the
+  /// process_vm_readv probe succeeded when this table was calibrated — a
+  /// cache written under a permissive kernel must not force CMA on a host
+  /// where Yama/seccomp later refuses it, so World still ANDs its own probe
+  /// in. `cma_activation` is the message size from which CMA is preferred in
+  /// the formula fallback chain (below it the attach syscall's fixed cost
+  /// loses to vmsplice / the copy ring).
+  bool cma_available = true;
+  std::size_t cma_activation = 8 * KiB;
   /// Lower activation used inside collectives (§4.4).
   std::size_t collective_activation = 4 * KiB;
 

@@ -49,20 +49,20 @@ void barrier_cross_check(int nranks, bool tree, int rounds) {
   tune::TuningTable t = tune::formula_defaults(detect_host());
   t.barrier_tree_ranks = tree ? 2 : UINT32_MAX;
   cfg.tuning = t;
-  // One counter for the whole world: rank 0 allocates, the others pick the
-  // pointer up after the hard barrier (thread-mode worlds share the
-  // address space).
-  std::atomic<std::uint64_t*> shared{nullptr};
+  // One counter for the whole world: rank 0 allocates and broadcasts the
+  // arena *offset* — raw pointers don't survive a process boundary (each
+  // forked rank maps the arena at its own base), offsets always do.
   run(cfg, [&](Comm& comm) {
     int n = comm.size();
+    std::uint64_t off = 0;
     if (comm.rank() == 0) {
       auto* p = reinterpret_cast<std::uint64_t*>(
           comm.shared_alloc(sizeof(std::uint64_t)));
       shm::aref(*p).store(0);
-      shared.store(p, std::memory_order_release);
+      off = comm.world().arena().offset_of(p);
     }
-    comm.hard_barrier();
-    std::uint64_t* ctr = shared.load(std::memory_order_acquire);
+    comm.bcast(&off, sizeof off, 0);
+    auto* ctr = reinterpret_cast<std::uint64_t*>(comm.world().arena().at(off));
     for (int i = 0; i < rounds; ++i) {
       shm::aref(*ctr).fetch_add(1, std::memory_order_acq_rel);
       comm.barrier();
@@ -110,16 +110,16 @@ TEST(BarrierSchedule, SixteenRankStorm) {
   t.barrier_tree_ranks = 2;
   t.barrier_tree_k = 3;  // Non-default fan-in: exercise an uneven last level.
   cfg.tuning = t;
-  std::atomic<std::uint64_t*> shared{nullptr};
   run(cfg, [&](Comm& comm) {
+    std::uint64_t off = 0;
     if (comm.rank() == 0) {
       auto* p = reinterpret_cast<std::uint64_t*>(
           comm.shared_alloc(sizeof(std::uint64_t)));
       shm::aref(*p).store(0);
-      shared.store(p, std::memory_order_release);
+      off = comm.world().arena().offset_of(p);
     }
-    comm.hard_barrier();
-    std::uint64_t* ctr = shared.load(std::memory_order_acquire);
+    comm.bcast(&off, sizeof off, 0);
+    auto* ctr = reinterpret_cast<std::uint64_t*>(comm.world().arena().at(off));
     for (int i = 0; i < 150; ++i) {
       shm::aref(*ctr).fetch_add(1, std::memory_order_acq_rel);
       comm.barrier();

@@ -2,7 +2,10 @@
 // KNEM error paths under the full stack, zero-size messages, cell-pool
 // pressure, stale-cookie handling.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <csignal>
+#include <string>
 #include <vector>
 
 #include "common/checksum.hpp"
@@ -64,7 +67,7 @@ TEST(FailurePaths, ArenaExhaustionAborts) {
 TEST(FailurePaths, ZeroByteMessagesAllBackends) {
   for (lmt::LmtKind kind :
        {lmt::LmtKind::kDefaultShm, lmt::LmtKind::kVmsplice,
-        lmt::LmtKind::kKnem}) {
+        lmt::LmtKind::kKnem, lmt::LmtKind::kCma}) {
     Config cfg;
     cfg.nranks = 2;
     cfg.lmt = kind;
@@ -81,6 +84,38 @@ TEST(FailurePaths, ZeroByteMessagesAllBackends) {
       }
     });
   }
+}
+
+TEST(FailurePaths, ChildKilledMidRendezvousIsReportedAndLeaksNothing) {
+  // A rank SIGKILLed after initiating a rendezvous (RTS posted, no data
+  // moved, cookie still held): the parent must report 256+SIGKILL without
+  // mistaking it for an escaped exception, and the named segment must not
+  // outlive the owning World.
+  std::string name = "/nemo-test-kill-" + std::to_string(::getpid());
+  {
+    Config cfg;
+    cfg.nranks = 2;
+    cfg.mode = LaunchMode::kProcesses;
+    cfg.lmt = lmt::LmtKind::kCma;
+    cfg.shm_name = name;
+    World world(cfg);
+    shm::ProcessResult res = shm::run_forked_ranks(2, [&](int rank) {
+      if (rank != 0) return 0;  // No dependence on the doomed peer.
+      world.reattach_in_child();
+      Comm comm(world, 0);
+      static std::vector<std::byte> buf(4 * MiB);
+      Request r = comm.isend(buf.data(), buf.size(), 1, 1);
+      (void)r;
+      ::raise(SIGKILL);
+      return 0;  // Unreachable.
+    });
+    EXPECT_FALSE(res.all_ok);
+    EXPECT_EQ(res.exit_codes[0], 256 + SIGKILL);
+    EXPECT_FALSE(res.uncaught[0]);  // Killed, not thrown.
+    EXPECT_EQ(res.exit_codes[1], 0);
+  }
+  EXPECT_NE(::access(("/dev/shm" + name).c_str(), F_OK), 0)
+      << "shm segment leaked past the owning World";
 }
 
 TEST(FailurePaths, CellPoolPressureManySmallMessages) {

@@ -163,6 +163,17 @@ TEST(LmtProtocol, ResolveKindHonoursConfigAndPolicy) {
   cfg2.policy.knem_available = false;
   cfg2.core_binding = {0, 7};  // No shared cache on the modelled topology.
   run(cfg2, [&](Comm& comm) {
+    // No KNEM: CMA stands in where the host allows it (the World's probe
+    // gates the policy), else the chain continues to vmsplice.
+    lmt::LmtKind want = comm.world().cma_ok() ? lmt::LmtKind::kCma
+                                              : lmt::LmtKind::kVmsplice;
+    EXPECT_EQ(comm.engine().resolve_kind(1 * MiB, 1 - comm.rank(), false),
+              want);
+  });
+
+  Config cfg3 = cfg2;
+  cfg3.policy.cma_available = false;
+  run(cfg3, [&](Comm& comm) {
     EXPECT_EQ(comm.engine().resolve_kind(1 * MiB, 1 - comm.rank(), false),
               lmt::LmtKind::kVmsplice);
   });

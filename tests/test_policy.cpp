@@ -68,9 +68,23 @@ TEST(Policy, ChooseKindPrefersKnem) {
   EXPECT_EQ(p.choose_kind(1 * MiB, 0, 7), LmtKind::kKnem);
 }
 
+TEST(Policy, ChooseKindCmaStandsInForKnem) {
+  // No KNEM module but a CMA-capable kernel: the same single-copy
+  // receiver-driven shape wins once the message amortises the attach.
+  PolicyConfig cfg;
+  cfg.knem_available = false;
+  Policy p(xeon_e5345(), cfg);
+  EXPECT_EQ(p.choose_kind(1 * MiB, 0, 1), LmtKind::kCma);
+  EXPECT_EQ(p.choose_kind(1 * MiB, 0, 7), LmtKind::kCma);
+  // Below the CMA activation the old chain applies.
+  EXPECT_EQ(p.choose_kind(4 * KiB, 0, 1), LmtKind::kDefaultShm);
+  EXPECT_EQ(p.choose_kind(4 * KiB, 0, 7), LmtKind::kVmsplice);
+}
+
 TEST(Policy, ChooseKindVmspliceOnlyWithoutSharedCache) {
   PolicyConfig cfg;
   cfg.knem_available = false;  // "loading a custom module not acceptable".
+  cfg.cma_available = false;   // ...and a CMA-restricted kernel.
   Policy p(xeon_e5345(), cfg);
   // Shared cache: the two-copy scheme wins (§4.1) -> default.
   EXPECT_EQ(p.choose_kind(1 * MiB, 0, 1), LmtKind::kDefaultShm);
@@ -82,6 +96,7 @@ TEST(Policy, ChooseKindVmspliceOnlyWithoutSharedCache) {
 TEST(Policy, ChooseKindFallsBackToDefault) {
   PolicyConfig cfg;
   cfg.knem_available = false;
+  cfg.cma_available = false;
   cfg.vmsplice_available = false;
   Policy p(xeon_e5345(), cfg);
   EXPECT_EQ(p.choose_kind(1 * MiB, 0, 7), LmtKind::kDefaultShm);

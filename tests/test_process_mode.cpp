@@ -41,7 +41,8 @@ TEST_P(ProcessMode, PingpongAcrossAddressSpaces) {
 INSTANTIATE_TEST_SUITE_P(Kinds, ProcessMode,
                          ::testing::Values(lmt::LmtKind::kDefaultShm,
                                            lmt::LmtKind::kVmsplice,
-                                           lmt::LmtKind::kKnem),
+                                           lmt::LmtKind::kKnem,
+                                           lmt::LmtKind::kCma),
                          [](const auto& info) {
                            std::string s = lmt::to_string(info.param);
                            for (auto& c : s)
@@ -127,6 +128,22 @@ TEST(ProcessMode, ChildExceptionBecomesCode121) {
   });
   EXPECT_FALSE(res.all_ok);
   EXPECT_EQ(res.exit_codes[0], 121);
+  // The out-of-band flag distinguishes the escape from a legit return.
+  ASSERT_EQ(res.uncaught.size(), 2u);
+  EXPECT_TRUE(res.uncaught[0]);
+  EXPECT_FALSE(res.uncaught[1]);
+}
+
+TEST(ProcessMode, LegitExitCode121IsNotFlaggedAsException) {
+  // A rank body may return any code — including the 121 the catch-all also
+  // maps to. Only the out-of-band pipe flag may claim "exception escaped".
+  shm::ProcessResult res = shm::run_forked_ranks(2, [](int rank) -> int {
+    return rank == 0 ? 121 : 0;
+  });
+  EXPECT_FALSE(res.all_ok);
+  EXPECT_EQ(res.exit_codes[0], 121);
+  EXPECT_FALSE(res.uncaught[0]);
+  EXPECT_FALSE(res.uncaught[1]);
 }
 
 }  // namespace

@@ -143,7 +143,7 @@ TEST(TuningTable, CollAndBarrierFieldsRoundTrip) {
   t.barrier_tree_ranks = 12;
   t.barrier_tree_k = 3;
   std::string body = to_json(t);
-  EXPECT_NE(body.find("nemo-tune/4"), std::string::npos);
+  EXPECT_NE(body.find("nemo-tune/5"), std::string::npos);
   auto r = from_json(body);
   ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->coll_activation, 48 * KiB);
@@ -183,9 +183,9 @@ TEST(TuningTable, Schema3CachesStillLoadWithSimdDefaults) {
   TuningTable t = formula_defaults(xeon_e5345());
   t.coll_activation = 96 * KiB;
   std::string body = to_json(t);
-  auto at = body.find("nemo-tune/4");
+  auto at = body.find("nemo-tune/5");
   ASSERT_NE(at, std::string::npos);
-  body.replace(at, std::strlen("nemo-tune/4"), "nemo-tune/3");
+  body.replace(at, std::strlen("nemo-tune/5"), "nemo-tune/3");
   auto strip = [&body](const std::string& key) {
     auto p = body.find("\"" + key + "\"");
     ASSERT_NE(p, std::string::npos);
@@ -210,9 +210,9 @@ TEST(TuningTable, Schema2CachesStillLoadWithBarrierDefaults) {
   TuningTable t = formula_defaults(xeon_e5345());
   t.coll_activation = 96 * KiB;
   std::string body = to_json(t);
-  auto at = body.find("nemo-tune/4");
+  auto at = body.find("nemo-tune/5");
   ASSERT_NE(at, std::string::npos);
-  body.replace(at, std::strlen("nemo-tune/4"), "nemo-tune/2");
+  body.replace(at, std::strlen("nemo-tune/5"), "nemo-tune/2");
   auto strip = [&body](const std::string& key) {
     auto p = body.find("\"" + key + "\"");
     ASSERT_NE(p, std::string::npos);
@@ -239,9 +239,9 @@ TEST(TuningTable, Schema1CachesStillLoadWithCollDefaults) {
   TuningTable t = formula_defaults(xeon_e5345());
   t.drain_budget = 333;
   std::string body = to_json(t);
-  auto at = body.find("nemo-tune/4");
+  auto at = body.find("nemo-tune/5");
   ASSERT_NE(at, std::string::npos);
-  body.replace(at, std::strlen("nemo-tune/4"), "nemo-tune/1");
+  body.replace(at, std::strlen("nemo-tune/5"), "nemo-tune/1");
   // Strip the coll keys as an old writer would never have emitted them
   // (erasing from the preceding comma keeps the JSON well-formed even for
   // the object's last member).
@@ -410,14 +410,64 @@ TEST(Policy, ConsultsPlacementRowsAndFallsBackOnAvailability) {
   EXPECT_EQ(p.dma_min_for(0), 2 * MiB);
 
   // Availability still gates the table's preference: no KNEM -> the
-  // cross-socket row falls back down the chain to vmsplice.
+  // cross-socket row falls back down the chain, first to CMA (the same
+  // single-copy shape without the driver)...
   lmt::PolicyConfig no_knem = pc;
   no_knem.knem_available = false;
+  lmt::Policy p_cma(topo, no_knem);
+  EXPECT_EQ(p_cma.choose_kind(1 * MiB, 0, 7), lmt::LmtKind::kCma);
+  // ...but not below the tuned CMA activation...
+  TuningTable t_act = t;
+  t_act.cma_activation = 2 * MiB;
+  lmt::PolicyConfig pc_act = no_knem;
+  pc_act.tuning = &t_act;
+  lmt::Policy p_act(topo, pc_act);
+  EXPECT_EQ(p_act.choose_kind(1 * MiB, 0, 7), lmt::LmtKind::kVmsplice);
+  // ...then to vmsplice, then the default ring.
+  no_knem.cma_available = false;
   lmt::Policy p2(topo, no_knem);
   EXPECT_EQ(p2.choose_kind(1 * MiB, 0, 7), lmt::LmtKind::kVmsplice);
   no_knem.vmsplice_available = false;
   lmt::Policy p3(topo, no_knem);
   EXPECT_EQ(p3.choose_kind(1 * MiB, 0, 7), lmt::LmtKind::kDefaultShm);
+  // A tuned row naming CMA outright is honoured when available.
+  TuningTable t_cma = t;
+  t_cma.for_placement(PairPlacement::kDifferentSockets).backend = Backend::kCma;
+  lmt::PolicyConfig pc_cma = pc;
+  pc_cma.tuning = &t_cma;
+  lmt::Policy p4(topo, pc_cma);
+  EXPECT_EQ(p4.choose_kind(1 * MiB, 0, 7), lmt::LmtKind::kCma);
+}
+
+TEST(TuningTable, CmaRowRoundTripsInSchema5) {
+  TuningTable t = formula_defaults(xeon_e5345());
+  t.cma_available = false;
+  t.cma_activation = 96 * KiB;
+  t.for_placement(PairPlacement::kDifferentSockets).backend = Backend::kCma;
+  std::string body = to_json(t);
+  EXPECT_NE(body.find("\"lmt_cma\""), std::string::npos);
+  EXPECT_NE(body.find("\"cma\""), std::string::npos);
+  auto r = from_json(body);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r->cma_available);
+  EXPECT_EQ(r->cma_activation, 96 * KiB);
+  EXPECT_EQ(r->for_placement(PairPlacement::kDifferentSockets).backend,
+            Backend::kCma);
+  // A schema-4 cache without the row keeps the defaults.
+  auto at = body.find("nemo-tune/5");
+  ASSERT_NE(at, std::string::npos);
+  body.replace(at, std::strlen("nemo-tune/5"), "nemo-tune/4");
+  auto open = body.find("\"lmt_cma\"");
+  ASSERT_NE(open, std::string::npos);
+  auto close = body.find('}', open);
+  ASSERT_NE(close, std::string::npos);
+  auto comma = body.rfind(',', open);
+  ASSERT_NE(comma, std::string::npos);
+  body.erase(comma, close + 1 - comma);
+  auto old = from_json(body);
+  ASSERT_TRUE(old.has_value());
+  EXPECT_TRUE(old->cma_available);
+  EXPECT_EQ(old->cma_activation, 8 * KiB);
 }
 
 TEST(Calibrate, ProducesAPlausibleTableOnThisHost) {
