@@ -360,6 +360,33 @@ int main(int argc, char** argv) {
     rows.emplace_back(row);
   }
 
+  // Liveness-overhead budget rows: the same allreduce with the bounded-wait
+  // guards armed (default timeout) vs NEMO_PEER_TIMEOUT_MS=off (the
+  // pre-resilience unbounded spins). The guard rides only the every-64-spins
+  // slow path, so check_bench_regression --diff's "liveness" grouping must
+  // show the armed row within 2% of off.
+  std::printf("# Liveness overhead — allreduce 8x256KiB shm, on vs off\n");
+  for (const char* lmode : {"on", "off"}) {
+    double wall_us = 0.0;
+    {
+      ScopedEnv lenv("NEMO_PEER_TIMEOUT_MS",
+                     std::strcmp(lmode, "on") == 0 ? "30000" : "off");
+      wall_us = real ? real_coll_us(coll::Mode::kShm, "allreduce", 8,
+                                    256 * KiB, iters, samples)
+                     : 0.0;
+    }
+    std::printf("%-9s %5d %9zu %5s %12.1f %12s %14s %12s\n", "allreduce", 8,
+                static_cast<std::size_t>(256 * KiB), lmode, wall_us, "-",
+                "-", "-");
+    char row[512];
+    std::snprintf(
+        row, sizeof row,
+        "{\"op\": \"allreduce\", \"ranks\": 8, \"bytes\": %zu, "
+        "\"mode\": \"shm\", \"liveness\": \"%s\", \"wall_us\": %.2f}",
+        static_cast<std::size_t>(256 * KiB), lmode, wall_us);
+    rows.emplace_back(row);
+  }
+
   std::string json = opt.get("json", "");
   if (!json.empty() && !write_json_rows(json, "coll_sweep", rows)) return 1;
   if (!trace_path.empty()) {

@@ -89,7 +89,7 @@ int main(int argc, char** argv) {
                    "cannot report counters back); no file will be written\n");
   }
 
-  core::run(cfg, [&](core::Comm& comm) {
+  bool ok = core::run(cfg, [&](core::Comm& comm) {
     int n = comm.size();
     for (std::size_t sz = min_b; sz <= max_b; sz *= 2) {
       int iters = iters_for(sz);
@@ -174,6 +174,10 @@ int main(int argc, char** argv) {
           comm.engine().counters();
     }
   });
+  if (!ok) {
+    std::fprintf(stderr, "imb: world failed (a rank exited nonzero)\n");
+    return 1;
+  }
   if (!telemetry.empty() &&
       !tune::write_telemetry(opt.get("telemetry", ""), "imb-" + op,
                              telemetry.data(), cfg.nranks))

@@ -119,22 +119,17 @@ def compare(baseline_rows, fresh_rows, tolerance):
     return violations, checked, skipped
 
 
-def trace_overhead(rows):
-    """Pair rows that differ only in their "trace" field and compute the
-    rings-vs-off overhead percentage for each pair.
-
-    coll_sweep emits one wall_us row per NEMO_TRACE mode for the reference
-    allreduce; surfacing the delta here makes the <1%/<5% tracing overhead
-    budget visible in every bench_gate diff artifact.
-    """
+def _mode_overhead(rows, field):
+    """Pair rows that differ only in ``field`` and compute each non-"off"
+    mode's overhead percentage against the "off" row of its group."""
     groups = {}
     for row in rows:
-        if "trace" not in row or "wall_us" not in row:
+        if field not in row or "wall_us" not in row:
             continue
         key = tuple(sorted((k, v) for k, v in row.items()
-                           if k not in IDENTITY_EXCLUDE and k != "trace"))
+                           if k not in IDENTITY_EXCLUDE and k != field))
         try:
-            groups.setdefault(key, {})[row["trace"]] = float(row["wall_us"])
+            groups.setdefault(key, {})[row[field]] = float(row["wall_us"])
         except (TypeError, ValueError):
             continue
     report = []
@@ -151,6 +146,23 @@ def trace_overhead(rows):
                 "overhead_pct": 100.0 * (wall - off) / off,
             })
     return report
+
+
+def trace_overhead(rows):
+    """Overhead of the tracing layer: rows differing only in "trace".
+
+    coll_sweep emits one wall_us row per NEMO_TRACE mode for the reference
+    allreduce; surfacing the delta here makes the <1%/<5% tracing overhead
+    budget visible in every bench_gate diff artifact.
+    """
+    return _mode_overhead(rows, "trace")
+
+
+def liveness_overhead(rows):
+    """Overhead of the bounded-wait liveness guards: rows differing only in
+    "liveness" ("on" = default NEMO_PEER_TIMEOUT_MS, "off" = disarmed).
+    The guards ride the spin slow path only, so the budget is <2%."""
+    return _mode_overhead(rows, "liveness")
 
 
 def load_rows(path):
@@ -187,6 +199,7 @@ def main(argv=None):
     violations, checked, skipped = compare(baseline_rows, fresh_rows,
                                            args.tolerance)
     overhead = trace_overhead(fresh_rows)
+    live_overhead = liveness_overhead(fresh_rows)
 
     if args.diff:
         with open(args.diff, "w", encoding="utf-8") as f:
@@ -199,6 +212,7 @@ def main(argv=None):
                 "violations": [{**r, "key": dict(r["key"])}
                                for r in violations],
                 "trace_overhead": overhead,
+                "liveness_overhead": live_overhead,
             }, f, indent=2)
 
     print(f"checked {len(checked)} rows against {args.baseline} "
@@ -209,6 +223,11 @@ def main(argv=None):
     for rec in overhead:
         ident = ", ".join(f"{k}={v}" for k, v in sorted(rec["key"].items()))
         print(f"  trace overhead [{ident}] {rec['mode']}:"
+              f" {rec['off_us']:.1f}us -> {rec['traced_us']:.1f}us"
+              f" ({rec['overhead_pct']:+.1f}%)")
+    for rec in live_overhead:
+        ident = ", ".join(f"{k}={v}" for k, v in sorted(rec["key"].items()))
+        print(f"  liveness overhead [{ident}] {rec['mode']}:"
               f" {rec['off_us']:.1f}us -> {rec['traced_us']:.1f}us"
               f" ({rec['overhead_pct']:+.1f}%)")
     if violations:

@@ -153,6 +153,22 @@ class TraceOverheadTest(unittest.TestCase):
         self.assertEqual(cbr.trace_overhead(rows), [])
 
 
+class LivenessOverheadTest(unittest.TestCase):
+    def test_on_vs_off_pairing(self):
+        rows = [dict(coll_row("allreduce", 8, 262144, "shm", 100.0),
+                     liveness="off"),
+                dict(coll_row("allreduce", 8, 262144, "shm", 101.5),
+                     liveness="on"),
+                dict(coll_row("allreduce", 8, 262144, "shm", 103.0),
+                     trace="rings")]  # Trace rows stay in their own report.
+        report = cbr.liveness_overhead(rows)
+        self.assertEqual(len(report), 1)
+        rec = report[0]
+        self.assertEqual(rec["mode"], "on")
+        self.assertAlmostEqual(rec["overhead_pct"], 1.5)
+        self.assertEqual(cbr.trace_overhead(rows), [])  # No off trace row.
+
+
 class MainTest(unittest.TestCase):
     def _write(self, rows):
         f = tempfile.NamedTemporaryFile("w", suffix=".json", delete=False)

@@ -277,6 +277,23 @@ class WorldColl {
            seq;
   }
 
+  // --- Death-fence reclamation ---------------------------------------------
+
+  /// Tombstone a dead rank's cells so no surviving wait can park on them:
+  /// its barrier arrival and ack compare with >=, so pinning them to the
+  /// maximum makes the dead rank permanently "arrived"/"acked"; its slot
+  /// epoch is pinned to ~0, which no live epoch ever equals, so ready()
+  /// reads of the dead slot stay false and survivors skip it instead of
+  /// consuming stale bytes. Idempotent. Returns the cell count reclaimed.
+  int reclaim_rank(int r) const {
+    shm::aref(barrier_[r].seq).store(UINT64_MAX, std::memory_order_release);
+    shm::aref(acks_[r].tagged).store(UINT64_MAX, std::memory_order_release);
+    SlotHeader* h = header(r);
+    shm::aref(h->chunks).store(0, std::memory_order_relaxed);
+    shm::aref(h->epoch).store(UINT64_MAX, std::memory_order_release);
+    return 3;
+  }
+
  private:
   [[nodiscard]] std::byte* slot_base(int r) const {
     NEMO_ASSERT(r >= 0 && r < nranks());

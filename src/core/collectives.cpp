@@ -55,18 +55,28 @@ std::uint64_t epoch_base(std::uint64_t cs) {
 
 /// Spin until `ready()` while keeping pt2pt progress flowing. Counts one
 /// epoch stall whenever the first probe missed (the telemetry the tuner
-/// reads as "readers arrive before writers publish").
+/// reads as "readers arrive before writers publish"). Bounded: the liveness
+/// guard turns a dead peer into PeerDeadError (running the local epoch
+/// fence first) instead of spinning forever. `watch` is the specific rank
+/// the wait depends on, -1 when any peer could unblock it.
 template <typename Pred>
-void spin_until(Engine& eng, Pred&& ready) {
+void spin_until(Engine& eng, resil::Site site, int watch, Pred&& ready) {
   if (ready()) return;
   eng.counters().coll_epoch_stalls++;
   if (trace::on()) eng.tracer().emit(trace::kEpochStall, trace::kInstant);
+  resil::WaitGuard guard = eng.make_guard(site, watch);
   std::uint32_t spins = 0;
-  while (!ready()) {
-    if ((++spins & 0x3F) == 0) {
-      eng.progress();
-      std::this_thread::yield();
+  try {
+    while (!ready()) {
+      if ((++spins & 0x3F) == 0) {
+        eng.progress();
+        guard.check();
+        std::this_thread::yield();
+      }
     }
+  } catch (const resil::PeerDeadError& e) {
+    eng.peer_death_fence(e);
+    throw;
   }
 }
 
@@ -75,13 +85,21 @@ void spin_until(Engine& eng, Pred&& ready) {
 /// decision lands on p2p, so its misses must not feed the epoch-stall rate
 /// the feedback pass divides by coll_shm_ops).
 template <typename Pred>
-void spin_until_quiet(Engine& eng, Pred&& ready) {
+void spin_until_quiet(Engine& eng, resil::Site site, int watch,
+                      Pred&& ready) {
+  resil::WaitGuard guard = eng.make_guard(site, watch);
   std::uint32_t spins = 0;
-  while (!ready()) {
-    if ((++spins & 0x3F) == 0) {
-      eng.progress();
-      std::this_thread::yield();
+  try {
+    while (!ready()) {
+      if ((++spins & 0x3F) == 0) {
+        eng.progress();
+        guard.check();
+        std::this_thread::yield();
+      }
     }
+  } catch (const resil::PeerDeadError& e) {
+    eng.peer_death_fence(e);
+    throw;
   }
 }
 
@@ -186,13 +204,22 @@ void Comm::flat_barrier() {
   coll::WorldColl& cw = eng.coll_view();
   int n = size(), r = rank();
   std::uint64_t seq = eng.next_coll_barrier_seq();
+  // The lowest surviving rank coordinates (rank 0 until it dies); fenced
+  // ranks' arrival cells are tombstoned to always-arrived, so skipping them
+  // here is belt-and-braces that also avoids touching reclaimed lines.
+  int coord = eng.lowest_alive();
+  resil::fault_point(resil::Site::kBarrierArrive, r);
   cw.barrier_arrive(r, seq);
-  if (r == 0) {
-    for (int i = 1; i < n; ++i)
-      spin_until(eng, [&] { return cw.barrier_arrived(i, seq); });
+  if (r == coord) {
+    for (int i = 0; i < n; ++i) {
+      if (i == r || eng.rank_fenced(i)) continue;
+      spin_until(eng, resil::Site::kBarrierRelease, i,
+                 [&] { return cw.barrier_arrived(i, seq); });
+    }
     cw.barrier_release(seq);
   } else {
-    spin_until(eng, [&] { return cw.barrier_released(seq); });
+    spin_until(eng, resil::Site::kBarrierRelease, coord,
+               [&] { return cw.barrier_released(seq); });
   }
 }
 
@@ -207,20 +234,27 @@ void Comm::tree_barrier() {
   long first_child = k * r + 1;
   for (long c = first_child; c < first_child + k && c < n; ++c) {
     int child = static_cast<int>(c);
-    spin_until(eng, [&] { return cw.barrier_arrived(child, seq); });
+    spin_until(eng, resil::Site::kBarrierRelease, child,
+               [&] { return cw.barrier_arrived(child, seq); });
   }
   if (r == 0) {
     cw.barrier_release(seq);
   } else {
+    resil::fault_point(resil::Site::kBarrierArrive, r);
     cw.barrier_arrive(r, seq);
-    spin_until(eng, [&] { return cw.barrier_released(seq); });
+    spin_until(eng, resil::Site::kBarrierRelease, 0,
+               [&] { return cw.barrier_released(seq); });
   }
 }
 
 void Comm::shm_barrier() {
   Engine& eng = engine_;
   trace::Span sp(eng.tracer(), trace::kCollBarrier, trace::Mode::kRings);
-  if (static_cast<std::uint32_t>(size()) >= eng.barrier_tree_ranks()) {
+  // Degraded worlds always run flat: the k-ary schedule assumes rank 0 is
+  // the releaser and every interior node forwards, neither of which holds
+  // once a rank is fenced. Flat with a survivor coordinator does.
+  if (!eng.any_fenced() &&
+      static_cast<std::uint32_t>(size()) >= eng.barrier_tree_ranks()) {
     eng.counters().coll_barrier_tree++;
     tree_barrier();
   } else {
@@ -306,7 +340,9 @@ void Comm::bcast_shm(void* buf, std::size_t bytes, int root,
       // the user buffer — zero staging copies.
       cw.begin_epoch(r, epoch, arena.offset_of(buf), bytes);
       for (int i = 0; i < n; ++i)
-        if (i != r) spin_until(eng, [&] { return cw.acked(i, epoch, 1); });
+        if (i != r && !eng.rank_fenced(i))
+          spin_until(eng, resil::Site::kCollAck, i,
+                     [&] { return cw.acked(i, epoch, 1); });
       return;
     }
     // Staged: NT-stream once into the slot, chunked over the sub-buffers
@@ -320,8 +356,9 @@ void Comm::bcast_shm(void* buf, std::size_t bytes, int root,
       if (i >= g.nsub) {
         std::uint64_t need = i - g.nsub + 1;
         for (int k = 0; k < n; ++k)
-          if (k != r)
-            spin_until(eng, [&] { return cw.acked(k, epoch, need); });
+          if (k != r && !eng.rank_fenced(k))
+            spin_until(eng, resil::Site::kCollAck, k,
+                       [&] { return cw.acked(k, epoch, need); });
       }
       std::size_t off = static_cast<std::size_t>(i) * g.sub;
       std::size_t len = std::min(g.sub, bytes - off);
@@ -330,13 +367,16 @@ void Comm::bcast_shm(void* buf, std::size_t bytes, int root,
     }
     std::uint64_t fin = std::max<std::uint64_t>(nchunks, 1);
     for (int k = 0; k < n; ++k)
-      if (k != r) spin_until(eng, [&] { return cw.acked(k, epoch, fin); });
+      if (k != r && !eng.rank_fenced(k))
+        spin_until(eng, resil::Site::kCollAck, k,
+                   [&] { return cw.acked(k, epoch, fin); });
     return;
   }
 
   // Reader.
   std::byte* dst = static_cast<std::byte*>(buf);
-  spin_until(eng, [&] { return cw.ready(root, epoch, 0); });
+  spin_until(eng, resil::Site::kCollDoorbell, root,
+             [&] { return cw.ready(root, epoch, 0); });
   coll::SlotHeader* h = cw.header(root);
   std::uint64_t src_off = h->src_off;
   std::size_t total = h->bytes;
@@ -347,7 +387,8 @@ void Comm::bcast_shm(void* buf, std::size_t bytes, int root,
   }
   std::uint64_t nchunks = div_ceil(total, g.sub);
   for (std::uint64_t i = 0; i < nchunks; ++i) {
-    spin_until(eng, [&] { return cw.ready(root, epoch, i + 1); });
+    spin_until(eng, resil::Site::kCollDoorbell, root,
+               [&] { return cw.ready(root, epoch, i + 1); });
     std::size_t off = static_cast<std::size_t>(i) * g.sub;
     std::size_t len = std::min(g.sub, total - off);
     shm::copy_for(total >= nt_min, dst + off,
@@ -476,10 +517,13 @@ void Comm::allgather_shm(const void* sendbuf, std::size_t per_rank,
 
   // Everyone reads every header before round 0 so all ranks agree on the
   // global round count (staged and direct writers may coexist).
+  // Fenced writers never publish (their headers are tombstoned); survivors
+  // skip them and leave the dead rank's recvbuf block untouched.
   std::uint64_t rounds = std::max<std::uint64_t>(my_rounds, 1);
   for (int w = 0; w < n; ++w) {
-    if (w == r) continue;
-    spin_until(eng, [&] { return cw.ready(w, epoch, 0); });
+    if (w == r || eng.rank_fenced(w)) continue;
+    spin_until(eng, resil::Site::kCollDoorbell, w,
+               [&] { return cw.ready(w, epoch, 0); });
     rounds = std::max(rounds, cw.header(w)->bytes);
   }
 
@@ -491,7 +535,7 @@ void Comm::allgather_shm(const void* sendbuf, std::size_t per_rank,
       cw.publish_chunks(r, t + 1);
     }
     for (int w = 0; w < n; ++w) {
-      if (w == r) continue;
+      if (w == r || eng.rank_fenced(w)) continue;
       coll::SlotHeader* h = cw.header(w);
       std::byte* dst = out + static_cast<std::size_t>(w) * per_rank;
       if (h->src_off != shm::kNil) {
@@ -504,7 +548,8 @@ void Comm::allgather_shm(const void* sendbuf, std::size_t per_rank,
         continue;
       }
       if (t >= h->bytes) continue;  // This writer already finished.
-      spin_until(eng, [&] { return cw.ready(w, epoch, t + 1); });
+      spin_until(eng, resil::Site::kCollDoorbell, w,
+                 [&] { return cw.ready(w, epoch, t + 1); });
       std::size_t off = static_cast<std::size_t>(t) * slot;
       std::size_t len = std::min(slot, per_rank - off);
       std::memcpy(dst + off, cw.payload(w), len);
@@ -678,8 +723,9 @@ void Comm::alltoallv_shm(const void* sendbuf, const std::size_t* scounts,
 
   std::uint64_t rounds = std::max<std::uint64_t>(my_rounds, 1);
   for (int w = 0; w < n; ++w) {
-    if (w == r) continue;
-    spin_until(eng, [&] { return cw.ready(w, epoch, 0); });
+    if (w == r || eng.rank_fenced(w)) continue;
+    spin_until(eng, resil::Site::kCollDoorbell, w,
+               [&] { return cw.ready(w, epoch, 0); });
     rounds = std::max(rounds, cw.header(w)->bytes);
   }
 
@@ -695,7 +741,7 @@ void Comm::alltoallv_shm(const void* sendbuf, const std::size_t* scounts,
       cw.publish_chunks(r, t + 1);
     }
     for (int w = 0; w < n; ++w) {
-      if (w == r) continue;
+      if (w == r || eng.rank_fenced(w)) continue;
       coll::SlotHeader* h = cw.header(w);
       std::byte* dst = out + rdispls[w];
       if (h->src_off != shm::kNil) {
@@ -711,7 +757,8 @@ void Comm::alltoallv_shm(const void* sendbuf, const std::size_t* scounts,
         continue;
       }
       if (t >= h->bytes) continue;
-      spin_until(eng, [&] { return cw.ready(w, epoch, t + 1); });
+      spin_until(eng, resil::Site::kCollDoorbell, w,
+                 [&] { return cw.ready(w, epoch, t + 1); });
       std::size_t off = static_cast<std::size_t>(t) * cap;
       if (off >= rcounts[w]) continue;
       std::size_t len = std::min(cap, rcounts[w] - off);
@@ -734,8 +781,11 @@ std::size_t Comm::alltoallv_min_row_bytes(const std::size_t* scounts) {
   cw.probe_publish(r, seq, my);
   std::uint64_t mn = my;
   for (int w = 0; w < n; ++w) {
-    if (w == r) continue;
-    spin_until_quiet(eng, [&] { return cw.probe_ready(w, seq); });
+    // Probe cells are exact-match parity buffers, so a dead rank's cell can
+    // never be tombstoned to "always ready" — survivors must skip it.
+    if (w == r || eng.rank_fenced(w)) continue;
+    spin_until_quiet(eng, resil::Site::kCollProbe, w,
+                     [&] { return cw.probe_ready(w, seq); });
     mn = std::min(mn, cw.probe_value(w, seq));
   }
   return mn;
@@ -882,8 +932,9 @@ void Comm::alltoall_strided_shm(const void* sendbuf, const Datatype& sdt,
                     out + static_cast<std::size_t>(r) * rext, rdt, count);
 
   for (int w = 0; w < n; ++w) {
-    if (w == r) continue;
-    spin_until(eng, [&] { return cw.ready(w, epoch, 1); });
+    if (w == r || eng.rank_fenced(w)) continue;
+    spin_until(eng, resil::Site::kCollDoorbell, w,
+               [&] { return cw.ready(w, epoch, 1); });
     unpack_from(cw.payload(w) + dest_index(w, r) * cap, rdt, count,
                 out + static_cast<std::size_t>(w) * rext);
   }
@@ -972,8 +1023,9 @@ void Comm::allgather_strided_shm(const void* sendbuf, const Datatype& sdt,
                     count);
 
   for (int w = 0; w < n; ++w) {
-    if (w == r) continue;
-    spin_until(eng, [&] { return cw.ready(w, epoch, 1); });
+    if (w == r || eng.rank_fenced(w)) continue;
+    spin_until(eng, resil::Site::kCollDoorbell, w,
+               [&] { return cw.ready(w, epoch, 1); });
     unpack_from(cw.payload(w), rdt, count,
                 out + static_cast<std::size_t>(w) * rext);
   }
@@ -1106,7 +1158,9 @@ void Comm::reduce_shm(const T* in, T* out, std::size_t n, ReduceOp op,
   coll::WorldColl& cw = eng.coll_view();
   shm::Arena& arena = cw.arena();
   int p = size(), r = rank();
-  int leader = eng.world().coll_leader();
+  // NUMA-chosen leader, remapped to the lowest survivor when the configured
+  // leader has been fenced (world-symmetric after fence_world()).
+  int leader = eng.effective_coll_leader();
   NEMO_ASSERT(leader >= 0 && leader < p);
   std::size_t bytes = n * sizeof(T);
   eng.counters().coll_shm_bytes += bytes;
@@ -1127,53 +1181,66 @@ void Comm::reduce_shm(const T* in, T* out, std::size_t n, ReduceOp op,
     std::uint64_t dep = 0, got = 0;
     std::uint32_t spins = 0;
     bool stalled = false;
-    while (dep < my_chunks || (reads_result && got < rounds)) {
-      bool advanced = false;
-      // Deposit side. Sub-buffer reuse gate: the leader's doorbell at
-      // dep-nsub+1 proves it folded chunk dep-nsub out of every slot.
-      if (dep < my_chunks &&
-          (dep < g.nsub || cw.ready(leader, epoch, dep - g.nsub + 1))) {
-        std::size_t first = static_cast<std::size_t>(dep) * chunk_elems;
-        std::size_t cnt = std::min(chunk_elems, n - first);
-        trace::Span dsp(eng.tracer(), trace::kCollDeposit,
-                        trace::Mode::kRings, dep, cnt * sizeof(T));
-        std::memcpy(cw.payload(r) + (dep % g.nsub) * g.sub, in + first,
-                    cnt * sizeof(T));
-        cw.publish_chunks(r, ++dep);
-        advanced = true;
-      }
-      // Result side: consume folded chunks as the leader publishes them.
-      if (reads_result && got < rounds && cw.ready(leader, epoch, got + 1)) {
-        std::size_t first = static_cast<std::size_t>(got) * chunk_elems;
-        std::size_t cnt = first < n ? std::min(chunk_elems, n - first) : 0;
-        trace::Span rsp(eng.tracer(), trace::kCollRelease,
-                        trace::Mode::kRings, got, cnt * sizeof(T));
-        if (cnt > 0)
-          std::memcpy(out + first,
-                      cw.payload(leader) + (got % g.nsub) * g.sub,
+    // Both sides of the interleaved loop block on the leader, so the guard
+    // watches it; a dead leader makes the whole op unfinishable.
+    resil::WaitGuard guard =
+        eng.make_guard(resil::Site::kCollDoorbell, leader);
+    try {
+      while (dep < my_chunks || (reads_result && got < rounds)) {
+        bool advanced = false;
+        // Deposit side. Sub-buffer reuse gate: the leader's doorbell at
+        // dep-nsub+1 proves it folded chunk dep-nsub out of every slot.
+        if (dep < my_chunks &&
+            (dep < g.nsub || cw.ready(leader, epoch, dep - g.nsub + 1))) {
+          std::size_t first = static_cast<std::size_t>(dep) * chunk_elems;
+          std::size_t cnt = std::min(chunk_elems, n - first);
+          trace::Span dsp(eng.tracer(), trace::kCollDeposit,
+                          trace::Mode::kRings, dep, cnt * sizeof(T));
+          resil::fault_point(resil::Site::kCollDeposit, r);
+          std::memcpy(cw.payload(r) + (dep % g.nsub) * g.sub, in + first,
                       cnt * sizeof(T));
-        cw.set_ack(r, epoch, ++got);
-        advanced = true;
-      }
-      if (!advanced) {
-        if (!stalled) {
-          eng.counters().coll_epoch_stalls++;
-          if (trace::on())
-            eng.tracer().emit(trace::kEpochStall, trace::kInstant,
-                              static_cast<std::uint64_t>(leader));
-          stalled = true;
+          cw.publish_chunks(r, ++dep);
+          advanced = true;
         }
-        if ((++spins & 0x3F) == 0) {
-          eng.progress();
-          std::this_thread::yield();
+        // Result side: consume folded chunks as the leader publishes them.
+        if (reads_result && got < rounds &&
+            cw.ready(leader, epoch, got + 1)) {
+          std::size_t first = static_cast<std::size_t>(got) * chunk_elems;
+          std::size_t cnt = first < n ? std::min(chunk_elems, n - first) : 0;
+          trace::Span rsp(eng.tracer(), trace::kCollRelease,
+                          trace::Mode::kRings, got, cnt * sizeof(T));
+          if (cnt > 0)
+            std::memcpy(out + first,
+                        cw.payload(leader) + (got % g.nsub) * g.sub,
+                        cnt * sizeof(T));
+          cw.set_ack(r, epoch, ++got);
+          advanced = true;
+        }
+        if (!advanced) {
+          if (!stalled) {
+            eng.counters().coll_epoch_stalls++;
+            if (trace::on())
+              eng.tracer().emit(trace::kEpochStall, trace::kInstant,
+                                static_cast<std::uint64_t>(leader));
+            stalled = true;
+          }
+          if ((++spins & 0x3F) == 0) {
+            eng.progress();
+            guard.check();
+            std::this_thread::yield();
+          }
         }
       }
+    } catch (const resil::PeerDeadError& e) {
+      eng.peer_death_fence(e);
+      throw;
     }
     if (!reads_result) {
       // Pure writer: a direct operand is read chunk by chunk, so the
       // buffer stays live until the fold's LAST doorbell; ack so the
       // leader can return (and its slot be reused by the next collective).
-      spin_until(eng, [&] { return cw.ready(leader, epoch, rounds); });
+      spin_until(eng, resil::Site::kCollDoorbell, leader,
+                 [&] { return cw.ready(leader, epoch, rounds); });
       cw.set_ack(r, epoch, rounds);
     }
     return;
@@ -1185,8 +1252,9 @@ void Comm::reduce_shm(const T* in, T* out, std::size_t n, ReduceOp op,
   // collective the moment it does — never re-read it mid-fold.
   std::vector<std::uint64_t> src_offs(static_cast<std::size_t>(p), shm::kNil);
   for (int w = 0; w < p; ++w) {
-    if (w == r) continue;
-    spin_until(eng, [&] { return cw.ready(w, epoch, 0); });
+    if (w == r || eng.rank_fenced(w)) continue;
+    spin_until(eng, resil::Site::kCollGather, w,
+               [&] { return cw.ready(w, epoch, 0); });
     src_offs[static_cast<std::size_t>(w)] = cw.header(w)->src_off;
   }
   bool stage_result = all || r != root;  // Someone reads from our slot.
@@ -1205,8 +1273,9 @@ void Comm::reduce_shm(const T* in, T* out, std::size_t n, ReduceOp op,
         if (t >= g.nsub) {
           std::uint64_t need = t - g.nsub + 1;
           for (int k = 0; k < p; ++k)
-            if (k != r && (all || k == root))
-              spin_until(eng, [&] { return cw.acked(k, epoch, need); });
+            if (k != r && (all || k == root) && !eng.rank_fenced(k))
+              spin_until(eng, resil::Site::kCollAck, k,
+                         [&] { return cw.acked(k, epoch, need); });
         }
         dst = reinterpret_cast<T*>(cw.payload(r) + (t % g.nsub) * g.sub);
       } else {
@@ -1214,20 +1283,25 @@ void Comm::reduce_shm(const T* in, T* out, std::size_t n, ReduceOp op,
       }
       // Seed with the root's slice, then fold 0..p-1 ascending skipping
       // the root: the exact element-wise order of the p2p oracle,
-      // independent of who leads.
+      // independent of who leads. Fenced ranks contribute nothing; a
+      // fenced root's seed falls back to the lowest surviving rank (the
+      // oracle over the survivor set).
       auto slice_of = [&](int w) -> const T* {
         if (w == r) return in + first;
         if (src_offs[static_cast<std::size_t>(w)] != shm::kNil)
           return reinterpret_cast<const T*>(
                      arena.at(src_offs[static_cast<std::size_t>(w)])) +
                  first;
-        spin_until(eng, [&] { return cw.ready(w, epoch, t + 1); });
+        spin_until(eng, resil::Site::kCollDoorbell, w,
+                   [&] { return cw.ready(w, epoch, t + 1); });
         return reinterpret_cast<const T*>(cw.payload(w) +
                                           (t % g.nsub) * g.sub);
       };
-      std::memcpy(dst, slice_of(root), cnt * sizeof(T));
+      int seed = eng.rank_fenced(root) ? eng.lowest_alive() : root;
+      resil::fault_point(resil::Site::kCollFold, r);
+      std::memcpy(dst, slice_of(seed), cnt * sizeof(T));
       for (int w = 0; w < p; ++w) {
-        if (w == root) continue;
+        if (w == seed || eng.rank_fenced(w)) continue;
         fold_chunk(eng, op, dst, slice_of(w), cnt);
       }
       if (stage_result && want_result)
@@ -1239,7 +1313,9 @@ void Comm::reduce_shm(const T* in, T* out, std::size_t n, ReduceOp op,
   // saw the final doorbell — every direct operand and our own slot are now
   // dead for this epoch.
   for (int w = 0; w < p; ++w)
-    if (w != r) spin_until(eng, [&] { return cw.acked(w, epoch, rounds); });
+    if (w != r && !eng.rank_fenced(w))
+      spin_until(eng, resil::Site::kCollAck, w,
+                 [&] { return cw.acked(w, epoch, rounds); });
 }
 
 template <typename T>

@@ -137,6 +137,24 @@ Config apply_env(Config cfg) {
       throw std::invalid_argument("NEMO_CMA: expected on|off|nosyscall, got '" + *v + "'");
     }
   }
+  if (env_str("NEMO_PEER_TIMEOUT_MS")) {
+    // env_size parses "off"/"never" as SIZE_MAX == resil::kTimeoutOff.
+    std::size_t ms = env_size("NEMO_PEER_TIMEOUT_MS", cfg.peer_timeout_ms);
+    if (ms == 0)
+      throw std::invalid_argument(
+          "NEMO_PEER_TIMEOUT_MS: expected a positive millisecond count or "
+          "'off'");
+    cfg.peer_timeout_ms = ms;
+  }
+  if (auto v = env_str("NEMO_ON_PEER_DEATH")) {
+    if (*v == "abort")
+      cfg.on_peer_death = resil::OnPeerDeath::kAbort;
+    else if (*v == "degrade")
+      cfg.on_peer_death = resil::OnPeerDeath::kDegrade;
+    else
+      throw std::invalid_argument(
+          "NEMO_ON_PEER_DEATH: expected abort|degrade, got '" + *v + "'");
+  }
   if (auto v = env_str("NEMO_LMT")) {
     if (*v == "auto")
       cfg.lmt = lmt::LmtKind::kAuto;
@@ -176,8 +194,11 @@ World::World(Config cfg)
                            : auto_arena_bytes(cfg_, tuning_))),
       pipes_(cfg_.nranks) {
   // Pick up NEMO_TRACE before any Engine constructs its tracer (tests and
-  // tools pin the mode via ScopedEnv between World lifetimes).
+  // tools pin the mode via ScopedEnv between World lifetimes). NEMO_FAULT
+  // follows the same discipline: re-armed per World, inherited by forked
+  // ranks.
   trace::reload_mode();
+  resil::reload_fault();
   NEMO_ASSERT(cfg_.nranks >= 1);
   NEMO_ASSERT_MSG(cfg_.core_binding.empty() ||
                       cfg_.core_binding.size() ==
@@ -290,12 +311,17 @@ World::World(Config cfg)
   bb->count = 0;
   bb->generation = 0;
 
-  // Many-reader bootstrap state (KNEM cookie table, pid table, barrier):
-  // every rank polls these, so no single home node is right — interleave the
-  // span under kAuto/kInterleave. Sub-page spans are a no-op.
+  // Liveness words: per-rank heartbeat cells, death flags, and the fence
+  // block. Bootstrap state like the pid table — every rank reads every cell.
+  life_off_ = resil::Liveness::create(arena_, cfg_.nranks);
+
+  // Many-reader bootstrap state (KNEM cookie table, pid table, barrier,
+  // liveness): every rank polls these, so no single home node is right —
+  // interleave the span under kAuto/kInterleave. Sub-page spans are a no-op.
   if (numa_mode_ == shm::NumaPlacement::kAuto ||
       numa_mode_ == shm::NumaPlacement::kInterleave) {
-    std::uint64_t end = barrier_off_ + sizeof(BarrierBlock);
+    std::uint64_t end =
+        life_off_ + resil::Liveness::footprint(cfg_.nranks);
     shm::interleave(arena_.at(shared_state_begin), end - shared_state_begin);
   }
 
@@ -364,7 +390,7 @@ pid_t World::pid_of(int rank) const {
   return static_cast<pid_t>(v);
 }
 
-void World::hard_barrier() {
+void World::hard_barrier(int self_rank) {
   auto* bb = arena_.at_as<BarrierBlock>(barrier_off_);
   std::uint64_t gen = aref(bb->generation).load(std::memory_order_acquire);
   std::uint64_t arrived =
@@ -373,8 +399,15 @@ void World::hard_barrier() {
     aref(bb->count).store(0, std::memory_order_relaxed);
     aref(bb->generation).fetch_add(1, std::memory_order_acq_rel);
   } else {
-    while (aref(bb->generation).load(std::memory_order_acquire) == gen)
+    resil::Liveness live = liveness();
+    resil::WaitGuard guard(self_rank >= 0 ? &live : nullptr, self_rank, -1,
+                           resil::Site::kHardBarrier, cfg_.peer_timeout_ms,
+                           nullptr, nullptr);
+    std::uint32_t spins = 0;
+    while (aref(bb->generation).load(std::memory_order_acquire) == gen) {
+      if ((++spins & 0x3F) == 0) guard.check();
       std::this_thread::yield();
+    }
   }
 }
 
@@ -432,6 +465,13 @@ Engine::Engine(World& world, int rank)
   simd_kernel_ = simd::resolve(tuning.simd_kernel);
   pack_nt_min_ = tuning.pack_nt_min != 0 ? tuning.pack_nt_min
                                          : shm::nt_default_threshold();
+  live_ = world.liveness();
+  peer_timeout_ms_ = world.peer_timeout_ms();
+  on_death_ = world.on_peer_death();
+  fenced_.assign(static_cast<std::size_t>(world.nranks()), 0);
+  tombstoned_.assign(static_cast<std::size_t>(world.nranks()), 0);
+  effective_leader_ = world.coll_leader();
+  if (live_.valid()) live_.beat(rank_);  // Stamp 0 means "never started".
   backends_.resize(5);
   int n = world.nranks();
   peer_recv_q_.reserve(static_cast<std::size_t>(n));
@@ -508,12 +548,22 @@ Cell* Engine::try_get_cell() {
 }
 
 Cell* Engine::get_cell_blocking() {
+  resil::WaitGuard guard = make_guard(resil::Site::kCellAlloc, -1);
+  std::uint32_t spins = 0;
   for (;;) {
     Cell* c = try_get_cell();
     if (c != nullptr) return c;
     // Our cells come back when receivers drain them; drain our own traffic
     // meanwhile so the system cannot deadlock on cell exhaustion.
     progress();
+    if ((++spins & 0x3F) == 0) {
+      try {
+        guard.check();
+      } catch (const resil::PeerDeadError& e) {
+        peer_death_fence(e);
+        throw;
+      }
+    }
     std::this_thread::yield();
   }
 }
@@ -570,6 +620,7 @@ Request Engine::start_send(ConstSegmentList segs, int dst, int tag,
   NEMO_ASSERT(dst >= 0 && dst < nranks());
   auto req = std::make_shared<RequestState>();
   req->is_send = true;
+  req->peer = dst;
   std::size_t total = total_bytes(segs);
   std::uint32_t seq = next_seq_[static_cast<std::size_t>(dst)]++;
 
@@ -599,6 +650,7 @@ Request Engine::start_send(ConstSegmentList segs, int dst, int tag,
         }
         data = packed;
       }
+      resil::fault_point(resil::Site::kFastboxPut, rank_);
       bool put;
       {
         trace::Span sp(tracer_, trace::kFastboxPut, trace::Mode::kFull,
@@ -624,9 +676,23 @@ Request Engine::start_send(ConstSegmentList segs, int dst, int tag,
     // Cell-path eager sends must not overtake control messages parked by
     // cell exhaustion: the receiver merges each source's streams by seq,
     // and a gap that is neither in the queue nor the fastbox is fatal.
-    while (!pending_ctrl_.empty()) {
-      progress();
-      if (!pending_ctrl_.empty()) std::this_thread::yield();
+    {
+      resil::WaitGuard guard = make_guard(resil::Site::kPendingCtrl, -1);
+      std::uint32_t spins = 0;
+      while (!pending_ctrl_.empty()) {
+        progress();
+        if (!pending_ctrl_.empty()) {
+          if ((++spins & 0x3F) == 0) {
+            try {
+              guard.check();
+            } catch (const resil::PeerDeadError& e) {
+              peer_death_fence(e);
+              throw;
+            }
+          }
+          std::this_thread::yield();
+        }
+      }
     }
     std::size_t off = 0;
     std::size_t seg_idx = 0, seg_off = 0;
@@ -684,6 +750,9 @@ Request Engine::start_send(ConstSegmentList segs, int dst, int tag,
   b.send_init(*ctx);
 
   send_ctrl(dst, CellType::kRts, seq, &ctx->rts, tag, context);
+  // Crash site: the RTS is published (it lives in shared cells, so it
+  // survives this rank's death) but the rendezvous will never be fulfilled.
+  resil::fault_point(resil::Site::kCmaRendezvous, rank_);
   Key key{dst, seq};
   serial_sends_[dst].push_back(key);
   sends_[key] = SendEntry{std::move(ctx), req, &b};
@@ -733,6 +802,7 @@ Request Engine::start_recv(SegmentList segs, int src, int tag, int context) {
   pr.capacity = total_bytes(segs);
   pr.segs = std::move(segs);
   pr.req = req;
+  req->peer = src == kAnySource ? -1 : src;
 
   std::unique_ptr<UnexpectedMsg> um = matcher_.post_recv(pr);
   if (um == nullptr) return req;  // Queued; progress() completes it.
@@ -1107,6 +1177,11 @@ void Engine::progress() {
   // reads this as "drain budget too small for this workload".
   if (drained == drain_budget_) counters_.drain_exhausted++;
   counters_.progress_passes++;
+  // Heartbeat: a rank that makes progress is alive. Every 64 passes keeps
+  // the clock read off the hot path while staying far inside any sane
+  // NEMO_PEER_TIMEOUT_MS (spin loops run progress() every 64 spins).
+  if (live_.valid() && (counters_.progress_passes & 0x3F) == 0)
+    live_.beat(rank_);
   if (poll_hot_ && (counters_.progress_passes & 0x1FF) == 0) reorder_poll();
   poll_fastboxes();
 
@@ -1138,11 +1213,22 @@ void Engine::progress() {
 
 void Engine::wait(const Request& req) {
   NEMO_ASSERT(req != nullptr);
-  while (!req->complete) {
-    progress();
-    // Oversubscribed hosts (ranks > cores): let the peer run instead of
-    // burning the rest of the timeslice polling an empty queue.
-    if (!req->complete) std::this_thread::yield();
+  if (req->complete) return;
+  resil::WaitGuard guard = make_guard(resil::Site::kEngineWait, req->peer);
+  std::uint32_t spins = 0;
+  try {
+    while (!req->complete) {
+      progress();
+      if (!req->complete) {
+        if ((++spins & 0x3F) == 0) guard.check();
+        // Oversubscribed hosts (ranks > cores): let the peer run instead of
+        // burning the rest of the timeslice polling an empty queue.
+        std::this_thread::yield();
+      }
+    }
+  } catch (const resil::PeerDeadError& e) {
+    peer_death_fence(e);
+    throw;
   }
 }
 
@@ -1152,11 +1238,182 @@ bool Engine::test(const Request& req) {
   return req->complete;
 }
 
+// --- Liveness / recovery -----------------------------------------------------
+
+resil::WaitGuard Engine::make_guard(resil::Site site, int watch) {
+  // Degrade mode hands the guard this engine's already-fenced set so
+  // survivors can keep waiting on each other after recovery; abort mode
+  // passes nothing, so the sticky dead flag fails every later wait fast.
+  const unsigned char* fenced =
+      on_death_ == resil::OnPeerDeath::kDegrade && fenced_count_ > 0
+          ? fenced_.data()
+          : nullptr;
+  return {&live_, rank_, watch, site, peer_timeout_ms_, &counters_, fenced};
+}
+
+int Engine::lowest_alive() const {
+  // Abort mode never reroutes: the configured coordinator stays put so a
+  // wait on it fails fast rather than half the world electing a new one.
+  if (on_death_ != resil::OnPeerDeath::kDegrade) return 0;
+  for (int r = 0; r < nranks(); ++r)
+    if (fenced_[static_cast<std::size_t>(r)] == 0) return r;
+  return 0;
+}
+
+int Engine::effective_coll_leader() const { return effective_leader_; }
+
+void Engine::reclaim_fenced() noexcept {
+  if (!coll_.valid()) return;
+  for (int r = 0; r < nranks(); ++r) {
+    auto i = static_cast<std::size_t>(r);
+    if (fenced_[i] == 0 || tombstoned_[i] != 0) continue;
+    tombstoned_[i] = 1;
+    counters_.reclaimed_slots +=
+        static_cast<std::uint64_t>(coll_.reclaim_rank(r));
+  }
+}
+
+void Engine::peer_death_fence(int dead_rank, resil::Site site,
+                              bool from_timeout) noexcept {
+  (void)from_timeout;  // The guard already recorded timeout_aborts.
+  if (dead_rank < 0 || dead_rank >= nranks()) return;
+  auto d = static_cast<std::size_t>(dead_rank);
+  if (fenced_[d] != 0) return;  // Idempotent per dead rank.
+  fenced_[d] = 1;
+  fenced_count_++;
+  if (live_.valid()) live_.mark_dead(dead_rank);
+  counters_.peer_deaths++;
+  counters_.fence_epochs++;
+  if (trace::on()) {
+    tracer_.emit(trace::kPeerDeath, trace::kInstant,
+                 static_cast<std::uint64_t>(dead_rank),
+                 static_cast<std::uint64_t>(site));
+    tracer_.emit(trace::kFence, trace::kBegin,
+                 static_cast<std::uint64_t>(dead_rank));
+  }
+
+  // Deliberately NOT tombstoned here: the dead rank's collective-arena
+  // cells are shared, and another survivor may still be parked inside the
+  // diverged epoch on a `>= seq` wait that a UINT64_MAX tombstone would
+  // spuriously satisfy — its collective would "complete" with a dead
+  // participant instead of throwing. Tombstoning happens in
+  // Comm::fence_world(), after every survivor has raised its fence flag
+  // (i.e. provably abandoned the old epoch).
+
+  // Quiesce in-flight rendezvous with the dead rank: drop the registry
+  // entries so backend progress never touches a reclaimed address space.
+  // The requests stay incomplete — a wait on one throws PeerDeadError.
+  auto drop_keys = [&](auto& reg) {
+    for (auto it = reg.begin(); it != reg.end();) {
+      if (it->first.first == dead_rank) {
+        counters_.reclaimed_slots++;
+        it = reg.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  drop_keys(sends_);
+  drop_keys(recvs_);
+  serial_sends_.erase(dead_rank);
+  serial_recvs_.erase(dead_rank);
+  knem_recvs_.erase(std::remove_if(knem_recvs_.begin(), knem_recvs_.end(),
+                                   [&](const Key& k) {
+                                     return k.first == dead_rank;
+                                   }),
+                    knem_recvs_.end());
+  pending_ctrl_.erase(
+      std::remove_if(pending_ctrl_.begin(), pending_ctrl_.end(),
+                     [&](const PendingCtrl& pc) {
+                       return pc.dst == dead_rank;
+                     }),
+      pending_ctrl_.end());
+
+  // Reclaim the dead rank's fastboxes: stop polling them (a half-written
+  // put is invisible by protocol; a fully published one is abandoned).
+  poll_order_.erase(
+      std::remove(poll_order_.begin(), poll_order_.end(), dead_rank),
+      poll_order_.end());
+
+  // Shrink the leader choice to the survivor set — degrade mode only.
+  // Abort mode keeps the configured schedule so the next wait involving
+  // the dead leader fails fast on its sticky dead flag.
+  if (on_death_ == resil::OnPeerDeath::kDegrade) {
+    int lead = world_.coll_leader();
+    if (lead >= 0 && lead < nranks() &&
+        fenced_[static_cast<std::size_t>(lead)] != 0)
+      lead = lowest_alive();
+    effective_leader_ = lead;
+  }
+
+  if (trace::on()) tracer_.emit(trace::kFence, trace::kEnd);
+}
+
 // ---------------------------------------------------------------------------
 // Comm
 // ---------------------------------------------------------------------------
 
 Comm::Comm(World& world, int rank) : engine_(world, rank) {}
+
+void Comm::fence_world() {
+  Engine& eng = engine_;
+  resil::Liveness live = eng.world().liveness();
+  if (!live.valid() || size() <= 1) return;
+  int n = size();
+  int self = rank();
+
+  // Fence every flagged death locally first: a survivor may reach here for
+  // a death it never waited on (another rank's verdict).
+  bool any = eng.any_fenced();
+  for (int r = 0; r < n; ++r) {
+    if (r == self || eng.rank_fenced(r)) continue;
+    if (live.is_dead(r)) {
+      eng.peer_death_fence(r, resil::Site::kFenceSync, false);
+      any = true;
+    }
+  }
+  if (!any) return;  // Nobody is dead: nothing to fence.
+
+  // Survivors may have abandoned different numbers of in-flight collective
+  // rounds, so their lock-step sequence counters diverge. Agree on a floor
+  // strictly above anything any survivor used: propose, arrive, then read
+  // the max — every proposal is published before its arrival flag, so the
+  // floor read after the last arrival covers all of them. The slack leaves
+  // room for phase bits (epoch_base shifts by 3).
+  std::uint64_t proposal =
+      std::max({eng.coll_seq_, eng.coll_bar_seq_, eng.coll_probe_seq_}) + 8;
+  live.propose_resync(proposal);
+  std::uint64_t gen = live.fence_generation();
+  live.set_fence_flag(self, gen + 1);
+
+  resil::WaitGuard guard = eng.make_guard(resil::Site::kFenceSync, -1);
+  std::uint32_t spins = 0;
+  auto bounded_wait = [&](auto&& pred) {
+    while (!pred()) {
+      eng.progress();
+      if ((++spins & 0x3F) == 0) guard.check();
+      std::this_thread::yield();
+    }
+  };
+  bounded_wait([&] {
+    for (int r = 0; r < n; ++r) {
+      if (r == self || eng.rank_fenced(r)) continue;
+      if (live.fence_flag(r) < gen + 1) return false;
+    }
+    return true;
+  });
+  // Every survivor's flag is up, so none is still parked on a `>= seq`
+  // wait inside the diverged epoch — only now can the dead ranks' cells be
+  // pinned to their tombstone values without spuriously completing
+  // someone's in-flight collective.
+  eng.reclaim_fenced();
+  eng.resync_coll_seqs(live.resync_floor());
+  // The lowest surviving rank publishes the completed generation; everyone
+  // leaves only once it lands, so no survivor can start post-fence
+  // collectives while another is still proposing.
+  if (self == eng.lowest_alive()) live.publish_fence_generation(gen, gen + 1);
+  bounded_wait([&] { return live.fence_generation() >= gen + 1; });
+}
 
 void Comm::send(const void* buf, std::size_t bytes, int dst, int tag,
                 int context) {

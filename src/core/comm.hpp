@@ -25,6 +25,7 @@
 #include "knem/knem_device.hpp"
 #include "lmt/lmt.hpp"
 #include "lmt/policy.hpp"
+#include "resil/resil.hpp"
 #include "shm/arena.hpp"
 #include "shm/copy_ring.hpp"
 #include "shm/dma_engine.hpp"
@@ -126,6 +127,15 @@ struct Config {
   bool cma_sim_fail = false;
 
   std::string shm_name;  ///< Nonempty: shm_open-backed arena (else anon).
+
+  /// Peer liveness timeout for every formerly-unbounded wait (doorbells,
+  /// acks, barriers, rendezvous). resil::kTimeoutOff (NEMO_PEER_TIMEOUT_MS
+  /// =off) restores the pre-resilience unbounded behaviour.
+  std::size_t peer_timeout_ms = resil::kDefaultTimeoutMs;
+  /// What survivors do after a death verdict: poison the world (kAbort,
+  /// default) or keep it usable over the survivor set (kDegrade).
+  /// NEMO_ON_PEER_DEATH=abort|degrade overrides.
+  resil::OnPeerDeath on_peer_death = resil::OnPeerDeath::kAbort;
 };
 
 struct RecvInfo {
@@ -137,6 +147,7 @@ struct RecvInfo {
 struct RequestState {
   bool complete = false;
   bool is_send = false;
+  int peer = -1;  ///< Other side of the transfer (liveness watch target).
   RecvInfo info{};
 };
 using Request = std::shared_ptr<RequestState>;
@@ -221,8 +232,24 @@ class World {
   [[nodiscard]] pid_t pid_of(int rank) const;
 
   /// Centralised shared-memory barrier across all ranks (bench phase sync;
-  /// distinct from Comm::barrier() which exercises the pt2pt path).
-  void hard_barrier();
+  /// distinct from Comm::barrier() which exercises the pt2pt path). Passing
+  /// the calling rank arms the liveness guard (the rank keeps heartbeating
+  /// and a dead peer raises PeerDeadError); the default -1 waits unbounded,
+  /// preserving the historical contract for anonymous callers.
+  void hard_barrier(int self_rank = -1);
+
+  /// View of the per-rank liveness region (heartbeats, death flags, fence
+  /// words). Offset-addressed: take a fresh view after reattach_in_child().
+  [[nodiscard]] resil::Liveness liveness() const {
+    return {arena_, life_off_, cfg_.nranks};
+  }
+  /// Effective peer timeout after env resolution (resil::kTimeoutOff = off).
+  [[nodiscard]] std::size_t peer_timeout_ms() const {
+    return cfg_.peer_timeout_ms;
+  }
+  [[nodiscard]] resil::OnPeerDeath on_peer_death() const {
+    return cfg_.on_peer_death;
+  }
 
   /// Arena-backed allocation visible to every rank (MPI_Alloc_mem-like).
   std::byte* shared_alloc(std::size_t bytes, std::size_t align = kCacheLine);
@@ -251,6 +278,7 @@ class World {
   std::uint64_t knem_off_ = 0;
   std::uint64_t pid_table_off_ = 0;
   std::uint64_t barrier_off_ = 0;
+  std::uint64_t life_off_ = 0;
   bool vmsplice_ok_ = false;
   bool cma_ok_ = false;
 };
@@ -339,6 +367,44 @@ class Engine {
 
   /// Resolve the LMT kind for a message (exposed for tests/benches).
   lmt::LmtKind resolve_kind(std::size_t bytes, int dst, bool collective);
+
+  // --- liveness / recovery --------------------------------------------------
+  /// This rank's view of the liveness table (valid whenever the world's is).
+  [[nodiscard]] const resil::Liveness& liveness() const { return live_; }
+  /// Bounded-wait guard for one wait site. `watch` = the specific rank the
+  /// wait depends on, or -1 when any peer could unblock it.
+  [[nodiscard]] resil::WaitGuard make_guard(resil::Site site, int watch);
+  /// Local epoch fence for a death verdict: quiesce in-flight ops involving
+  /// the dead rank, tombstone its arena cells, re-pick the collective leader
+  /// over the survivor set, bump counters, and emit the trace events.
+  /// Idempotent per dead rank; never throws.
+  void peer_death_fence(int dead_rank, resil::Site site,
+                        bool from_timeout) noexcept;
+  void peer_death_fence(const resil::PeerDeadError& e) noexcept {
+    peer_death_fence(e.rank, e.site, e.from_timeout);
+  }
+  /// Schedule-shrink predicate: has this engine fenced `r`'s death AND is
+  /// it allowed to route around it? Abort mode always answers false, so the
+  /// collective schedules stay exactly as configured and the next wait that
+  /// touches the dead rank fails fast on its sticky dead flag instead of
+  /// silently degrading.
+  [[nodiscard]] bool rank_fenced(int r) const {
+    return on_death_ == resil::OnPeerDeath::kDegrade &&
+           fenced_[static_cast<std::size_t>(r)] != 0;
+  }
+  [[nodiscard]] bool any_fenced() const {
+    return on_death_ == resil::OnPeerDeath::kDegrade && fenced_count_ > 0;
+  }
+  /// Lowest rank this engine still considers alive (the degraded-mode
+  /// coordinator / fallback leader).
+  [[nodiscard]] int lowest_alive() const;
+  /// The shm reduce/allreduce leader over the survivor set: the configured
+  /// leader until it dies, then the lowest alive rank.
+  [[nodiscard]] int effective_coll_leader() const;
+  /// Tombstone every fenced rank's collective-arena cells. Only safe once
+  /// no survivor can still be parked in the diverged epoch — i.e. from
+  /// Comm::fence_world() after all fence flags are up. Idempotent per rank.
+  void reclaim_fenced() noexcept;
 
  private:
   friend class Comm;
@@ -474,6 +540,25 @@ class Engine {
   std::uint32_t drain_budget_ = 256;
   bool in_progress_ = false;
   std::uint64_t coll_seq_ = 0;
+
+  // Liveness / recovery state (engine-local; the shared words live in the
+  // arena behind live_).
+  resil::Liveness live_;
+  std::size_t peer_timeout_ms_ = resil::kTimeoutOff;
+  resil::OnPeerDeath on_death_ = resil::OnPeerDeath::kAbort;
+  std::vector<unsigned char> fenced_;  ///< Per-rank: death already fenced.
+  std::vector<unsigned char> tombstoned_;  ///< Per-rank: cells reclaimed.
+  int fenced_count_ = 0;
+  int effective_leader_ = 0;
+
+  /// Reset the lock-step collective sequence counters to the fence's agreed
+  /// floor (fence_world), restoring cross-rank counter agreement after
+  /// survivors abandoned different numbers of in-flight rounds.
+  void resync_coll_seqs(std::uint64_t floor) {
+    coll_seq_ = floor;
+    coll_bar_seq_ = floor;
+    coll_probe_seq_ = floor;
+  }
 };
 
 /// Public communicator handle for one rank.
@@ -569,7 +654,18 @@ class Comm {
   std::byte* shared_alloc(std::size_t bytes, std::size_t align = kCacheLine) {
     return engine_.world().shared_alloc(bytes, align);
   }
-  void hard_barrier() { engine_.world().hard_barrier(); }
+  void hard_barrier() { engine_.world().hard_barrier(engine_.rank()); }
+
+  /// Epoch fence after a peer death (NEMO_ON_PEER_DEATH=degrade): every
+  /// surviving rank calls this once it has observed the PeerDeadError, and
+  /// on return the world is usable again over the survivor set — the dead
+  /// rank's arena cells are tombstoned, the leader/coordinator choice has
+  /// shrunk to the survivors, and the lock-step collective sequence counters
+  /// are resynchronised to a jointly agreed floor (each survivor may have
+  /// abandoned a different number of in-flight rounds). No-op when nobody
+  /// is dead. Bounded like any other wait: a second death during the fence
+  /// throws PeerDeadError and the fence is re-run after catching it.
+  void fence_world();
 
  private:
   /// Does this operation take the shm collective arena? `op_bytes` is the

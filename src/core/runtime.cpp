@@ -48,11 +48,21 @@ bool run(const Config& cfg, const std::function<void(Comm&)>& fn) {
   World world(launch);
 
   if (world.config().mode == LaunchMode::kProcesses) {
-    shm::ProcessResult res =
-        shm::run_forked_ranks(world.config().nranks, [&](int rank) {
+    // The parent publishes an eager death verdict the moment a rank dies
+    // badly — SIGCHLD-order reaping means survivors' liveness guards see
+    // it within one slow-path check instead of waiting out the heartbeat
+    // timeout. Clean exits (code 0) are not deaths: teardown is ordered by
+    // the rank_body barriers.
+    resil::Liveness live = world.liveness();
+    shm::ProcessResult res = shm::run_forked_ranks(
+        world.config().nranks,
+        [&](int rank) {
           world.reattach_in_child();
           rank_body(world, rank, fn);
           return 0;
+        },
+        [&](int rank, int code) {
+          if (code != 0 && live.valid()) live.mark_dead(rank);
         });
     return res.all_ok;
   }

@@ -11,8 +11,8 @@
 
 namespace nemo::shm {
 
-ProcessResult run_forked_ranks(int nranks,
-                               const std::function<int(int)>& fn) {
+ProcessResult run_forked_ranks(int nranks, const std::function<int(int)>& fn,
+                               const DeathHook& on_death) {
   NEMO_ASSERT(nranks >= 1);
   std::vector<pid_t> pids(static_cast<std::size_t>(nranks), -1);
   // One pipe per child carries the "an exception escaped" flag out-of-band:
@@ -53,18 +53,41 @@ ProcessResult run_forked_ranks(int nranks,
   res.exit_codes.assign(static_cast<std::size_t>(nranks), -1);
   res.uncaught.assign(static_cast<std::size_t>(nranks), false);
   res.all_ok = true;
-  for (int r = 0; r < nranks; ++r) {
+  // Reap in death order, not rank order: waiting on rank 0 first would
+  // defer noticing a SIGKILLed rank 3 until everything ahead of it exited —
+  // exactly the window the liveness layer needs to be small.
+  for (int reaped = 0; reaped < nranks; ++reaped) {
     int status = 0;
-    pid_t got = ::waitpid(pids[static_cast<std::size_t>(r)], &status, 0);
+    pid_t got = ::waitpid(-1, &status, 0);
+    if (got < 0) {
+      // ECHILD with ranks outstanding: mark them all failed and stop.
+      for (int i = 0; i < nranks; ++i)
+        if (pids[static_cast<std::size_t>(i)] >= 0) {
+          res.exit_codes[static_cast<std::size_t>(i)] = 122;
+          ::close(exc_fds[static_cast<std::size_t>(i)]);
+        }
+      res.all_ok = false;
+      break;
+    }
+    int r = -1;
+    for (int i = 0; i < nranks; ++i)
+      if (pids[static_cast<std::size_t>(i)] == got) {
+        r = i;
+        break;
+      }
+    if (r < 0) {
+      // Not one of ours (a library's stray child); don't count it.
+      --reaped;
+      continue;
+    }
     int code;
-    if (got < 0)
-      code = 122;
-    else if (WIFEXITED(status))
+    if (WIFEXITED(status))
       code = WEXITSTATUS(status);
     else if (WIFSIGNALED(status))
       code = 256 + WTERMSIG(status);
     else
       code = 123;
+    pids[static_cast<std::size_t>(r)] = -1;
     res.exit_codes[static_cast<std::size_t>(r)] = code;
     // The child is reaped, so the pipe either holds the flag byte or EOF.
     char flag = 0;
@@ -72,6 +95,7 @@ ProcessResult run_forked_ranks(int nranks,
     res.uncaught[static_cast<std::size_t>(r)] = ::read(fd, &flag, 1) == 1;
     ::close(fd);
     if (code != 0) res.all_ok = false;
+    if (on_death) on_death(r, code);
   }
   return res;
 }

@@ -22,7 +22,15 @@ struct ProcessResult {
 
 /// Fork `nranks` children, each running fn(rank). The parent only waits.
 /// Exceptions escaping fn turn into exit code 121 plus uncaught[rank]=true.
-ProcessResult run_forked_ranks(int nranks, const std::function<int(int)>& fn);
+///
+/// `on_death` (optional) fires in the parent, in reap order, the moment each
+/// child is collected — children are reaped with waitpid(-1) as they die,
+/// not in rank order, so a SIGKILLed rank is observed while its siblings
+/// still run. The resilience layer uses this to publish an eager death
+/// verdict into the shared liveness cells.
+using DeathHook = std::function<void(int rank, int exit_code)>;
+ProcessResult run_forked_ranks(int nranks, const std::function<int(int)>& fn,
+                               const DeathHook& on_death = nullptr);
 
 /// Pin the calling thread to `core` (best effort; returns false on failure —
 /// e.g. restricted containers — in which case placement-sensitive numbers

@@ -49,6 +49,8 @@ std::pair<const char*, const char*> arg_names(std::uint16_t id) {
     case kRingStall:
       return {"peer", ""};
     case kEpochStall: return {"waiting_on", ""};
+    case kFence: return {"dead_rank", ""};
+    case kPeerDeath: return {"rank", "site"};
     case kFeedback: return {"knob", "value"};
     default: return {"a0", "a1"};
   }

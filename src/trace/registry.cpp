@@ -234,6 +234,13 @@ tune::Json Registry::counters_json(const tune::Counters& c, int rank) {
   coll.set("barrier_tree", c.coll_barrier_tree);
   j.set("coll", std::move(coll));
 
+  Json resil = Json::object();
+  resil.set("peer_deaths", c.peer_deaths);
+  resil.set("fence_epochs", c.fence_epochs);
+  resil.set("reclaimed_slots", c.reclaimed_slots);
+  resil.set("timeout_aborts", c.timeout_aborts);
+  j.set("resil", std::move(resil));
+
   j.set("um_pool_hits", c.um_pool_hits);
   j.set("um_pool_misses", c.um_pool_misses);
 

@@ -146,11 +146,13 @@ const char* event_name(std::uint16_t id) {
     case kCollFold: return "coll.fold";
     case kCollRelease: return "coll.release";
     case kCollBarrier: return "coll.barrier";
+    case kFence: return "resil.fence";
     case kLmtActivate: return "lmt.activate";
     case kLmtComplete: return "lmt.complete";
     case kFastboxFallback: return "fastbox.fallback";
     case kRingStall: return "ring.stall";
     case kEpochStall: return "coll.epoch_stall";
+    case kPeerDeath: return "resil.peer_death";
     case kFeedback: return "tune.feedback";
     case kSnapshot: return "snapshot";
     default: return "unknown";

@@ -100,12 +100,14 @@ enum Event : std::uint16_t {
   kCollFold,      // leader per-chunk fold, a0=chunk a1=b   (rings)
   kCollRelease,   // folded-result read-back, a0=chunk a1=b (rings)
   kCollBarrier,   // arena barrier                          (rings)
+  kFence,         // post-death epoch fence, a0=dead rank   (rings)
   // Instants.
   kLmtActivate,      // rendezvous chosen, a0=peer a1=bytes (rings)
   kLmtComplete,      // rendezvous done, a0=peer a1=bytes   (rings)
   kFastboxFallback,  // box full -> cell path, a0=peer      (rings)
   kRingStall,        // CopyRing full, a0=peer              (rings)
   kEpochStall,       // arena spin missed, a0=waited rank   (rings)
+  kPeerDeath,        // death verdict, a0=rank a1=site      (rings)
   kFeedback,         // tuning decision, a0=Knob a1=value   (rings)
   // Counter track samples.
   kSnapshot,  // a0=Gauge a1=value                          (full)

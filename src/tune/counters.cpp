@@ -25,6 +25,10 @@ Counters& Counters::operator+=(const Counters& o) {
   coll_epoch_stalls += o.coll_epoch_stalls;
   coll_barrier_flat += o.coll_barrier_flat;
   coll_barrier_tree += o.coll_barrier_tree;
+  peer_deaths += o.peer_deaths;
+  fence_epochs += o.fence_epochs;
+  reclaimed_slots += o.reclaimed_slots;
+  timeout_aborts += o.timeout_aborts;
   um_pool_hits += o.um_pool_hits;
   um_pool_misses += o.um_pool_misses;
   for (int i = 0; i < kSimdKernels; ++i) {

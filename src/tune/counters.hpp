@@ -43,6 +43,14 @@ struct Counters {
   std::uint64_t coll_barrier_flat = 0;  ///< Arena barriers run flat.
   std::uint64_t coll_barrier_tree = 0;  ///< Arena barriers run k-ary tree.
 
+  // Resilience telemetry (src/resil/): death verdicts and the recovery
+  // fence's work, observed from this rank.
+  std::uint64_t peer_deaths = 0;      ///< Distinct peers this rank fenced.
+  std::uint64_t fence_epochs = 0;     ///< Epoch fences this rank ran.
+  std::uint64_t reclaimed_slots = 0;  ///< Arena cells tombstoned by fences.
+  std::uint64_t timeout_aborts = 0;   ///< Verdicts from heartbeat timeout
+                                      ///< (vs eager reaper/ESRCH flags).
+
   // Unexpected-receive buffer pool (match.hpp freelist).
   std::uint64_t um_pool_hits = 0;    ///< Reused a pooled buffer, no alloc.
   std::uint64_t um_pool_misses = 0;  ///< Pool empty or buffer too small.

@@ -89,8 +89,9 @@ TEST(FailurePaths, ZeroByteMessagesAllBackends) {
 TEST(FailurePaths, ChildKilledMidRendezvousIsReportedAndLeaksNothing) {
   // A rank SIGKILLed after initiating a rendezvous (RTS posted, no data
   // moved, cookie still held): the parent must report 256+SIGKILL without
-  // mistaking it for an escaped exception, and the named segment must not
-  // outlive the owning World.
+  // mistaking it for an escaped exception, the SURVIVING rank's recv must
+  // return (with a PeerDeadError verdict, not a hang), and the named
+  // segment must not outlive the owning World.
   std::string name = "/nemo-test-kill-" + std::to_string(::getpid());
   {
     Config cfg;
@@ -98,17 +99,34 @@ TEST(FailurePaths, ChildKilledMidRendezvousIsReportedAndLeaksNothing) {
     cfg.mode = LaunchMode::kProcesses;
     cfg.lmt = lmt::LmtKind::kCma;
     cfg.shm_name = name;
+    cfg.peer_timeout_ms = 5000;  // Backstop; the eager verdict lands first.
     World world(cfg);
-    shm::ProcessResult res = shm::run_forked_ranks(2, [&](int rank) {
-      if (rank != 0) return 0;  // No dependence on the doomed peer.
-      world.reattach_in_child();
-      Comm comm(world, 0);
-      static std::vector<std::byte> buf(4 * MiB);
-      Request r = comm.isend(buf.data(), buf.size(), 1, 1);
-      (void)r;
-      ::raise(SIGKILL);
-      return 0;  // Unreachable.
-    });
+    resil::Liveness live = world.liveness();
+    shm::ProcessResult res = shm::run_forked_ranks(
+        2,
+        [&](int rank) {
+          world.reattach_in_child();
+          Comm comm(world, rank);
+          static std::vector<std::byte> buf(4 * MiB);
+          if (rank == 0) {
+            Request r = comm.isend(buf.data(), buf.size(), 1, 1);
+            (void)r;
+            ::raise(SIGKILL);
+            return 0;  // Unreachable.
+          }
+          // Survivor: give the victim time to die, then wait on it. The
+          // bounded wait must convert the death into an exception.
+          ::usleep(200 * 1000);
+          try {
+            comm.recv(buf.data(), buf.size(), 0, 1);
+          } catch (const resil::PeerDeadError& e) {
+            return e.rank == 0 ? 0 : 14;
+          }
+          return 13;  // Recv completed against a dead sender?
+        },
+        [&](int rank, int code) {
+          if (code != 0 && live.valid()) live.mark_dead(rank);
+        });
     EXPECT_FALSE(res.all_ok);
     EXPECT_EQ(res.exit_codes[0], 256 + SIGKILL);
     EXPECT_FALSE(res.uncaught[0]);  // Killed, not thrown.

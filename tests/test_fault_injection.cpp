@@ -1,0 +1,348 @@
+// Deterministic fault-injection matrix: SIGKILL one rank at a named
+// protocol site (NEMO_FAULT) in a multi-process world and assert that
+// every survivor observes a PeerDeadError verdict against the right rank
+// instead of hanging, that the victim died by signal (not by exception),
+// and that the shm segment never leaks. Plus the degrade-mode path:
+// survivors fence the world and keep computing over the survivor set.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/comm.hpp"
+#include "resil/resil.hpp"
+#include "shm/process_runner.hpp"
+
+namespace nemo::core {
+namespace {
+
+using resil::Site;
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+std::string test_shm_name() {
+  static std::atomic<unsigned> serial{0};
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "/nemo-fault-%d-%u",
+                static_cast<int>(::getpid()),
+                serial.fetch_add(1, std::memory_order_relaxed));
+  return buf;
+}
+
+// Return codes for protocol violations, so a red run names its failure.
+constexpr int kWrongRank = 20;       // verdict named the wrong peer
+constexpr int kWrongSite = 21;       // verdict at a site outside the set
+constexpr int kVictimSurvived = 22;  // the fault point never fired
+constexpr int kNoVerdict = 23;       // a blocked survivor returned normally
+
+/// One scenario: `op` runs on every rank; the victim is SIGKILLed by the
+/// armed fault point inside it. Survivors listed in `must_throw` are the
+/// ranks whose op blocks on the victim — they must catch a PeerDeadError
+/// naming it, at one of `sites`. Everyone else must finish op normally.
+struct Scenario {
+  const char* fault_site;
+  std::set<Site> sites;  ///< admissible observation sites for survivors
+};
+
+int run_scenario(int nranks, int victim, const Scenario& sc,
+                 lmt::LmtKind kind,
+                 const std::function<void(Comm&, int)>& op,
+                 const std::set<int>& must_throw) {
+  Config cfg;
+  cfg.nranks = nranks;
+  cfg.mode = LaunchMode::kProcesses;
+  cfg.lmt = kind;
+  cfg.shm_name = test_shm_name();
+  cfg.peer_timeout_ms = 10000;  // Backstop; eager verdicts land in ms.
+  std::string name = cfg.shm_name;
+  int bad = 0;
+  {
+    World world(cfg);
+    resil::Liveness live = world.liveness();
+    // Arm AFTER World construction (reload_fault there would re-disarm);
+    // forked children inherit the armed spec.
+    ScopedEnv fault("NEMO_FAULT", std::to_string(victim) + ":" +
+                                      sc.fault_site + ":kill");
+    resil::reload_fault();
+    shm::ProcessResult res = shm::run_forked_ranks(
+        nranks,
+        [&](int rank) {
+          world.reattach_in_child();
+          Comm comm(world, rank);
+          world.hard_barrier(rank);
+          try {
+            op(comm, victim);
+          } catch (const resil::PeerDeadError& e) {
+            if (e.rank != victim) return kWrongRank;
+            if (sc.sites.count(e.site) == 0) {
+              std::fprintf(stderr, "rank %d: verdict at %s\n", rank,
+                           resil::site_name(e.site));
+              return kWrongSite;
+            }
+            return 0;
+          }
+          if (rank == victim) return kVictimSurvived;
+          return must_throw.count(rank) != 0 ? kNoVerdict : 0;
+        },
+        [&](int r, int code) {
+          if (code != 0 && live.valid()) live.mark_dead(r);
+        });
+    for (int r = 0; r < nranks; ++r) {
+      int want = r == victim ? 256 + SIGKILL : 0;
+      if (res.exit_codes[static_cast<std::size_t>(r)] != want) {
+        ADD_FAILURE() << "rank " << r << ": exit "
+                      << res.exit_codes[static_cast<std::size_t>(r)]
+                      << ", want " << want << " (site " << sc.fault_site
+                      << ", n=" << nranks << ")";
+        bad++;
+      }
+    }
+  }
+  resil::reload_fault();  // Disarm the parent from the now-clean env.
+  EXPECT_NE(::access(("/dev/shm" + name).c_str(), F_OK), 0)
+      << "shm segment leaked (site " << sc.fault_site << ")";
+  return bad;
+}
+
+std::set<int> all_but(int nranks, int victim) {
+  std::set<int> s;
+  for (int r = 0; r < nranks; ++r)
+    if (r != victim) s.insert(r);
+  return s;
+}
+
+class FaultMatrix : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultMatrix, KillAtCollDeposit) {
+  int n = GetParam();
+  // Victim must not be the fold leader (the leader never deposits).
+  Config probe;
+  probe.nranks = n;
+  probe.mode = LaunchMode::kProcesses;
+  probe.shm_name = test_shm_name();
+  int leader;
+  {
+    World w(probe);
+    leader = w.coll_leader();
+  }
+  int victim = leader == 2 ? 3 : 2;
+  Scenario sc{"coll_deposit",
+              {Site::kCollDoorbell, Site::kCollAck, Site::kCollGather,
+               Site::kBarrierRelease, Site::kEngineWait}};
+  run_scenario(n, victim, sc, lmt::LmtKind::kAuto,
+               [](Comm& comm, int) {
+                 std::vector<double> in(32 * 1024, 1.0), out(in.size());
+                 comm.allreduce_f64(in.data(), out.data(), in.size(),
+                                    Comm::ReduceOp::kSum);
+               },
+               all_but(n, victim));
+}
+
+TEST_P(FaultMatrix, KillAtCollFold) {
+  int n = GetParam();
+  // The fold runs on the leader, so the leader is the victim.
+  Config probe;
+  probe.nranks = n;
+  probe.mode = LaunchMode::kProcesses;
+  probe.shm_name = test_shm_name();
+  int victim;
+  {
+    World w(probe);
+    victim = w.coll_leader();
+  }
+  Scenario sc{"coll_fold",
+              {Site::kCollDoorbell, Site::kCollAck, Site::kCollGather,
+               Site::kBarrierRelease, Site::kEngineWait}};
+  run_scenario(n, victim, sc, lmt::LmtKind::kAuto,
+               [](Comm& comm, int) {
+                 std::vector<double> in(32 * 1024, 1.0), out(in.size());
+                 comm.allreduce_f64(in.data(), out.data(), in.size(),
+                                    Comm::ReduceOp::kSum);
+               },
+               all_but(n, victim));
+}
+
+TEST_P(FaultMatrix, KillAtBarrierArrive) {
+  int n = GetParam();
+  int victim = 2;
+  Scenario sc{"barrier_arrive",
+              {Site::kBarrierRelease, Site::kEngineWait}};
+  run_scenario(n, victim, sc, lmt::LmtKind::kAuto,
+               [](Comm& comm, int) { comm.barrier(); }, all_but(n, victim));
+}
+
+TEST_P(FaultMatrix, KillAtCmaRendezvous) {
+  int n = GetParam();
+  int victim = 2;
+  int receiver = 3;
+  // The victim dies right after publishing its RTS; only the posted
+  // receiver depends on it. Everyone else returns untouched.
+  Scenario sc{"cma_rendezvous",
+              {Site::kCmaRendezvous, Site::kEngineWait, Site::kCellAlloc,
+               Site::kPendingCtrl}};
+  run_scenario(n, victim, sc, lmt::LmtKind::kCma,
+               [=](Comm& comm, int v) {
+                 static std::vector<std::byte> buf(4 * MiB);
+                 if (comm.rank() == v) {
+                   Request r = comm.isend(buf.data(), buf.size(), receiver, 9);
+                   (void)r;  // The fault point fires inside start_send.
+                 } else if (comm.rank() == receiver) {
+                   ::usleep(300 * 1000);  // Let the victim die first.
+                   comm.recv(buf.data(), buf.size(), v, 9);
+                 }
+               },
+               {receiver});
+}
+
+TEST_P(FaultMatrix, KillAtFastboxPut) {
+  int n = GetParam();
+  int victim = 2;
+  int receiver = 1;
+  Scenario sc{"fastbox_put",
+              {Site::kEngineWait, Site::kCellAlloc, Site::kPendingCtrl}};
+  run_scenario(n, victim, sc, lmt::LmtKind::kAuto,
+               [=](Comm& comm, int v) {
+                 std::byte small[64] = {};
+                 if (comm.rank() == v) {
+                   comm.send(small, sizeof small, receiver, 5);
+                 } else if (comm.rank() == receiver) {
+                   ::usleep(300 * 1000);
+                   comm.recv(small, sizeof small, v, 5);
+                 }
+               },
+               {receiver});
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, FaultMatrix, ::testing::Values(4, 8));
+
+TEST(FaultRecovery, DegradeModeSurvivorsFenceAndContinue) {
+  // NEMO_ON_PEER_DEATH=degrade: after the victim dies mid-barrier, every
+  // survivor fences the world (resynchronising collective sequence
+  // counters) and the shrunk world keeps doing real work: a barrier and an
+  // allreduce whose result is exactly the survivor-set sum.
+  constexpr int kRanks = 4;
+  constexpr int kVictim = 2;
+  Config cfg;
+  cfg.nranks = kRanks;
+  cfg.mode = LaunchMode::kProcesses;
+  cfg.shm_name = test_shm_name();
+  cfg.peer_timeout_ms = 10000;
+  cfg.on_peer_death = resil::OnPeerDeath::kDegrade;
+  // Force the arena family: the degraded world's continuation story is the
+  // shm fast path (the p2p algorithms would address the dead rank).
+  cfg.coll = coll::Mode::kShm;
+  std::string name = cfg.shm_name;
+  {
+    World world(cfg);
+    resil::Liveness live = world.liveness();
+    ScopedEnv fault("NEMO_FAULT",
+                    std::to_string(kVictim) + ":barrier_arrive:kill");
+    resil::reload_fault();
+    shm::ProcessResult res = shm::run_forked_ranks(
+        kRanks,
+        [&](int rank) {
+          world.reattach_in_child();
+          Comm comm(world, rank);
+          world.hard_barrier(rank);
+          try {
+            comm.barrier();  // The victim dies in here.
+            return kVictimSurvived;
+          } catch (const resil::PeerDeadError& e) {
+            if (e.rank != kVictim) return kWrongRank;
+          }
+          comm.fence_world();
+          // The degraded world must still work, collectively.
+          comm.barrier();
+          std::vector<double> in(4096, 1.0), out(in.size());
+          comm.allreduce_f64(in.data(), out.data(), in.size(),
+                             Comm::ReduceOp::kSum);
+          for (double v : out)
+            if (v != static_cast<double>(kRanks - 1)) return 25;
+          comm.barrier();
+          return 0;
+        },
+        [&](int r, int code) {
+          if (code != 0 && live.valid()) live.mark_dead(r);
+        });
+    EXPECT_EQ(res.exit_codes[kVictim], 256 + SIGKILL);
+    for (int r = 0; r < kRanks; ++r) {
+      if (r != kVictim) {
+        EXPECT_EQ(res.exit_codes[static_cast<std::size_t>(r)], 0)
+            << "survivor " << r;
+      }
+    }
+  }
+  resil::reload_fault();
+  EXPECT_NE(::access(("/dev/shm" + name).c_str(), F_OK), 0)
+      << "shm segment leaked";
+}
+
+TEST(FaultRecovery, AbortModePoisonsLaterWaits) {
+  // Default abort mode: after the first verdict the world stays poisoned —
+  // a survivor that swallows the error and tries another collective gets
+  // an immediate second verdict instead of a hang.
+  constexpr int kRanks = 4;
+  constexpr int kVictim = 1;
+  Config cfg;
+  cfg.nranks = kRanks;
+  cfg.mode = LaunchMode::kProcesses;
+  cfg.shm_name = test_shm_name();
+  cfg.peer_timeout_ms = 10000;
+  std::string name = cfg.shm_name;
+  {
+    World world(cfg);
+    resil::Liveness live = world.liveness();
+    ScopedEnv fault("NEMO_FAULT",
+                    std::to_string(kVictim) + ":barrier_arrive:kill");
+    resil::reload_fault();
+    shm::ProcessResult res = shm::run_forked_ranks(
+        kRanks,
+        [&](int rank) {
+          world.reattach_in_child();
+          Comm comm(world, rank);
+          world.hard_barrier(rank);
+          try {
+            comm.barrier();
+            return kVictimSurvived;
+          } catch (const resil::PeerDeadError& e) {
+            if (e.rank != kVictim) return kWrongRank;
+          }
+          try {
+            comm.barrier();  // Poisoned: must fail fast, not hang.
+            return kNoVerdict;
+          } catch (const resil::PeerDeadError& e) {
+            return e.rank == kVictim ? 0 : kWrongRank;
+          }
+        },
+        [&](int r, int code) {
+          if (code != 0 && live.valid()) live.mark_dead(r);
+        });
+    EXPECT_EQ(res.exit_codes[kVictim], 256 + SIGKILL);
+    for (int r = 0; r < kRanks; ++r) {
+      if (r != kVictim) {
+        EXPECT_EQ(res.exit_codes[static_cast<std::size_t>(r)], 0)
+            << "survivor " << r;
+      }
+    }
+  }
+  resil::reload_fault();
+  EXPECT_NE(::access(("/dev/shm" + name).c_str(), F_OK), 0);
+}
+
+}  // namespace
+}  // namespace nemo::core
