@@ -1,26 +1,49 @@
 // google-benchmark micro-benchmarks of the substrate primitives: Nemesis
 // queue enqueue/dequeue, copy-ring push/pop, NT vs cached copy, KNEM command
-// issue, CMA vs direct read.
+// issue, CMA vs direct read — plus one end-to-end eager pingpong through
+// World's standard bring-up. Shared geometry (queue cells, ring buffers)
+// comes from the same tuned table the World applies, so the rows reflect
+// shipped defaults rather than hardcoded seed values.
 #include <benchmark/benchmark.h>
 #include <unistd.h>
 
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "common/timing.hpp"
+#include "core/comm.hpp"
 #include "knem/knem_device.hpp"
 #include "shm/arena.hpp"
 #include "shm/copy_ring.hpp"
 #include "shm/nemesis_queue.hpp"
 #include "shm/nt_copy.hpp"
 #include "shm/remote_mem.hpp"
+#include "tune/tuning.hpp"
 
 namespace {
 
 using namespace nemo;
 using namespace nemo::shm;
 
+/// The tuned table a World constructed on this host would apply (env
+/// overrides included) — detected once, shared by every benchmark.
+const tune::TuningTable& shipped_tuning() {
+  static tune::TuningTable t = tune::effective_table(detect_host());
+  return t;
+}
+
+/// Ring geometry the way the World resolves it: the tuned per-placement
+/// value when calibrated, else the Config default.
+std::uint32_t shipped_ring_bufs() {
+  std::uint32_t v =
+      shipped_tuning().for_placement(PairPlacement::kSharedCache).ring_bufs;
+  return v != 0 ? v : core::Config{}.ring_bufs;
+}
+
 void BM_QueueEnqueueDequeue(benchmark::State& state) {
   Arena arena = Arena::create_anonymous(16 * MiB);
-  RankQueues rq = make_rank_queues(arena, 0, 64);
+  RankQueues rq = make_rank_queues(arena, 0, core::Config{}.cells_per_rank);
   QueueView freeq(arena, rq.free_q), recvq(arena, rq.recv_q);
   for (auto _ : state) {
     std::uint64_t off = freeq.dequeue();
@@ -36,7 +59,7 @@ void BM_RingPushPop(benchmark::State& state) {
   auto chunk = static_cast<std::size_t>(state.range(0));
   Arena arena = Arena::create_anonymous(16 * MiB);
   std::uint64_t off = CopyRing::create(
-      arena, 2, static_cast<std::uint32_t>(chunk));
+      arena, shipped_ring_bufs(), static_cast<std::uint32_t>(chunk));
   CopyRing ring(arena, off);
   std::vector<std::byte> src(chunk), dst(chunk);
   std::uint64_t sc = 0, rc = 0;
@@ -113,6 +136,79 @@ BENCHMARK(BM_DirectVsCmaRead)
     ->Args({0, 4 << 20})
     ->Args({1, 4 << 20});
 
+void BM_WorldEagerPingpong(benchmark::State& state) {
+  // End-to-end eager round trip through World's standard bring-up: one
+  // 2-rank world per benchmark run, the measured loop inside it, so the
+  // fastbox geometry, drain budget and poll order are exactly what a
+  // shipped World applies (not the seed constants the raw-primitive rows
+  // above would otherwise bake in).
+  auto bytes = static_cast<std::size_t>(state.range(0));
+  core::Config cfg;
+  cfg.nranks = 2;
+  double rtt_ns = 0;
+  core::run(cfg, [&](core::Comm& comm) {
+    std::vector<std::byte> buf(bytes);
+    int peer = 1 - comm.rank();
+    std::uint64_t iters = 0, t0 = 0;
+    if (comm.rank() == 0) t0 = now_ns();
+    // Rank 1 mirrors rank 0's iteration count: benchmark::State paces rank
+    // 0 only; a sentinel zero-byte message ends the partner loop.
+    if (comm.rank() == 0) {
+      for (auto _ : state) {
+        comm.send(buf.data(), bytes, peer, 1);
+        comm.recv(buf.data(), bytes, peer, 2);
+        ++iters;
+      }
+      comm.send(buf.data(), 0, peer, 3);  // Stop marker.
+      rtt_ns = iters > 0
+                   ? static_cast<double>(now_ns() - t0) /
+                         static_cast<double>(iters)
+                   : 0;
+    } else {
+      core::RecvInfo info;
+      for (;;) {
+        comm.recv(buf.data(), bytes, peer, core::kAnyTag, &info);
+        if (info.tag == 3) break;
+        comm.send(buf.data(), bytes, peer, 2);
+      }
+    }
+  });
+  state.counters["rtt_ns"] =
+      benchmark::Counter(rtt_ns, benchmark::Counter::kAvgThreads);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_WorldEagerPingpong)->Arg(64)->Arg(1 << 10)->Arg(16 << 10);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Accept `--json <file>` / `--json=<file>` like the figure benches and
+// translate it to google-benchmark's native JSON reporter flags.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static std::string out_flag, fmt_flag = "--benchmark_out_format=json";
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    std::string a = args[i];
+    std::string path;
+    if (a.rfind("--json=", 0) == 0) {
+      path = a.substr(7);
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (a == "--json" && i + 1 < args.size()) {
+      path = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else {
+      continue;
+    }
+    out_flag = "--benchmark_out=" + path;
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+    break;
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

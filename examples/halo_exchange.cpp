@@ -5,12 +5,11 @@
 // its neighbours every iteration, using nonblocking sends/recvs so both
 // directions overlap. Demonstrates noncontiguous column halos via the
 // vector datatype (single-copy capable backends move them without packing).
+#include <nemo/nemo.hpp>
+
 #include <cmath>
 #include <cstdio>
 #include <vector>
-
-#include "common/options.hpp"
-#include "core/comm.hpp"
 
 using namespace nemo;
 

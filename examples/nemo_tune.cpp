@@ -150,6 +150,24 @@ void bench_backends(tune::TuningTable& t, const Topology& topo, int iters) {
   }
 }
 
+/// `--knobs`: dump every registered NEMO_* environment knob — the one
+/// authoritative list (the runtime reads knobs only through this registry,
+/// so a knob missing here cannot exist).
+void print_knobs() {
+  std::printf("%-28s %-6s %-10s %-9s %s\n", "knob", "type", "default",
+              "owner", "meaning");
+  for (const KnobInfo& k : nemo::Config::knobs()) {
+    const char* type = k.type == KnobType::kFlag   ? "flag"
+                       : k.type == KnobType::kInt  ? "int"
+                       : k.type == KnobType::kSize ? "size"
+                                                   : "string";
+    std::printf("%-28s %-6s %-10s %-9s %s\n", k.name, type, k.def,
+                k.read_by, k.meaning);
+    if (auto v = nemo::Config::str(k.name))
+      std::printf("%-28s %-6s   set: %s\n", "", "", v->c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -162,7 +180,13 @@ int main(int argc, char** argv) {
   opt.declare("iters", "pingpong iterations for --bench (default 10)");
   opt.declare("quick", "fewer repeats per probe (noisier, faster)");
   opt.declare("no-feedback", "skip the telemetry feedback pass");
+  opt.declare("knobs", "list every NEMO_* environment knob and exit");
   opt.finalize();
+
+  if (opt.get_flag("knobs")) {
+    print_knobs();
+    return 0;
+  }
 
   std::string tname = opt.get("topo", "host");
   Topology topo = tname == "e5345"     ? xeon_e5345()
@@ -176,7 +200,7 @@ int main(int argc, char** argv) {
     // Same resolution as the runtime (cache > formula, env on top), but
     // honouring --cache when given.
     std::optional<tune::TuningTable> cached;
-    if (env_flag("NEMO_TUNE", true)) cached = tune::load_cache(path, fp);
+    if (nemo::Config::flag("NEMO_TUNE", true)) cached = tune::load_cache(path, fp);
     print_table(tune::with_env_overrides(
         cached ? *cached : tune::formula_defaults(topo)));
     print_numa(topo);

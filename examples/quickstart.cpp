@@ -5,12 +5,12 @@
 // Launches N ranks (threads over one shared-memory arena), sends a large
 // message rank 0 -> 1 through the selected Large-Message-Transfer backend,
 // then runs a collective. Prints which transfer mechanism was used.
+#include <nemo/nemo.hpp>
+
 #include <cstdio>
 #include <vector>
 
-#include "common/checksum.hpp"
-#include "common/options.hpp"
-#include "core/comm.hpp"
+#include "common/checksum.hpp"  // pattern_fill/check — demo helper, not API.
 
 using namespace nemo;
 

@@ -26,7 +26,7 @@ std::optional<Mode> mode_from_string(const std::string& s) {
 }
 
 Mode mode_from_env(Mode def) {
-  auto v = env_str("NEMO_COLL");
+  auto v = nemo::Config::str("NEMO_COLL");
   if (!v) return def;
   if (auto m = mode_from_string(*v)) return *m;
   throw std::invalid_argument("NEMO_COLL: unknown mode '" + *v +
@@ -71,7 +71,7 @@ int choose_leader(const std::vector<int>& node_of_rank) {
 }
 
 int leader_from_env(int def, int nranks) {
-  auto v = env_str("NEMO_COLL_LEADER");
+  auto v = nemo::Config::str("NEMO_COLL_LEADER");
   if (!v) return def;
   char* end = nullptr;
   long r = std::strtol(v->c_str(), &end, 10);

@@ -43,9 +43,10 @@ class Options {
 };
 
 // ---------------------------------------------------------------------------
-// Environment knobs. The runtime's tunables (NEMO_NT_MIN, NEMO_RING_BUFS,
-// NEMO_RING_BUF_BYTES, NEMO_FASTBOX) are read through these so every entry
-// point — tests, benches, examples — honours the same spelling.
+// Environment knobs. Every NEMO_* tunable is declared once in the Config
+// registry below and read through its typed accessors, so each knob has one
+// spelling, one parse, and one loud error path shared by all entry points —
+// tests, benches, examples and the runtime itself.
 // ---------------------------------------------------------------------------
 
 /// Raw environment lookup; empty optional when unset or empty.
@@ -55,10 +56,52 @@ std::optional<std::string> env_str(const char* name);
 /// "never" parse as SIZE_MAX (callers use that to disable a threshold).
 std::size_t env_size(const char* name, std::size_t def);
 
+/// Integer knob; throws std::invalid_argument on non-numeric values so a
+/// typo'd knob aborts bring-up instead of silently reading as 0.
 long env_long(const char* name, long def);
 
-/// Boolean knob: "0", "false", "off", "no" are false; anything else true.
+/// Boolean knob: "0"/"false"/"off"/"no" are false, "1"/"true"/"on"/"yes"
+/// are true; anything else throws std::invalid_argument.
 bool env_flag(const char* name, bool def);
+
+/// How a knob's value string is parsed (and how `nemo-tune --knobs`
+/// renders its default).
+enum class KnobType { kFlag, kInt, kSize, kString };
+
+struct KnobInfo {
+  const char* name;     ///< environment variable, e.g. "NEMO_NT_MIN"
+  KnobType type;        ///< parse discipline
+  const char* def;      ///< default, as shown to humans ("auto", "formula"…)
+  const char* read_by;  ///< owning subsystem (core, shm, coll, tune, …)
+  const char* meaning;  ///< one-line description
+};
+
+/// Central registry of every NEMO_* environment knob. All subsystems read
+/// knobs through these accessors; each accessor asserts the knob is
+/// registered (so an unregistered spelling is a programming error, caught
+/// in debug builds) and surfaces malformed values as one loud
+/// std::invalid_argument naming the knob. Precedence stays with the
+/// caller: env > tuning cache > formula, exactly as before.
+class Config {
+ public:
+  /// All registered knobs, sorted by name — feeds `nemo-tune --knobs`.
+  static const std::vector<KnobInfo>& knobs();
+
+  /// Registry row for `name`, or nullptr when unknown.
+  static const KnobInfo* find(const char* name);
+
+  /// Raw string value; empty optional when unset or empty.
+  static std::optional<std::string> str(const char* name);
+
+  /// Size knob ("64KiB", "4M"; "off"/"never" → SIZE_MAX).
+  static std::size_t size(const char* name, std::size_t def);
+
+  /// Integer knob; throws on non-numeric values.
+  static long integer(const char* name, long def);
+
+  /// Boolean knob; throws on anything outside the on/off vocabulary.
+  static bool flag(const char* name, bool def);
+};
 
 /// RAII env pin with save/restore — for tooling, benches and tests that
 /// must force a knob for a scope and put the ambient value back (setenv

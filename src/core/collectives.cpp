@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/coll_internal.hpp"
 #include "core/comm.hpp"
 #include "shm/nt_copy.hpp"
 
@@ -38,70 +39,13 @@ namespace nemo::core {
 
 namespace {
 
-constexpr int kCollTagBase = -(1 << 20);
-
-/// Distinct tag for (collective instance, phase).
-int coll_tag(std::uint64_t coll_seq, int phase) {
-  return kCollTagBase - static_cast<int>((coll_seq % 4096) * 16) - phase;
-}
+using coll_detail::coll_tag;
+using coll_detail::epoch_base;
+using coll_detail::fold_chunk;
+using coll_detail::spin_until;
+using coll_detail::spin_until_quiet;
 
 std::uint64_t next_coll_seq(Engine& eng) { return eng.bump_coll_seq(); }
-
-/// Arena epoch for collective instance `cs` (phase bits appended; +1 keeps
-/// epoch 0 reserved for "slot never used").
-std::uint64_t epoch_base(std::uint64_t cs) {
-  return (cs + 1) << 3;
-}
-
-/// Spin until `ready()` while keeping pt2pt progress flowing. Counts one
-/// epoch stall whenever the first probe missed (the telemetry the tuner
-/// reads as "readers arrive before writers publish"). Bounded: the liveness
-/// guard turns a dead peer into PeerDeadError (running the local epoch
-/// fence first) instead of spinning forever. `watch` is the specific rank
-/// the wait depends on, -1 when any peer could unblock it.
-template <typename Pred>
-void spin_until(Engine& eng, resil::Site site, int watch, Pred&& ready) {
-  if (ready()) return;
-  eng.counters().coll_epoch_stalls++;
-  if (trace::on()) eng.tracer().emit(trace::kEpochStall, trace::kInstant);
-  resil::WaitGuard guard = eng.make_guard(site, watch);
-  std::uint32_t spins = 0;
-  try {
-    while (!ready()) {
-      if ((++spins & 0x3F) == 0) {
-        eng.progress();
-        guard.check();
-        std::this_thread::yield();
-      }
-    }
-  } catch (const resil::PeerDeadError& e) {
-    eng.peer_death_fence(e);
-    throw;
-  }
-}
-
-/// spin_until without the stall telemetry — for waits that are not part of
-/// an arena op's data path (the alltoallv count probe runs even when the
-/// decision lands on p2p, so its misses must not feed the epoch-stall rate
-/// the feedback pass divides by coll_shm_ops).
-template <typename Pred>
-void spin_until_quiet(Engine& eng, resil::Site site, int watch,
-                      Pred&& ready) {
-  resil::WaitGuard guard = eng.make_guard(site, watch);
-  std::uint32_t spins = 0;
-  try {
-    while (!ready()) {
-      if ((++spins & 0x3F) == 0) {
-        eng.progress();
-        guard.check();
-        std::this_thread::yield();
-      }
-    }
-  } catch (const resil::PeerDeadError& e) {
-    eng.peer_death_fence(e);
-    throw;
-  }
-}
 
 /// Staged-bcast sub-buffer geometry: the slot splits into up to kBcastSubBufs
 /// cacheline-multiple chunks so readers pipeline behind the writer.
@@ -402,6 +346,10 @@ void Comm::bcast(void* buf, std::size_t bytes, int root) {
   if (size() == 1) return;
   Engine& eng = engine_;
   CollScope obs(eng, trace::kOpBcast, bytes);
+  if (use_hier_coll(bytes)) {
+    bcast_hier(buf, bytes, root, next_coll_seq(eng));
+    return;
+  }
   std::size_t need =
       eng.coll_view().valid() &&
               ack_budget_ok(eng.coll_view().slot_bytes(), bytes)
@@ -636,6 +584,12 @@ void Comm::alltoall(const void* sendbuf, std::size_t per_rank,
   }
   Engine& eng = engine_;
   CollScope obs(eng, trace::kOpAlltoall, per_rank);
+  // The hierarchical path may decline (leader staging over budget); every
+  // rank computes the same verdict, so the shared fall-through below stays
+  // world-symmetric (the hier check consumed one seq on every rank).
+  if (use_hier_coll(per_rank) &&
+      alltoall_hier(sendbuf, per_rank, recvbuf, next_coll_seq(eng)))
+    return;
   if (use_shm_coll(per_rank,
                    coll::alltoall_chunk_capacity(
                        eng.coll_view().valid() ? eng.coll_view().slot_bytes()
@@ -1066,34 +1020,6 @@ void Comm::allgather_strided_p2p(const void* sendbuf, const Datatype& sdt,
 
 // --- Reductions ---------------------------------------------------------------
 
-namespace {
-
-simd::Op to_simd(Comm::ReduceOp op) {
-  switch (op) {
-    case Comm::ReduceOp::kSum: return simd::Op::kSum;
-    case Comm::ReduceOp::kProd: return simd::Op::kProd;
-    case Comm::ReduceOp::kMin: return simd::Op::kMin;
-    case Comm::ReduceOp::kMax: return simd::Op::kMax;
-  }
-  return simd::Op::kSum;
-}
-
-/// One per-chunk combine: dst[i] = op(dst[i], src[i]) through the engine's
-/// resolved kernel. Element-wise vertical folds only, so every kernel is
-/// bit-identical to the scalar oracle and the ascending-rank fold order
-/// stays intact.
-template <typename T>
-void fold_chunk(Engine& eng, Comm::ReduceOp op, T* dst, const T* src,
-                std::size_t n) {
-  simd::Kernel k = eng.simd_kernel();
-  simd::fold(k, to_simd(op), dst, src, n);
-  auto ki = static_cast<std::size_t>(k);
-  eng.counters().simd_fold_ops[ki]++;
-  eng.counters().simd_fold_bytes[ki] += n * sizeof(T);
-}
-
-}  // namespace
-
 template <typename T>
 void Comm::reduce_impl(const T* in, T* out, std::size_t n, ReduceOp op,
                        int root, int tag) {
@@ -1337,6 +1263,14 @@ void Comm::reduce_dispatch(const T* in, T* out, std::size_t n, ReduceOp op,
           ? kCacheLine
           : SIZE_MAX;
   std::uint64_t cs = next_coll_seq(eng);
+  // Hierarchical two-level schedule: auto mode, enough synthetic nodes, and
+  // (for reduce) root 0 — the chain fold reproduces the flat ascending
+  // order only when the fold seeds at rank 0. `root` is a symmetric
+  // argument, so the gate stays world-symmetric.
+  if ((all || root == 0) && use_hier_coll(n * sizeof(T))) {
+    reduce_hier<T>(in, out, n, op, root, all, cs);
+    return;
+  }
   if (use_shm_coll(n * sizeof(T), need)) {
     reduce_shm<T>(in, out, n, op, root, all, epoch_base(cs));
     return;

@@ -23,7 +23,7 @@ using shm::QueueView;
 // ---------------------------------------------------------------------------
 
 LaunchMode world_mode_from_env(LaunchMode fallback) {
-  auto v = env_str("NEMO_WORLD_MODE");
+  auto v = nemo::Config::str("NEMO_WORLD_MODE");
   if (!v) return fallback;
   if (*v == "threads") return LaunchMode::kThreads;
   if (*v == "procs" || *v == "processes") return LaunchMode::kProcesses;
@@ -111,9 +111,9 @@ std::size_t auto_arena_bytes(const Config& cfg,
 /// Environment knobs override the programmatic Config so any entry point
 /// (tests, benches, applications) can be retuned without a rebuild.
 Config apply_env(Config cfg) {
-  long rb = env_long("NEMO_RING_BUFS", cfg.ring_bufs);
+  long rb = nemo::Config::integer("NEMO_RING_BUFS", cfg.ring_bufs);
   if (rb >= 1) cfg.ring_bufs = static_cast<std::uint32_t>(rb);
-  std::size_t rbb = env_size("NEMO_RING_BUF_BYTES", cfg.ring_buf_bytes);
+  std::size_t rbb = nemo::Config::size("NEMO_RING_BUF_BYTES", cfg.ring_buf_bytes);
   if (rbb != static_cast<std::size_t>(-1) && rbb >= kCacheLine) {
     if (rbb > 1 * GiB)
       throw std::invalid_argument(
@@ -121,14 +121,14 @@ Config apply_env(Config cfg) {
     cfg.ring_buf_bytes =
         static_cast<std::uint32_t>(round_up(rbb, kCacheLine));
   }
-  cfg.use_fastbox = env_flag("NEMO_FASTBOX", cfg.use_fastbox);
-  if (env_str("NEMO_NT_MIN")) cfg.nt_min = env_size("NEMO_NT_MIN", 0);
+  cfg.use_fastbox = nemo::Config::flag("NEMO_FASTBOX", cfg.use_fastbox);
+  if (nemo::Config::str("NEMO_NT_MIN")) cfg.nt_min = nemo::Config::size("NEMO_NT_MIN", 0);
   cfg.numa_placement = shm::numa_placement_from_env(cfg.numa_placement);
   cfg.coll = coll::mode_from_env(cfg.coll);
   if (auto v = tune::coll_slot_bytes_from_env()) cfg.coll_slot_bytes = *v;
   cfg.coll_leader = coll::leader_from_env(cfg.coll_leader, cfg.nranks);
   cfg.mode = world_mode_from_env(cfg.mode);
-  if (auto v = env_str("NEMO_CMA")) {
+  if (auto v = nemo::Config::str("NEMO_CMA")) {
     if (*v == "off" || *v == "0" || *v == "false") {
       cfg.cma_enabled = false;
     } else if (*v == "nosyscall") {
@@ -137,16 +137,16 @@ Config apply_env(Config cfg) {
       throw std::invalid_argument("NEMO_CMA: expected on|off|nosyscall, got '" + *v + "'");
     }
   }
-  if (env_str("NEMO_PEER_TIMEOUT_MS")) {
+  if (nemo::Config::str("NEMO_PEER_TIMEOUT_MS")) {
     // env_size parses "off"/"never" as SIZE_MAX == resil::kTimeoutOff.
-    std::size_t ms = env_size("NEMO_PEER_TIMEOUT_MS", cfg.peer_timeout_ms);
+    std::size_t ms = nemo::Config::size("NEMO_PEER_TIMEOUT_MS", cfg.peer_timeout_ms);
     if (ms == 0)
       throw std::invalid_argument(
           "NEMO_PEER_TIMEOUT_MS: expected a positive millisecond count or "
           "'off'");
     cfg.peer_timeout_ms = ms;
   }
-  if (auto v = env_str("NEMO_ON_PEER_DEATH")) {
+  if (auto v = nemo::Config::str("NEMO_ON_PEER_DEATH")) {
     if (*v == "abort")
       cfg.on_peer_death = resil::OnPeerDeath::kAbort;
     else if (*v == "degrade")
@@ -155,7 +155,9 @@ Config apply_env(Config cfg) {
       throw std::invalid_argument(
           "NEMO_ON_PEER_DEATH: expected abort|degrade, got '" + *v + "'");
   }
-  if (auto v = env_str("NEMO_LMT")) {
+  if (auto v = nemo::Config::str("NEMO_TRANSPORT")) cfg.transport = *v;
+  if (auto v = nemo::Config::str("NEMO_NODES")) cfg.nodes_spec = *v;
+  if (auto v = nemo::Config::str("NEMO_LMT")) {
     if (*v == "auto")
       cfg.lmt = lmt::LmtKind::kAuto;
     else if (*v == "shm" || *v == "default")
@@ -200,6 +202,12 @@ World::World(Config cfg)
   trace::reload_mode();
   resil::reload_fault();
   NEMO_ASSERT(cfg_.nranks >= 1);
+  // The transport: substrate topology + link accounting. Constructed before
+  // any Engine so the cached has_hooks() gate and the synthetic-node map
+  // are fixed for the life of the world (children inherit the heap object
+  // across fork; it holds no arena state).
+  xport_ = transport::make_transport(cfg_.transport, cfg_.nodes_spec,
+                                     cfg_.nranks);
   NEMO_ASSERT_MSG(cfg_.core_binding.empty() ||
                       cfg_.core_binding.size() ==
                           static_cast<std::size_t>(cfg_.nranks),
@@ -465,6 +473,9 @@ Engine::Engine(World& world, int rank)
   simd_kernel_ = simd::resolve(tuning.simd_kernel);
   pack_nt_min_ = tuning.pack_nt_min != 0 ? tuning.pack_nt_min
                                          : shm::nt_default_threshold();
+  xport_ = &world.xport();
+  xport_hooks_ = xport_->has_hooks();
+  coll_hier_nodes_ = std::max<std::uint32_t>(2, tuning.coll_hier_nodes);
   live_ = world.liveness();
   peer_timeout_ms_ = world.peer_timeout_ms();
   on_death_ = world.on_peer_death();
@@ -489,7 +500,26 @@ Engine::Engine(World& world, int rank)
       fb_in_[static_cast<std::size_t>(r)] =
           shm::Fastbox(world.arena(), world.fastbox_off(r, rank));
     }
+    if (xport_hooks_ && r != rank) xport_->connect(rank, r);
   }
+}
+
+void Engine::note_net(int peer, std::size_t bytes,
+                      const transport::XferCost& c, bool ctrl) {
+  if (!c.internode) return;
+  if (ctrl) {
+    counters_.net_ctrl_msgs++;
+    if (trace::on(trace::Mode::kFull))
+      tracer_.emit(trace::kNetCtrl, trace::kInstant,
+                   static_cast<std::uint64_t>(peer));
+  } else {
+    counters_.net_msgs++;
+    counters_.net_bytes += bytes;
+    if (trace::on(trace::Mode::kRings))
+      tracer_.emit(trace::kNetLink, trace::kInstant,
+                   static_cast<std::uint64_t>(peer), bytes);
+  }
+  counters_.net_modeled_ns += c.ns;
 }
 
 Engine::~Engine() {
@@ -609,6 +639,7 @@ void Engine::send_ctrl(int dst, CellType type, std::uint32_t seq,
   pc.context = context;
   pc.has_wire = wire != nullptr;
   if (wire != nullptr) pc.wire = *wire;
+  if (xport_hooks_) note_net(dst, 0, xport_->on_doorbell(rank_, dst), true);
   if (!pending_ctrl_.empty() || !try_send_ctrl(pc))
     pending_ctrl_.push_back(pc);
 }
@@ -665,6 +696,8 @@ Request Engine::start_send(ConstSegmentList segs, int dst, int tag,
         stats_.bytes_sent += total;
         counters_.fastbox_hits++;
         counters_.record_send(total, tune::Counters::kPathFastbox);
+        if (xport_hooks_)
+          note_net(dst, total, xport_->on_eager(rank_, dst, total), false);
         req->complete = true;
         return req;
       }
@@ -731,6 +764,8 @@ Request Engine::start_send(ConstSegmentList segs, int dst, int tag,
     stats_.eager_msgs_sent++;
     stats_.bytes_sent += total;
     counters_.record_send(total, tune::Counters::kPathEager);
+    if (xport_hooks_ && dst != rank_)
+      note_net(dst, total, xport_->on_eager(rank_, dst, total), false);
     req->complete = true;  // Payload is buffered in cells.
     return req;
   }
@@ -740,6 +775,8 @@ Request Engine::start_send(ConstSegmentList segs, int dst, int tag,
   if (trace::on())
     tracer_.emit(trace::kLmtActivate, trace::kInstant,
                  static_cast<std::uint64_t>(dst), total);
+  if (xport_hooks_)
+    note_net(dst, total, xport_->on_lmt(rank_, dst, total), false);
   auto ctx = std::make_unique<lmt::SendCtx>();
   ctx->peer = dst;
   ctx->tag = tag;
@@ -1187,6 +1224,7 @@ void Engine::progress() {
 
   progress_sends();
   progress_recvs();
+  if (xport_hooks_) xport_->progress(rank_);
   if (traced) tracer_.emit(trace::kProgress, trace::kEnd);
   if (rings_on) {
     if (progress_hist_ != nullptr) {
@@ -1206,6 +1244,14 @@ void Engine::progress() {
                    trace::kGaugeProgressPasses, counters_.progress_passes);
       tracer_.emit(trace::kSnapshot, trace::kCounter,
                    trace::kGaugeCollShmOps, counters_.coll_shm_ops);
+      if (xport_hooks_) {
+        tracer_.emit(trace::kSnapshot, trace::kCounter, trace::kGaugeNetMsgs,
+                     counters_.net_msgs);
+        tracer_.emit(trace::kSnapshot, trace::kCounter, trace::kGaugeNetBytes,
+                     counters_.net_bytes);
+        tracer_.emit(trace::kSnapshot, trace::kCounter,
+                     trace::kGaugeNetModeledNs, counters_.net_modeled_ns);
+      }
     }
   }
   in_progress_ = false;

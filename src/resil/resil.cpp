@@ -250,7 +250,7 @@ FaultSpec parse_fault_spec(const std::string& spec) {
 
 void reload_fault() {
   detail::g_fault_rank.store(-1, std::memory_order_relaxed);
-  auto spec = env_str("NEMO_FAULT");
+  auto spec = nemo::Config::str("NEMO_FAULT");
   if (!spec || spec->empty()) return;
   detail::g_fault = parse_fault_spec(*spec);
   detail::g_fault_rank.store(detail::g_fault.rank, std::memory_order_relaxed);

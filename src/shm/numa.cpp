@@ -50,7 +50,7 @@ std::optional<NumaPlacement> numa_placement_from_string(const std::string& s) {
 }
 
 NumaPlacement numa_placement_from_env(NumaPlacement def) {
-  auto v = env_str("NEMO_NUMA_PLACEMENT");
+  auto v = nemo::Config::str("NEMO_NUMA_PLACEMENT");
   if (!v) return def;
   if (auto p = numa_placement_from_string(*v)) return *p;
   throw std::invalid_argument(
@@ -133,7 +133,7 @@ int host_numa_nodes() {
 bool numa_bind_available() {
   if (!NEMO_HAVE_MBIND) return false;
   if (host_numa_nodes() < 2) return false;
-  return env_flag("NEMO_NUMA", true);
+  return nemo::Config::flag("NEMO_NUMA", true);
 }
 
 namespace {

@@ -129,7 +129,7 @@ Kernel resolve(Choice c) noexcept {
 }
 
 Kernel resolve_from_env(Choice table_choice) {
-  auto v = env_str("NEMO_SIMD");
+  auto v = nemo::Config::str("NEMO_SIMD");
   return resolve(v ? choice_from_string(*v, "NEMO_SIMD") : table_choice);
 }
 

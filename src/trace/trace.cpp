@@ -71,7 +71,7 @@ const char* to_string(Mode m) {
 }
 
 Mode reload_mode() {
-  Mode m = mode_from_string(env_str("NEMO_TRACE").value_or(""));
+  Mode m = mode_from_string(nemo::Config::str("NEMO_TRACE").value_or(""));
   set_mode(m);
   return m;
 }
@@ -154,6 +154,8 @@ const char* event_name(std::uint16_t id) {
     case kEpochStall: return "coll.epoch_stall";
     case kPeerDeath: return "resil.peer_death";
     case kFeedback: return "tune.feedback";
+    case kNetLink: return "net.link";
+    case kNetCtrl: return "net.ctrl";
     case kSnapshot: return "snapshot";
     default: return "unknown";
   }
@@ -165,6 +167,9 @@ const char* gauge_name(std::uint64_t id) {
     case kGaugeRingStalls: return "ring_stalls";
     case kGaugeProgressPasses: return "progress_passes";
     case kGaugeCollShmOps: return "coll_shm_ops";
+    case kGaugeNetMsgs: return "net_msgs";
+    case kGaugeNetBytes: return "net_bytes";
+    case kGaugeNetModeledNs: return "net_modeled_ns";
     default: return "gauge";
   }
 }
@@ -203,7 +208,7 @@ Ring::Ring(std::size_t slots)
       mask_(slots_.size() - 1) {}
 
 std::size_t default_ring_slots() {
-  long v = env_long("NEMO_TRACE_RING_SLOTS", 8192);
+  long v = nemo::Config::integer("NEMO_TRACE_RING_SLOTS", 8192);
   if (v < 2) v = 2;
   if (v > (1l << 24)) v = 1l << 24;
   return round_pow2(static_cast<std::size_t>(v));
@@ -321,7 +326,7 @@ bool write_dump(const std::string& path, std::string* err) {
 }
 
 void maybe_write_env_dump() {
-  auto out = env_str("NEMO_TRACE_OUT");
+  auto out = nemo::Config::str("NEMO_TRACE_OUT");
   if (!out) return;
   global_tracer().flush();
   std::string err;

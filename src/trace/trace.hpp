@@ -109,6 +109,9 @@ enum Event : std::uint16_t {
   kEpochStall,       // arena spin missed, a0=waited rank   (rings)
   kPeerDeath,        // death verdict, a0=rank a1=site      (rings)
   kFeedback,         // tuning decision, a0=Knob a1=value   (rings)
+  // Transport layer (modeled interconnect; see src/transport/).
+  kNetLink,  // internode transfer, a0=peer a1=bytes        (rings)
+  kNetCtrl,  // internode control doorbell, a0=peer         (full)
   // Counter track samples.
   kSnapshot,  // a0=Gauge a1=value                          (full)
   kEventCount
@@ -124,6 +127,9 @@ enum Gauge : std::uint64_t {
   kGaugeRingStalls,
   kGaugeProgressPasses,
   kGaugeCollShmOps,
+  kGaugeNetMsgs,
+  kGaugeNetBytes,
+  kGaugeNetModeledNs,
   kGaugeCount
 };
 const char* gauge_name(std::uint64_t id);

@@ -1,0 +1,76 @@
+// Implementation #2: the modeled interconnect. Delivery is loopback — bytes
+// still move through the shm substrate, so correctness (ordering, matching,
+// peer-death verdicts) is inherited unchanged in both threads and procs
+// worlds. What this transport adds is a *model*: ranks are partitioned into
+// synthetic nodes, and every message that crosses a node boundary is charged
+// the wire time of a latency/bandwidth link, following the
+// NetworkModelMagic idiom from Graphite (perfect delivery, parameterized
+// cost). The Engine accumulates the charges into tune::Counters
+// (net_msgs/net_bytes/net_modeled_ns) and the kNetLink/kGaugeNet* trace
+// tracks; src/sim consumes the same NetLink parameters so replayed
+// timelines agree with what the benches report.
+#include "transport/transport.hpp"
+
+#include "common/common.hpp"
+
+namespace nemo::transport {
+
+namespace {
+
+class ModeledTransport final : public Transport {
+ public:
+  ModeledTransport(std::vector<int> node_of, std::uint64_t lat_ns,
+                   double bw_mibs)
+      : node_of_(std::move(node_of)), lat_ns_(lat_ns), bw_mibs_(bw_mibs) {
+    NEMO_ASSERT(!node_of_.empty());
+    NEMO_ASSERT(bw_mibs_ > 0.0);
+    nodes_ = node_of_.back() + 1;
+  }
+
+  [[nodiscard]] const char* name() const override { return "modeled"; }
+  [[nodiscard]] bool has_hooks() const override { return true; }
+  [[nodiscard]] int nodes() const override { return nodes_; }
+  [[nodiscard]] int node_of(int rank) const override {
+    NEMO_ASSERT(rank >= 0 &&
+                rank < static_cast<int>(node_of_.size()));
+    return node_of_[static_cast<std::size_t>(rank)];
+  }
+
+  XferCost on_eager(int self, int dst, std::size_t bytes) override {
+    return charge(self, dst, bytes);
+  }
+  XferCost on_lmt(int self, int dst, std::size_t bytes) override {
+    return charge(self, dst, bytes);
+  }
+  XferCost on_doorbell(int self, int peer) override {
+    // Control cells carry no payload: latency-only cost.
+    return charge(self, peer, 0);
+  }
+
+  [[nodiscard]] std::uint64_t link_lat_ns() const override { return lat_ns_; }
+  [[nodiscard]] double link_bw_mibs() const override { return bw_mibs_; }
+
+ private:
+  XferCost charge(int a, int b, std::size_t bytes) const {
+    if (!internode(a, b)) return {};
+    double wire = static_cast<double>(bytes) /
+                  (bw_mibs_ * (1024.0 * 1024.0) / 1e9);  // bytes per ns
+    return {lat_ns_ + static_cast<std::uint64_t>(wire), true};
+  }
+
+  std::vector<int> node_of_;
+  int nodes_;
+  std::uint64_t lat_ns_;
+  double bw_mibs_;
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> make_modeled_transport(std::vector<int> node_of,
+                                                  std::uint64_t lat_ns,
+                                                  double bw_mibs) {
+  return std::make_unique<ModeledTransport>(std::move(node_of), lat_ns,
+                                            bw_mibs);
+}
+
+}  // namespace nemo::transport

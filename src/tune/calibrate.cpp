@@ -294,7 +294,7 @@ TuningTable calibrate(const Topology& topo, const CalibrationOptions& opt) {
   // Close the telemetry loop: the crossover probes above are pairwise; the
   // feedback pass stresses every pair at once and reacts to the congestion
   // counters (ring stalls, drain exhaustion, fastbox fallbacks).
-  if (opt.feedback && env_flag("NEMO_FEEDBACK", true)) {
+  if (opt.feedback && nemo::Config::flag("NEMO_FEEDBACK", true)) {
     FeedbackOptions fopt;
     fopt.verbose = opt.verbose;
     t = calibrate_feedback(topo, std::move(t), fopt);

@@ -212,7 +212,7 @@ TuningTable calibrate_feedback(const Topology& topo, TuningTable t,
   FeedbackOptions opt = opt_in;
   // The probe World honours NEMO_RING_BUFS (apply_env + with_env_overrides),
   // so inherit-rows ran at that depth, not the compiled default.
-  long env_bufs = env_long("NEMO_RING_BUFS", opt.inherited_ring_bufs);
+  long env_bufs = nemo::Config::integer("NEMO_RING_BUFS", opt.inherited_ring_bufs);
   if (env_bufs >= 1 && env_bufs <= 1024)
     opt.inherited_ring_bufs = static_cast<std::uint32_t>(env_bufs);
   for (int nranks : opt.rank_counts) {

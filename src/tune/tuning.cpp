@@ -108,15 +108,15 @@ TuningTable formula_defaults(const Topology& topo) {
 }
 
 TuningTable with_env_overrides(TuningTable t) {
-  if (env_str("NEMO_NT_MIN")) {
-    std::size_t v = env_size("NEMO_NT_MIN", 0);
+  if (nemo::Config::str("NEMO_NT_MIN")) {
+    std::size_t v = nemo::Config::size("NEMO_NT_MIN", 0);
     for (auto& pt : t.place) pt.nt_min = v;
   }
-  if (env_str("NEMO_LMT_ACTIVATION")) {
-    std::size_t v = env_size("NEMO_LMT_ACTIVATION", 0);
+  if (nemo::Config::str("NEMO_LMT_ACTIVATION")) {
+    std::size_t v = nemo::Config::size("NEMO_LMT_ACTIVATION", 0);
     for (auto& pt : t.place) pt.lmt_activation = v;
   }
-  if (auto b = env_str("NEMO_BACKEND")) {
+  if (auto b = nemo::Config::str("NEMO_BACKEND")) {
     if (auto kind = backend_from_string(*b)) {
       for (auto& pt : t.place) pt.backend = *kind;
     } else {
@@ -124,50 +124,51 @@ TuningTable with_env_overrides(TuningTable t) {
                                   "' (default|vmsplice|knem|cma)");
     }
   }
-  if (env_str("NEMO_DMA_MIN")) t.dma_min = env_size("NEMO_DMA_MIN", 0);
-  if (env_str("NEMO_FASTBOX_MAX"))
-    t.fastbox_max = env_size("NEMO_FASTBOX_MAX", t.fastbox_max);
-  long slots = env_long("NEMO_FASTBOX_SLOTS", t.fastbox_slots);
+  if (nemo::Config::str("NEMO_DMA_MIN")) t.dma_min = nemo::Config::size("NEMO_DMA_MIN", 0);
+  if (nemo::Config::str("NEMO_FASTBOX_MAX"))
+    t.fastbox_max = nemo::Config::size("NEMO_FASTBOX_MAX", t.fastbox_max);
+  long slots = nemo::Config::integer("NEMO_FASTBOX_SLOTS", t.fastbox_slots);
   if (slots >= 1 && slots <= 64)
     t.fastbox_slots = static_cast<std::uint32_t>(slots);
-  if (env_str("NEMO_FASTBOX_SLOT_BYTES")) {
-    std::size_t v = env_size("NEMO_FASTBOX_SLOT_BYTES", t.fastbox_slot_bytes);
+  if (nemo::Config::str("NEMO_FASTBOX_SLOT_BYTES")) {
+    std::size_t v = nemo::Config::size("NEMO_FASTBOX_SLOT_BYTES", t.fastbox_slot_bytes);
     if (v >= 128 && v <= 16 * KiB)
       t.fastbox_slot_bytes =
           static_cast<std::uint32_t>(round_up(v, kCacheLine));
   }
-  long budget = env_long("NEMO_DRAIN_BUDGET", t.drain_budget);
+  long budget = nemo::Config::integer("NEMO_DRAIN_BUDGET", t.drain_budget);
   if (budget >= 1) t.drain_budget = static_cast<std::uint32_t>(budget);
   // Ring geometry knobs apply to every placement row (they also reach the
   // Config via apply_env, but a cached per-placement value must still lose
   // to an explicit env knob).
-  if (env_str("NEMO_RING_BUFS")) {
-    long rb = env_long("NEMO_RING_BUFS", 0);
+  if (nemo::Config::str("NEMO_RING_BUFS")) {
+    long rb = nemo::Config::integer("NEMO_RING_BUFS", 0);
     if (rb >= 1 && rb <= 1024)
       for (auto& pt : t.place) pt.ring_bufs = static_cast<std::uint32_t>(rb);
   }
-  if (env_str("NEMO_RING_BUF_BYTES")) {
-    std::size_t v = env_size("NEMO_RING_BUF_BYTES", 0);
+  if (nemo::Config::str("NEMO_RING_BUF_BYTES")) {
+    std::size_t v = nemo::Config::size("NEMO_RING_BUF_BYTES", 0);
     if (v >= kCacheLine && v <= 1 * GiB)
       for (auto& pt : t.place)
         pt.ring_buf_bytes =
             static_cast<std::uint32_t>(round_up(v, kCacheLine));
   }
-  t.poll_hot = env_flag("NEMO_POLL_HOT", t.poll_hot);
-  if (env_str("NEMO_COLL_ACTIVATION"))
-    t.coll_activation = env_size("NEMO_COLL_ACTIVATION", t.coll_activation);
+  t.poll_hot = nemo::Config::flag("NEMO_POLL_HOT", t.poll_hot);
+  if (nemo::Config::str("NEMO_COLL_ACTIVATION"))
+    t.coll_activation = nemo::Config::size("NEMO_COLL_ACTIVATION", t.coll_activation);
   if (auto v = coll_slot_bytes_from_env())
     t.coll_slot_bytes = static_cast<std::uint32_t>(*v);
   if (auto v = barrier_tree_ranks_from_env()) t.barrier_tree_ranks = *v;
-  if (auto v = env_str("NEMO_SIMD"))
+  if (auto v = coll_hier_nodes_from_env()) t.coll_hier_nodes = *v;
+  if (auto v = nemo::Config::str("NEMO_SIMD"))
     t.simd_kernel = simd::choice_from_string(*v, "NEMO_SIMD");
-  if (env_str("NEMO_PACK_NT_MIN"))
-    t.pack_nt_min = env_size("NEMO_PACK_NT_MIN", t.pack_nt_min);
+  if (nemo::Config::str("NEMO_PACK_NT_MIN"))
+    t.pack_nt_min = nemo::Config::size("NEMO_PACK_NT_MIN", t.pack_nt_min);
   return t;
 }
 
 std::optional<std::uint32_t> barrier_tree_ranks_from_env() {
-  auto v = env_str("NEMO_BARRIER_TREE");
+  auto v = nemo::Config::str("NEMO_BARRIER_TREE");
   if (!v) return std::nullopt;
   if (*v == "off" || *v == "0" || *v == "never") return UINT32_MAX;
   if (*v == "on" || *v == "1" || *v == "always") return 2;
@@ -181,10 +182,25 @@ std::optional<std::uint32_t> barrier_tree_ranks_from_env() {
   return static_cast<std::uint32_t>(n);
 }
 
+std::optional<std::uint32_t> coll_hier_nodes_from_env() {
+  auto v = nemo::Config::str("NEMO_COLL_HIER");
+  if (!v) return std::nullopt;
+  if (*v == "off" || *v == "0" || *v == "never") return UINT32_MAX;
+  if (*v == "on" || *v == "1" || *v == "always") return 2;
+  char* end = nullptr;
+  long n = std::strtol(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0' || n < 2 || n > UINT32_MAX)
+    throw std::invalid_argument(
+        "NEMO_COLL_HIER: '" + *v +
+        "' (off|on|node threshold >= 2) — a typo silently ignored would "
+        "make topology experiments unmeasurable");
+  return static_cast<std::uint32_t>(n);
+}
+
 std::optional<std::size_t> coll_slot_bytes_from_env() {
-  if (!env_str("NEMO_COLL_SLOT_BYTES")) return std::nullopt;
+  if (!nemo::Config::str("NEMO_COLL_SLOT_BYTES")) return std::nullopt;
   std::size_t v =
-      round_up(env_size("NEMO_COLL_SLOT_BYTES", 0), kCacheLine);
+      round_up(nemo::Config::size("NEMO_COLL_SLOT_BYTES", 0), kCacheLine);
   if (!coll_slot_in_range(v))
     throw std::invalid_argument(
         "NEMO_COLL_SLOT_BYTES: out of range (64B..16MiB)");
@@ -199,11 +215,12 @@ std::string to_json(const TuningTable& t) {
   Json root = Json::object();
   // Schema 2 added the coll_* fields, schema 3 the barrier_tree_* fields,
   // schema 4 the simd_kernel / pack_nt_min rows, schema 5 the lmt_cma
-  // availability/activation row (and the "cma" backend value). from_json
-  // still accepts schemas 1-4 (missing fields keep their formula defaults)
+  // availability/activation row (and the "cma" backend value), schema 6 the
+  // coll_hier_nodes row (hierarchical two-level collectives). from_json
+  // still accepts schemas 1-5 (missing fields keep their formula defaults)
   // so a pre-existing cache degrades to "newer fields uncalibrated", not a
   // parse error.
-  root.set("schema", std::string("nemo-tune/5"));
+  root.set("schema", std::string("nemo-tune/6"));
   root.set("fingerprint", t.fingerprint);
   root.set("source", t.source);
 
@@ -242,6 +259,8 @@ std::string to_json(const TuningTable& t) {
   root.set("barrier_tree_k", static_cast<std::uint64_t>(t.barrier_tree_k));
   root.set("simd_kernel", std::string(simd::choice_name(t.simd_kernel)));
   root.set("pack_nt_min", static_cast<std::uint64_t>(t.pack_nt_min));
+  root.set("coll_hier_nodes",
+           static_cast<std::uint64_t>(t.coll_hier_nodes));
   return root.dump() + "\n";
 }
 
@@ -252,7 +271,7 @@ std::optional<TuningTable> from_json(const std::string& text,
   std::string schema = (*doc)["schema"].as_string();
   if (schema != "nemo-tune/1" && schema != "nemo-tune/2" &&
       schema != "nemo-tune/3" && schema != "nemo-tune/4" &&
-      schema != "nemo-tune/5") {
+      schema != "nemo-tune/5" && schema != "nemo-tune/6") {
     if (err != nullptr) *err = "unknown schema";
     return std::nullopt;
   }
@@ -308,6 +327,8 @@ std::optional<TuningTable> from_json(const std::string& text,
     }
   }
   t.pack_nt_min = (*doc)["pack_nt_min"].as_uint(t.pack_nt_min);
+  t.coll_hier_nodes = static_cast<std::uint32_t>(
+      (*doc)["coll_hier_nodes"].as_uint(t.coll_hier_nodes));
   // A hand-edited or truncated cache must degrade to the formulas, not trip
   // always-compiled asserts in every program on the machine (the fastbox
   // geometry feeds shm::Fastbox::create directly, the ring geometry
@@ -316,7 +337,8 @@ std::optional<TuningTable> from_json(const std::string& text,
       t.fastbox_slot_bytes <= 64 || t.fastbox_slot_bytes > 16 * KiB ||
       t.fastbox_slot_bytes % kCacheLine != 0 || t.drain_budget < 1 ||
       !coll_slot_in_range(t.coll_slot_bytes) || t.barrier_tree_ranks < 2 ||
-      t.barrier_tree_k < 2 || t.barrier_tree_k > 64) {
+      t.barrier_tree_k < 2 || t.barrier_tree_k > 64 ||
+      t.coll_hier_nodes < 2) {
     if (err != nullptr) *err = "out-of-range tuning values";
     return std::nullopt;
   }
@@ -337,7 +359,7 @@ std::optional<TuningTable> from_json(const std::string& text,
 // ---------------------------------------------------------------------------
 
 std::string default_cache_path(const std::string& fingerprint) {
-  if (auto p = env_str("NEMO_TUNE_CACHE")) return *p;
+  if (auto p = nemo::Config::str("NEMO_TUNE_CACHE")) return *p;
   std::string file = "tune-" + fingerprint + ".json";
   if (auto xdg = env_str("XDG_CACHE_HOME")) return *xdg + "/nemo/" + file;
   if (auto home = env_str("HOME")) return *home + "/.cache/nemo/" + file;
@@ -385,7 +407,7 @@ bool store_cache(const std::string& path, const TuningTable& t) {
 TuningTable effective_table(const Topology& topo) {
   std::string fp = topology_fingerprint(topo);
   std::optional<TuningTable> t;
-  if (env_flag("NEMO_TUNE", true))
+  if (nemo::Config::flag("NEMO_TUNE", true))
     t = load_cache(default_cache_path(fp), fp);
   if (!t) t = formula_defaults(topo);
   return with_env_overrides(std::move(*t));

@@ -140,6 +140,13 @@ struct TuningTable {
   /// bound as nt_min. SIZE_MAX (NEMO_PACK_NT_MIN=off) = never.
   std::size_t pack_nt_min = 0;
 
+  /// Hierarchical two-level collectives (schema 6): minimum synthetic-node
+  /// count (transport topology) at/above which auto-mode collectives run
+  /// the leader-based two-level schedule instead of the flat world-wide
+  /// algorithm. UINT32_MAX = never; 2 = whenever the transport partitions
+  /// the world at all. NEMO_COLL_HIER overrides (`off` | `on` | threshold).
+  std::uint32_t coll_hier_nodes = 2;
+
   [[nodiscard]] const PlacementTuning& for_placement(PairPlacement p) const {
     return place[static_cast<std::size_t>(p)];
   }
@@ -187,6 +194,11 @@ TuningTable with_env_overrides(TuningTable t);
 /// = never (UINT32_MAX), `on`/`1` = always (2), else a world-size
 /// threshold >= 2. nullopt when unset; throws on anything else.
 std::optional<std::uint32_t> barrier_tree_ranks_from_env();
+
+/// Parse NEMO_COLL_HIER into a coll_hier_nodes threshold with the same
+/// vocabulary: `off`/`0` = never (UINT32_MAX), `on`/`1` = always (2), else
+/// a node-count threshold >= 2. nullopt when unset; throws on anything else.
+std::optional<std::uint32_t> coll_hier_nodes_from_env();
 
 // --- Serialization ---------------------------------------------------------
 

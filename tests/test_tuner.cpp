@@ -142,14 +142,16 @@ TEST(TuningTable, CollAndBarrierFieldsRoundTrip) {
   t.coll_slot_bytes = 128 * KiB;
   t.barrier_tree_ranks = 12;
   t.barrier_tree_k = 3;
+  t.coll_hier_nodes = 7;
   std::string body = to_json(t);
-  EXPECT_NE(body.find("nemo-tune/5"), std::string::npos);
+  EXPECT_NE(body.find("nemo-tune/6"), std::string::npos);
   auto r = from_json(body);
   ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->coll_activation, 48 * KiB);
   EXPECT_EQ(r->coll_slot_bytes, 128 * KiB);
   EXPECT_EQ(r->barrier_tree_ranks, 12u);
   EXPECT_EQ(r->barrier_tree_k, 3u);
+  EXPECT_EQ(r->coll_hier_nodes, 7u);
   // Out-of-range coll geometry degrades to "invalid" like the fastbox
   // fields (it feeds coll::WorldColl::create directly).
   TuningTable bad = t;
@@ -183,9 +185,9 @@ TEST(TuningTable, Schema3CachesStillLoadWithSimdDefaults) {
   TuningTable t = formula_defaults(xeon_e5345());
   t.coll_activation = 96 * KiB;
   std::string body = to_json(t);
-  auto at = body.find("nemo-tune/5");
+  auto at = body.find("nemo-tune/6");
   ASSERT_NE(at, std::string::npos);
-  body.replace(at, std::strlen("nemo-tune/5"), "nemo-tune/3");
+  body.replace(at, std::strlen("nemo-tune/6"), "nemo-tune/3");
   auto strip = [&body](const std::string& key) {
     auto p = body.find("\"" + key + "\"");
     ASSERT_NE(p, std::string::npos);
@@ -210,9 +212,9 @@ TEST(TuningTable, Schema2CachesStillLoadWithBarrierDefaults) {
   TuningTable t = formula_defaults(xeon_e5345());
   t.coll_activation = 96 * KiB;
   std::string body = to_json(t);
-  auto at = body.find("nemo-tune/5");
+  auto at = body.find("nemo-tune/6");
   ASSERT_NE(at, std::string::npos);
-  body.replace(at, std::strlen("nemo-tune/5"), "nemo-tune/2");
+  body.replace(at, std::strlen("nemo-tune/6"), "nemo-tune/2");
   auto strip = [&body](const std::string& key) {
     auto p = body.find("\"" + key + "\"");
     ASSERT_NE(p, std::string::npos);
@@ -239,9 +241,9 @@ TEST(TuningTable, Schema1CachesStillLoadWithCollDefaults) {
   TuningTable t = formula_defaults(xeon_e5345());
   t.drain_budget = 333;
   std::string body = to_json(t);
-  auto at = body.find("nemo-tune/5");
+  auto at = body.find("nemo-tune/6");
   ASSERT_NE(at, std::string::npos);
-  body.replace(at, std::strlen("nemo-tune/5"), "nemo-tune/1");
+  body.replace(at, std::strlen("nemo-tune/6"), "nemo-tune/1");
   // Strip the coll keys as an old writer would never have emitted them
   // (erasing from the preceding comma keeps the JSON well-formed even for
   // the object's last member).
@@ -454,9 +456,9 @@ TEST(TuningTable, CmaRowRoundTripsInSchema5) {
   EXPECT_EQ(r->for_placement(PairPlacement::kDifferentSockets).backend,
             Backend::kCma);
   // A schema-4 cache without the row keeps the defaults.
-  auto at = body.find("nemo-tune/5");
+  auto at = body.find("nemo-tune/6");
   ASSERT_NE(at, std::string::npos);
-  body.replace(at, std::strlen("nemo-tune/5"), "nemo-tune/4");
+  body.replace(at, std::strlen("nemo-tune/6"), "nemo-tune/4");
   auto open = body.find("\"lmt_cma\"");
   ASSERT_NE(open, std::string::npos);
   auto close = body.find('}', open);
